@@ -1,0 +1,28 @@
+//! # imagen-algos
+//!
+//! The evaluation workloads of the [ImaGen] paper: the seven
+//! image-processing pipelines of Tbl. 3 ([`Algorithm`]), the synthetic
+//! pipelines of the Sec. 8.2 scalability sweep
+//! ([`synthetic_pipeline`]), and deterministic test frames
+//! ([`sample_pattern`]).
+//!
+//! [ImaGen]: https://arxiv.org/abs/2304.03352
+//!
+//! # Examples
+//!
+//! ```
+//! use imagen_algos::Algorithm;
+//!
+//! let dag = Algorithm::UnsharpM.build();
+//! assert_eq!(dag.num_stages(), 5);
+//! assert_eq!(dag.multi_consumer_stages().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod programs;
+mod synthetic;
+
+pub use programs::Algorithm;
+pub use synthetic::{sample_pattern, synthetic_pipeline, TestPattern};

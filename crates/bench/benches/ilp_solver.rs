@@ -1,0 +1,47 @@
+//! Criterion bench for the ILP substrate: exact rational simplex and the
+//! difference-constraint fast path on scheduling-shaped systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imagen_ilp::{DiffSystem, LinExpr, Model, Sense};
+
+/// Builds a chain-scheduling ILP with `n` stages and aux retire vars.
+fn chain_model(n: usize, w: i64) -> Model {
+    let mut m = Model::new("chain");
+    let s: Vec<_> = (0..n).map(|i| m.add_int_var(format!("s{i}"))).collect();
+    let mut obj = LinExpr::zero();
+    for i in 1..n {
+        m.add_diff_ge(s[i], s[i - 1], 2 * w + 1, "dep");
+        let t = m.add_int_var(format!("t{i}"));
+        m.add_diff_ge(t, s[i], 0, "retire");
+        m.add_diff_ge(t, s[i - 1], w, "minrow");
+        obj = obj + LinExpr::from(t) - LinExpr::from(s[i - 1]);
+    }
+    m.set_objective(Sense::Minimize, obj);
+    m
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp_solver");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for n in [8usize, 16, 32] {
+        let m = chain_model(n, 480);
+        group.bench_function(format!("simplex_bnb_{n}_stages"), |b| {
+            b.iter(|| std::hint::black_box(&m).solve().unwrap())
+        });
+    }
+    let mut sys = DiffSystem::new(64);
+    for i in 1..64 {
+        sys.add_ge(i, i - 1, 961);
+        if i >= 3 {
+            sys.add_ge(i, i - 3, 2 * 961);
+        }
+    }
+    group.bench_function("diff_system_64_vars", |b| {
+        b.iter(|| std::hint::black_box(&sys).minimal_solution().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

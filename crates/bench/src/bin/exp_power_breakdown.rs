@@ -1,0 +1,60 @@
+//! Reproduces the **Sec. 8.4 power analysis**: per-block access rates per
+//! design style. SODA's FIFOs pin every block at 2 accesses/cycle while
+//! the classic designs keep most blocks at ~1 — the mechanism behind the
+//! paper's "35% more power for two-access BRAMs" measurement — verified
+//! here with exact counts from the cycle-level simulator.
+
+use imagen_algos::Algorithm;
+use imagen_bench::{asic_backend, generate, test_frame};
+use imagen_mem::{BramModel, DesignStyle, ImageGeometry};
+use imagen_sim::simulate_and_annotate;
+
+fn main() {
+    // Scale height down for simulation speed; access *rates* are
+    // height-invariant (the raster pattern repeats row by row).
+    let geom = ImageGeometry {
+        width: 480,
+        height: 64,
+        pixel_bits: 16,
+    };
+    println!("# Sec. 8.4 — access-rate breakdown (simulated, 480-wide frames)\n");
+    println!("| Algorithm | style | blocks | avg accesses/block/cycle | max block rate |");
+    println!("|---|---|---|---|---|");
+    for alg in [Algorithm::UnsharpM, Algorithm::DenoiseM, Algorithm::CannyM] {
+        for style in [DesignStyle::Soda, DesignStyle::Ours, DesignStyle::FixyNn] {
+            let mut plan = generate(alg, style, &geom, asic_backend());
+            let input = test_frame(&geom, 7);
+            let report = simulate_and_annotate(&plan.dag, &mut plan.design, &[input])
+                .expect("simulation");
+            assert!(
+                report.port_violations.is_empty(),
+                "{} {}: {:?}",
+                alg.name(),
+                style.label(),
+                report.port_violations
+            );
+            let rates: Vec<f64> = plan
+                .design
+                .buffers
+                .iter()
+                .flat_map(|b| &b.blocks)
+                .map(|blk| blk.avg_accesses_per_cycle)
+                .collect();
+            let avg = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
+            let max = rates.iter().cloned().fold(0.0, f64::max);
+            println!(
+                "| {} | {} | {} | {:.2} | {:.2} |",
+                alg.name(),
+                style.label(),
+                rates.len(),
+                avg,
+                max
+            );
+        }
+    }
+    println!(
+        "\nBRAM power model check: two accesses/cycle costs {:.1}% more than one",
+        100.0 * (BramModel::power_mw(2.0) / BramModel::power_mw(1.0) - 1.0)
+    );
+    println!("(paper's FPGA measurement: ~35%).");
+}

@@ -1,0 +1,267 @@
+//! # imagen-bench
+//!
+//! Shared harness for reproducing every table and figure of the [ImaGen]
+//! paper's evaluation (Sec. 8). Each experiment is a binary in `src/bin/`
+//! that prints the same rows/series the paper reports; `EXPERIMENTS.md`
+//! at the repository root records paper-vs-measured for each.
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `tbl3` | Tbl. 3 workload roster |
+//! | `exp_throughput` | Sec. 8.1 throughput & latency |
+//! | `exp_compile_speed` | Sec. 8.2 compile times + pruning ablation |
+//! | `exp_scalability` | Sec. 8.2 9→60-stage sweep |
+//! | `fig8a` / `fig8b` | Fig. 8 SRAM & power at 320p |
+//! | `fig9a` / `fig9b` | Fig. 9 SRAM & power at 1080p |
+//! | `fig10` | Fig. 10 DSE Pareto frontiers |
+//! | `exp_accel_area` | Sec. 8.3 accelerator-level area |
+//! | `exp_fpga` | Sec. 8.3/8.4 FPGA BRAM & power |
+//! | `exp_multi_algo` | Sec. 8.3 multi-algorithm BRAM packing |
+//! | `exp_power_breakdown` | Sec. 8.4 access-rate analysis |
+//!
+//! [ImaGen]: https://arxiv.org/abs/2304.03352
+
+#![forbid(unsafe_code)]
+
+use imagen_algos::{sample_pattern, Algorithm, TestPattern};
+use imagen_baselines::{generate_darkroom, generate_fixynn, generate_soda};
+use imagen_core::Compiler;
+use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+use imagen_schedule::Plan;
+use imagen_sim::Image;
+
+/// One evaluated (algorithm × generator) point.
+#[derive(Clone, Debug)]
+pub struct EvalPoint {
+    /// Algorithm name (paper spelling, e.g. `Canny-m`).
+    pub algo: &'static str,
+    /// Which generator produced the design.
+    pub style: DesignStyle,
+    /// Allocated SRAM/BRAM, KB.
+    pub sram_kb: f64,
+    /// Memory power, mW.
+    pub mem_power_mw: f64,
+    /// Total accelerator area, mm².
+    pub total_area_mm2: f64,
+    /// Total accelerator power, mW.
+    pub total_power_mw: f64,
+    /// Memory block count (BRAM count on FPGA).
+    pub blocks: usize,
+    /// End-to-end frame latency, cycles.
+    pub latency: i64,
+    /// The full plan, for further inspection.
+    pub plan: Plan,
+}
+
+/// The design styles in the paper's figure order.
+pub const STYLES: [DesignStyle; 5] = [
+    DesignStyle::FixyNn,
+    DesignStyle::Darkroom,
+    DesignStyle::Soda,
+    DesignStyle::Ours,
+    DesignStyle::OursLc,
+];
+
+/// Generates one design of the given style.
+///
+/// # Panics
+///
+/// Panics if any generator fails — the evaluation workloads are all
+/// schedulable by construction.
+pub fn generate(alg: Algorithm, style: DesignStyle, geom: &ImageGeometry, backend: MemBackend) -> Plan {
+    let dag = alg.build();
+    match style {
+        DesignStyle::FixyNn => generate_fixynn(&dag, geom, backend).expect("fixynn"),
+        DesignStyle::Darkroom => generate_darkroom(&dag, geom, backend).expect("darkroom"),
+        DesignStyle::Soda => generate_soda(&dag, geom, backend).expect("soda"),
+        DesignStyle::Ours => Compiler::new(*geom, MemorySpec::new(backend, 2))
+            .compile_dag(&dag)
+            .expect("ours")
+            .plan,
+        DesignStyle::OursLc => {
+            // "Judicious" coalescing: per-buffer LC only where it reduces
+            // SRAM (imagen-dse's greedy descent).
+            imagen_dse::judicious_lc(&dag, geom, backend)
+                .expect("ours+lc")
+                .1
+                .plan
+        }
+    }
+}
+
+/// Whether line coalescing is available at this geometry/backend (the
+/// paper: yes at 320p, no at 1080p — the block holds only one row).
+pub fn lc_available(geom: &ImageGeometry, backend: MemBackend) -> bool {
+    MemorySpec::new(backend, 2)
+        .with_coalescing()
+        .coalesce_factor(0, geom)
+        > 1
+}
+
+/// Evaluates every applicable style for one algorithm.
+pub fn evaluate(alg: Algorithm, geom: &ImageGeometry, backend: MemBackend) -> Vec<EvalPoint> {
+    let mut out = Vec::new();
+    for style in STYLES {
+        if style == DesignStyle::OursLc && !lc_available(geom, backend) {
+            continue;
+        }
+        let plan = generate(alg, style, geom, backend);
+        let d = &plan.design;
+        out.push(EvalPoint {
+            algo: alg.name(),
+            style,
+            sram_kb: d.sram_kb(),
+            mem_power_mw: d.memory_power_mw(),
+            total_area_mm2: d.total_area_mm2(),
+            total_power_mw: d.total_power_mw(),
+            blocks: d.block_count(),
+            latency: plan.schedule.latency(&plan.dag, geom.width, geom.height),
+            plan: plan.clone(),
+        });
+    }
+    out
+}
+
+/// The standard ASIC backend of the evaluation (DESIGN.md §7).
+pub fn asic_backend() -> MemBackend {
+    MemBackend::asic_default()
+}
+
+/// A deterministic test frame for simulator-backed experiments.
+pub fn test_frame(geom: &ImageGeometry, seed: u64) -> Image {
+    Image::from_fn(geom.width, geom.height, |x, y| {
+        sample_pattern(TestPattern::Noise, seed, x, y)
+    })
+}
+
+/// Prints a markdown table: one row per algorithm, one column per style,
+/// with a trailing `Average` row — the shape of the paper's bar charts.
+pub fn print_matrix(
+    title: &str,
+    unit: &str,
+    algos: &[Algorithm],
+    rows: &[Vec<Option<f64>>],
+    styles: &[DesignStyle],
+) {
+    println!("\n## {title} ({unit})\n");
+    print!("| Algorithm |");
+    for s in styles {
+        print!(" {} |", s.label());
+    }
+    println!();
+    print!("|---|");
+    for _ in styles {
+        print!("---|");
+    }
+    println!();
+    let mut sums = vec![(0.0, 0usize); styles.len()];
+    for (a, row) in algos.iter().zip(rows) {
+        print!("| {} |", a.name());
+        for (i, v) in row.iter().enumerate() {
+            match v {
+                Some(v) => {
+                    print!(" {v:.1} |");
+                    sums[i].0 += v;
+                    sums[i].1 += 1;
+                }
+                None => print!(" — |"),
+            }
+        }
+        println!();
+    }
+    print!("| **Average** |");
+    for (s, n) in &sums {
+        if *n > 0 {
+            print!(" **{:.1}** |", s / *n as f64);
+        } else {
+            print!(" — |");
+        }
+    }
+    println!();
+}
+
+/// Percentage reduction of `ours` relative to `base` (positive = ours
+/// smaller).
+pub fn reduction_pct(base: f64, ours: f64) -> f64 {
+    100.0 * (base - ours) / base
+}
+
+/// Runs the SRAM/power matrix for a geometry and returns
+/// `(algos, sram rows, mem-power rows, eval points)`.
+#[allow(clippy::type_complexity)]
+pub fn figure_matrix(
+    geom: &ImageGeometry,
+    backend: MemBackend,
+) -> (
+    Vec<Algorithm>,
+    Vec<Vec<Option<f64>>>,
+    Vec<Vec<Option<f64>>>,
+    Vec<Vec<EvalPoint>>,
+) {
+    let algos: Vec<Algorithm> = Algorithm::all().to_vec();
+    let mut sram = Vec::new();
+    let mut power = Vec::new();
+    let mut points = Vec::new();
+    for alg in &algos {
+        let evals = evaluate(*alg, geom, backend);
+        let mut srow = Vec::new();
+        let mut prow = Vec::new();
+        for style in STYLES {
+            match evals.iter().find(|e| e.style == style) {
+                Some(e) => {
+                    srow.push(Some(e.sram_kb));
+                    prow.push(Some(e.mem_power_mw));
+                }
+                None => {
+                    srow.push(None);
+                    prow.push(None);
+                }
+            }
+        }
+        sram.push(srow);
+        power.push(prow);
+        points.push(evals);
+    }
+    (algos, sram, power, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_produces_all_styles_at_320p() {
+        // Use a scaled-down geometry with the same structure to keep the
+        // test fast; LC availability mirrors 320p (blocks hold 2+ rows).
+        let geom = ImageGeometry {
+            width: 48,
+            height: 32,
+            pixel_bits: 16,
+        };
+        let backend = MemBackend::Asic {
+            block_bits: 2 * geom.row_bits(),
+        };
+        assert!(lc_available(&geom, backend));
+        let evals = evaluate(Algorithm::UnsharpM, &geom, backend);
+        assert_eq!(evals.len(), 5);
+        // Qualitative orderings the paper reports:
+        let by = |s: DesignStyle| evals.iter().find(|e| e.style == s).unwrap();
+        assert!(
+            by(DesignStyle::FixyNn).sram_kb >= by(DesignStyle::Ours).sram_kb,
+            "FixyNN uses most SRAM"
+        );
+        assert!(
+            by(DesignStyle::Soda).sram_kb <= by(DesignStyle::Ours).sram_kb,
+            "SODA undercuts Ours on SRAM"
+        );
+        assert!(
+            by(DesignStyle::OursLc).sram_kb < by(DesignStyle::Ours).sram_kb,
+            "LC reduces SRAM"
+        );
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert!((reduction_pct(100.0, 72.0) - 28.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,348 @@
+//! # imagen-dse
+//!
+//! Design-space exploration over per-stage memory configurations (paper
+//! Sec. 8.5, Fig. 10).
+//!
+//! Because ImaGen accepts *arbitrary* memory specifications, each stage's
+//! line buffer can independently use a dual-port block (DP) or a
+//! dual-port block with line coalescing (DPLC). For an algorithm with
+//! `N` buffered stages that is a `2^N` design space; [`sweep`] enumerates
+//! it, prices every point (area from the SRAM model, power from the
+//! access statistics) and [`pareto_front`] extracts the non-dominated
+//! designs. The paper's headline observation — the Pareto frontier is
+//! *algorithm-specific* (3 points for Canny-m, 2 for Denoise-m, with
+//! all-DPLC strictly dominated on Canny-m) — is reproduced by the
+//! `fig10` experiment binary.
+//!
+//! [ImaGen]: https://arxiv.org/abs/2304.03352
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use imagen_core::{CompileError, Compiler};
+use imagen_ir::Dag;
+use imagen_mem::{Design, ImageGeometry, MemBackend, MemorySpec, StageMemConfig};
+
+/// Per-stage memory choice explored by the DSE (Sec. 8.5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StageChoice {
+    /// Dual-port block, one row per block.
+    Dp,
+    /// Dual-port block with line coalescing.
+    Dplc,
+}
+
+impl StageChoice {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageChoice::Dp => "DP",
+            StageChoice::Dplc => "DPLC",
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Clone, Debug)]
+pub struct DsePoint {
+    /// Choice per buffered stage (parallel to `buffered_stages`).
+    pub choices: Vec<StageChoice>,
+    /// Total accelerator area, mm².
+    pub area_mm2: f64,
+    /// Total accelerator power, mW.
+    pub power_mw: f64,
+    /// Allocated SRAM, KB.
+    pub sram_kb: f64,
+    /// The priced design.
+    pub design: Design,
+}
+
+impl DsePoint {
+    /// Number of stages using DPLC.
+    pub fn dplc_count(&self) -> usize {
+        self.choices
+            .iter()
+            .filter(|c| **c == StageChoice::Dplc)
+            .count()
+    }
+}
+
+/// Result of a sweep: all points plus the ids of the buffered stages the
+/// choice vectors refer to.
+#[derive(Clone, Debug)]
+pub struct DseResult {
+    /// Stage indices (into the DAG) that own line buffers.
+    pub buffered_stages: Vec<usize>,
+    /// All evaluated points, in enumeration order (all-DP first, all-DPLC
+    /// last).
+    pub points: Vec<DsePoint>,
+}
+
+impl DseResult {
+    /// Indices of the Pareto-optimal points (minimizing area and power).
+    pub fn pareto_front(&self) -> Vec<usize> {
+        pareto_front(
+            &self
+                .points
+                .iter()
+                .map(|p| (p.area_mm2, p.power_mw))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Sweeps every per-stage DP/DPLC combination for `dag`.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`]; individual infeasible points
+/// cannot occur for DP/DPLC choices (both are dual-port).
+pub fn sweep(
+    dag: &Dag,
+    geom: &ImageGeometry,
+    backend: MemBackend,
+) -> Result<DseResult, CompileError> {
+    let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
+    let n = buffered.len();
+    assert!(n <= 20, "sweep of 2^{n} points is impractical");
+    let mut points = Vec::with_capacity(1 << n);
+
+    for mask in 0u32..(1 << n) {
+        let mut spec = MemorySpec::new(backend, 2);
+        let mut choices = Vec::with_capacity(n);
+        for (bit, &stage) in buffered.iter().enumerate() {
+            let choice = if mask & (1 << bit) != 0 {
+                StageChoice::Dplc
+            } else {
+                StageChoice::Dp
+            };
+            choices.push(choice);
+            spec.set_stage(
+                stage,
+                StageMemConfig {
+                    ports: 2,
+                    coalesce: choice == StageChoice::Dplc,
+                },
+            );
+        }
+        let out = Compiler::new(*geom, spec).compile_dag(dag)?;
+        let design = out.plan.design;
+        points.push(DsePoint {
+            choices,
+            area_mm2: design.total_area_mm2(),
+            power_mw: design.total_power_mw(),
+            sram_kb: design.sram_kb(),
+            design,
+        });
+    }
+
+    Ok(DseResult {
+        buffered_stages: buffered,
+        points,
+    })
+}
+
+/// Chooses line coalescing *judiciously*, per buffer: starting from the
+/// all-coalesced configuration, greedily reverts any stage whose
+/// coalescing does not reduce the allocated SRAM, until a fixpoint.
+///
+/// This implements the paper's framing that the compiler "judiciously
+/// coalesces multiple lines" (Sec. 1): coalescing is a per-buffer choice,
+/// and on some pipelines (Xcorr-m's tall windows with two readers) the
+/// stronger coalesced-contention constraints cost more rows than the
+/// blocks save — exactly the trade-off Fig. 10 explores.
+///
+/// Returns the chosen per-stage configs and the compiled design.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`].
+pub fn judicious_lc(
+    dag: &Dag,
+    geom: &ImageGeometry,
+    backend: MemBackend,
+) -> Result<(Vec<(usize, StageChoice)>, imagen_core::CompileOutput), CompileError> {
+    let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
+    let mut choices: Vec<StageChoice> = vec![StageChoice::Dplc; buffered.len()];
+
+    let compile = |choices: &[StageChoice]| -> Result<imagen_core::CompileOutput, CompileError> {
+        let mut spec = MemorySpec::new(backend, 2);
+        for (c, &stage) in choices.iter().zip(&buffered) {
+            spec.set_stage(
+                stage,
+                StageMemConfig {
+                    ports: 2,
+                    coalesce: *c == StageChoice::Dplc,
+                },
+            );
+        }
+        Compiler::new(*geom, spec)
+            .with_style(imagen_mem::DesignStyle::OursLc)
+            .compile_dag(dag)
+    };
+
+    let mut best = compile(&choices)?;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..choices.len() {
+            if choices[i] == StageChoice::Dp {
+                continue;
+            }
+            choices[i] = StageChoice::Dp;
+            let cand = compile(&choices)?;
+            if cand.plan.design.sram_kb() < best.plan.design.sram_kb() {
+                best = cand;
+                improved = true;
+            } else {
+                choices[i] = StageChoice::Dplc;
+            }
+        }
+    }
+    let cfg = buffered.into_iter().zip(choices).map(|(s, c)| (s, c)).collect();
+    Ok((cfg, best))
+}
+
+/// Returns the indices of non-dominated points (minimize both axes).
+///
+/// A point dominates another when it is no worse on both axes and
+/// strictly better on at least one.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &(ai, pi)) in points.iter().enumerate() {
+        for (j, &(aj, pj)) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let no_worse = aj <= ai && pj <= pi;
+            let better = aj < ai || pj < pi;
+            if no_worse && better {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagen_algos::Algorithm;
+
+    fn geom() -> ImageGeometry {
+        ImageGeometry {
+            width: 32,
+            height: 24,
+            pixel_bits: 16,
+        }
+    }
+
+    fn backend() -> MemBackend {
+        // Blocks hold two rows, so DPLC is available.
+        MemBackend::Asic {
+            block_bits: 2 * 32 * 16,
+        }
+    }
+
+    #[test]
+    fn pareto_front_logic() {
+        let pts = [(1.0, 5.0), (2.0, 3.0), (3.0, 1.0), (3.0, 3.0), (2.5, 2.9)];
+        let front = pareto_front(&pts);
+        // (3.0, 3.0) is dominated by (2.0, 3.0); the rest trade off.
+        assert_eq!(front, vec![0, 1, 2, 4], "dominated points excluded");
+    }
+
+    #[test]
+    fn pareto_handles_duplicates() {
+        let pts = [(1.0, 1.0), (1.0, 1.0)];
+        // Identical points do not dominate each other (no strict better).
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn sweep_explores_full_space() {
+        let dag = Algorithm::XcorrM.build(); // 2 buffered stages -> 4 points
+        let res = sweep(&dag, &geom(), backend()).unwrap();
+        assert_eq!(res.points.len(), 4);
+        assert_eq!(res.points[0].dplc_count(), 0, "all-DP first");
+        assert_eq!(
+            res.points.last().unwrap().dplc_count(),
+            res.buffered_stages.len(),
+            "all-DPLC last"
+        );
+        let front = res.pareto_front();
+        assert!(!front.is_empty());
+        // All-DP must appear on the frontier or be dominated by a cheaper
+        // design; either way every frontier point has minimal power among
+        // designs of no-larger area.
+        for &i in &front {
+            for (j, p) in res.points.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                assert!(
+                    !(p.area_mm2 <= res.points[i].area_mm2
+                        && p.power_mw < res.points[i].power_mw),
+                    "frontier point {i} dominated by {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dplc_reduces_area_on_chains() {
+        // For a deep single-consumer chain, all-DPLC should shrink SRAM
+        // (fewer blocks) versus all-DP.
+        let dag = Algorithm::CannyS.build();
+        let res = sweep_small(&dag);
+        let all_dp = &res.points[0];
+        let all_dplc = res.points.last().unwrap();
+        assert!(
+            all_dplc.sram_kb < all_dp.sram_kb,
+            "DPLC {} KB vs DP {} KB",
+            all_dplc.sram_kb,
+            all_dp.sram_kb
+        );
+    }
+
+    // Canny-s has 8 buffered stages -> 256 points; keep the test fast by
+    // sweeping only the extremes.
+    fn sweep_small(dag: &imagen_ir::Dag) -> DseResult {
+        let buffered: Vec<usize> =
+            dag.buffered_stages().iter().map(|s| s.index()).collect();
+        let mut points = Vec::new();
+        for &all_lc in &[false, true] {
+            let mut spec = MemorySpec::new(backend(), 2);
+            for &stage in &buffered {
+                spec.set_stage(
+                    stage,
+                    StageMemConfig {
+                        ports: 2,
+                        coalesce: all_lc,
+                    },
+                );
+            }
+            let out = Compiler::new(geom(), spec).compile_dag(dag).unwrap();
+            let design = out.plan.design;
+            points.push(DsePoint {
+                choices: vec![
+                    if all_lc {
+                        StageChoice::Dplc
+                    } else {
+                        StageChoice::Dp
+                    };
+                    buffered.len()
+                ],
+                area_mm2: design.total_area_mm2(),
+                power_mw: design.total_power_mw(),
+                sram_kb: design.sram_kb(),
+                design,
+            });
+        }
+        DseResult {
+            buffered_stages: buffered,
+            points,
+        }
+    }
+}

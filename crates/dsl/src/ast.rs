@@ -1,0 +1,96 @@
+//! Abstract syntax tree of the ImaGen DSL.
+
+use crate::token::Pos;
+
+/// A whole program: a sequence of stage definitions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Stage definitions in source order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level item.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    /// `input NAME;` — declares a pipeline input.
+    Input {
+        /// Stage name.
+        name: String,
+        /// Source position of the name.
+        pos: Pos,
+    },
+    /// `[output] NAME = im(x, y) EXPR end` — a compute stage.
+    Stage {
+        /// Stage name.
+        name: String,
+        /// Whether the stage is marked `output`.
+        output: bool,
+        /// Name bound to the horizontal coordinate (usually `x`).
+        x_var: String,
+        /// Name bound to the vertical coordinate (usually `y`).
+        y_var: String,
+        /// The stage body.
+        body: AstExpr,
+        /// Source position of the name.
+        pos: Pos,
+    },
+}
+
+/// Expression AST (taps still refer to producers by name).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AstExpr {
+    /// Integer literal.
+    Number(i64),
+    /// `NAME(x+dx, y+dy)` — stencil tap into a named producer.
+    Tap {
+        /// Producer stage name.
+        stage: String,
+        /// Horizontal offset.
+        dx: i32,
+        /// Vertical offset.
+        dy: i32,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Unary negation.
+    Neg(Box<AstExpr>),
+    /// Built-in call: `abs(e)`, `min(a,b)`, `max(a,b)`,
+    /// `clamp(v,lo,hi)`, `select(c,a,b)`.
+    Call {
+        /// Function name.
+        func: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Binary operator by mnemonic: `+ - * / << >> < <= > >= == !=`.
+    Bin {
+        /// Operator mnemonic.
+        op: &'static str,
+        /// Left operand.
+        lhs: Box<AstExpr>,
+        /// Right operand.
+        rhs: Box<AstExpr>,
+    },
+}
+
+impl AstExpr {
+    /// Visits tap nodes in evaluation order.
+    pub fn for_each_tap<'a>(&'a self, f: &mut impl FnMut(&'a str, i32, i32)) {
+        match self {
+            AstExpr::Number(_) => {}
+            AstExpr::Tap { stage, dx, dy, .. } => f(stage, *dx, *dy),
+            AstExpr::Neg(e) => e.for_each_tap(f),
+            AstExpr::Call { args, .. } => {
+                for a in args {
+                    a.for_each_tap(f);
+                }
+            }
+            AstExpr::Bin { lhs, rhs, .. } => {
+                lhs.for_each_tap(f);
+                rhs.for_each_tap(f);
+            }
+        }
+    }
+}

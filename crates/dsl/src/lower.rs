@@ -1,0 +1,283 @@
+//! Lowering from the DSL AST to the `imagen-ir` DAG.
+
+use crate::ast::{AstExpr, Item, Program};
+use crate::token::Pos;
+use imagen_ir::{BinOp, CmpOp, Dag, Expr, IrError, StageId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while lowering a parsed program to IR.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LowerError {
+    /// A tap referenced a stage that has not been defined (yet).
+    UnknownStage {
+        /// Name referenced.
+        name: String,
+        /// Where.
+        pos: Pos,
+    },
+    /// A stage name was defined twice.
+    Redefinition {
+        /// The repeated name.
+        name: String,
+        /// Where.
+        pos: Pos,
+    },
+    /// Structural IR error (propagated from DAG construction).
+    Ir(IrError),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::UnknownStage { name, pos } => {
+                write!(f, "stage `{name}` is not defined at {pos}")
+            }
+            LowerError::Redefinition { name, pos } => {
+                write!(f, "stage `{name}` is defined twice at {pos}")
+            }
+            LowerError::Ir(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<IrError> for LowerError {
+    fn from(e: IrError) -> Self {
+        LowerError::Ir(e)
+    }
+}
+
+/// Lowers a parsed [`Program`] into a validated [`Dag`].
+///
+/// Producer slots are assigned in order of first tap appearance, matching
+/// the textual order of the program.
+///
+/// # Errors
+///
+/// [`LowerError`] on name-resolution failures or structural violations.
+pub fn lower(name: &str, program: &Program) -> Result<Dag, LowerError> {
+    let mut dag = Dag::new(name);
+    let mut by_name: HashMap<String, StageId> = HashMap::new();
+
+    for item in &program.items {
+        match item {
+            Item::Input { name, pos } => {
+                if by_name.contains_key(name) {
+                    return Err(LowerError::Redefinition {
+                        name: name.clone(),
+                        pos: *pos,
+                    });
+                }
+                let id = dag.add_input(name.clone());
+                by_name.insert(name.clone(), id);
+            }
+            Item::Stage {
+                name,
+                output,
+                body,
+                pos,
+                ..
+            } => {
+                if by_name.contains_key(name) {
+                    return Err(LowerError::Redefinition {
+                        name: name.clone(),
+                        pos: *pos,
+                    });
+                }
+                // Assign slots by first appearance.
+                let mut producers: Vec<StageId> = Vec::new();
+                let mut slot_of: HashMap<&str, usize> = HashMap::new();
+                let mut missing: Option<LowerError> = None;
+                body.for_each_tap(&mut |stage, _, _| {
+                    if missing.is_some() || slot_of.contains_key(stage) {
+                        return;
+                    }
+                    match by_name.get(stage) {
+                        Some(id) => {
+                            slot_of.insert(stage, producers.len());
+                            producers.push(*id);
+                        }
+                        None => {
+                            missing = Some(LowerError::UnknownStage {
+                                name: stage.to_string(),
+                                pos: *pos,
+                            });
+                        }
+                    }
+                });
+                if let Some(e) = missing {
+                    return Err(e);
+                }
+                let kernel = lower_expr(body, &slot_of);
+                let id = dag.add_stage(name.clone(), &producers, kernel)?;
+                if *output {
+                    dag.mark_output(id);
+                }
+                by_name.insert(name.clone(), id);
+            }
+        }
+    }
+    dag.validate()?;
+    Ok(dag)
+}
+
+fn lower_expr(e: &AstExpr, slot_of: &HashMap<&str, usize>) -> Expr {
+    match e {
+        AstExpr::Number(n) => Expr::Const(*n),
+        AstExpr::Tap { stage, dx, dy, .. } => {
+            Expr::tap(slot_of[stage.as_str()], *dx, *dy)
+        }
+        AstExpr::Neg(inner) => Expr::Neg(Box::new(lower_expr(inner, slot_of))),
+        AstExpr::Call { func, args, .. } => {
+            let mut a: Vec<Expr> = args.iter().map(|x| lower_expr(x, slot_of)).collect();
+            match func.as_str() {
+                "abs" => Expr::Abs(Box::new(a.remove(0))),
+                "min" => {
+                    let y = a.pop().expect("arity checked");
+                    let x = a.pop().expect("arity checked");
+                    Expr::bin(BinOp::Min, x, y)
+                }
+                "max" => {
+                    let y = a.pop().expect("arity checked");
+                    let x = a.pop().expect("arity checked");
+                    Expr::bin(BinOp::Max, x, y)
+                }
+                "clamp" => {
+                    let hi = a.pop().expect("arity checked");
+                    let lo = a.pop().expect("arity checked");
+                    let v = a.pop().expect("arity checked");
+                    Expr::Clamp {
+                        value: Box::new(v),
+                        lo: Box::new(lo),
+                        hi: Box::new(hi),
+                    }
+                }
+                "select" => {
+                    let otherwise = a.pop().expect("arity checked");
+                    let then = a.pop().expect("arity checked");
+                    let cond = a.pop().expect("arity checked");
+                    Expr::select(cond, then, otherwise)
+                }
+                other => unreachable!("parser admits only known functions, got {other}"),
+            }
+        }
+        AstExpr::Bin { op, lhs, rhs } => {
+            let l = lower_expr(lhs, slot_of);
+            let r = lower_expr(rhs, slot_of);
+            match *op {
+                "+" => Expr::bin(BinOp::Add, l, r),
+                "-" => Expr::bin(BinOp::Sub, l, r),
+                "*" => Expr::bin(BinOp::Mul, l, r),
+                "/" => Expr::bin(BinOp::Div, l, r),
+                "<<" => Expr::bin(BinOp::Shl, l, r),
+                ">>" => Expr::bin(BinOp::Shr, l, r),
+                "<" => Expr::cmp(CmpOp::Lt, l, r),
+                "<=" => Expr::cmp(CmpOp::Le, l, r),
+                ">" => Expr::cmp(CmpOp::Gt, l, r),
+                ">=" => Expr::cmp(CmpOp::Ge, l, r),
+                "==" => Expr::cmp(CmpOp::Eq, l, r),
+                "!=" => Expr::cmp(CmpOp::Ne, l, r),
+                other => unreachable!("parser admits only known operators, got {other}"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn compile(src: &str) -> Result<Dag, LowerError> {
+        let p = parse_program(src).expect("parse");
+        lower("test", &p)
+    }
+
+    #[test]
+    fn paper_listing_compiles() {
+        let dag = compile(
+            "input K0;
+             K1 = im(x,y) K0(x-1,y-1)+K0(x,y)+K0(x+1,y+1) end
+             output K2 = im(x,y) K0(x,y)+K0(x+1,y+1)+K1(x-1,y-1)+K1(x+1,y+1) end",
+        )
+        .unwrap();
+        assert_eq!(dag.num_stages(), 3);
+        assert_eq!(dag.multi_consumer_stages().len(), 1);
+        // K2 reads K0 (slot 0) over 2x2 and K1 (slot 1) over 3x3.
+        let k2 = dag.stage_ids().nth(2).unwrap();
+        let heights: Vec<u32> = dag
+            .producer_edges(k2)
+            .map(|(_, e)| e.window().height)
+            .collect();
+        assert_eq!(heights, vec![2, 3]);
+    }
+
+    #[test]
+    fn unknown_stage_reported() {
+        let err = compile("input A; output B = im(x,y) C(x,y) end").unwrap_err();
+        assert!(matches!(err, LowerError::UnknownStage { name, .. } if name == "C"));
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let err = compile(
+            "input A;
+             B = im(x,y) C(x,y) end
+             output C = im(x,y) A(x,y) + B(x,y) end",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::UnknownStage { .. }));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let err = compile(
+            "input A;
+             A = im(x,y) A(x,y) end",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::Redefinition { .. }));
+    }
+
+    #[test]
+    fn dead_stage_rejected() {
+        let err = compile(
+            "input A;
+             B = im(x,y) A(x,y) end
+             output C = im(x,y) A(x,y) end",
+        )
+        .unwrap_err();
+        assert!(matches!(err, LowerError::Ir(IrError::DeadStage { .. })));
+    }
+
+    #[test]
+    fn builtins_lower() {
+        let dag = compile(
+            "input A;
+             output B = im(x,y) clamp(select(A(x,y) > 8, abs(A(x-1,y)), min(A(x,y), 3)), 0, 255) end",
+        )
+        .unwrap();
+        let b = dag.stage_ids().nth(1).unwrap();
+        let kernel = dag.stage(b).kernel().unwrap();
+        let census = kernel.op_census();
+        assert!(census.cmps >= 1);
+        assert!(census.muxes >= 1);
+    }
+
+    #[test]
+    fn slots_in_first_appearance_order() {
+        let dag = compile(
+            "input A;
+             B = im(x,y) A(x,y) end
+             output C = im(x,y) B(x,y) + A(x,y) end",
+        )
+        .unwrap();
+        let c = dag.stage_ids().nth(2).unwrap();
+        // Slot 0 must be B (first tap), slot 1 A.
+        let producers = dag.stage(c).producers();
+        assert_eq!(dag.stage(producers[0]).name(), "B");
+        assert_eq!(dag.stage(producers[1]).name(), "A");
+    }
+}

@@ -1,0 +1,505 @@
+//! Recursive-descent parser for the ImaGen DSL.
+//!
+//! Grammar (precedence low→high):
+//!
+//! ```text
+//! program := item*
+//! item    := "input" IDENT ";"
+//!          | "output"? IDENT "=" "im" "(" IDENT "," IDENT ")" expr "end" ";"?
+//! expr    := cmp
+//! cmp     := add (("<"|"<="|">"|">="|"=="|"!=") add)?
+//! add     := mul (("+"|"-") mul)*
+//! mul     := unary (("*"|"/"|"<<"|">>") unary)*
+//! unary   := "-" unary | primary
+//! primary := NUMBER | "(" expr ")" | IDENT "(" args ")" | IDENT
+//! args    := tap-coords | expr ("," expr)*
+//! ```
+//!
+//! An `IDENT(...)` is a *tap* when its first argument starts with the
+//! stage's coordinate variables (e.g. `K0(x-1, y+1)`), otherwise a
+//! built-in call (`abs`, `min`, `max`, `clamp`, `select`).
+
+use crate::ast::{AstExpr, Item, Program};
+use crate::token::{lex, LexError, Pos, Spanned, Token};
+use std::fmt;
+
+/// Parse error with position information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Lexing failed.
+    Lex(LexError),
+    /// Got an unexpected token.
+    Unexpected {
+        /// What was found.
+        found: String,
+        /// What was expected.
+        expected: String,
+        /// Where.
+        pos: Pos,
+    },
+    /// Tap coordinate did not use the stage's bound variables.
+    BadCoordinate {
+        /// The coordinate variable seen.
+        var: String,
+        /// The variable that was expected.
+        expected: String,
+        /// Where.
+        pos: Pos,
+    },
+    /// Unknown built-in function.
+    UnknownFunction {
+        /// Name used.
+        func: String,
+        /// Where.
+        pos: Pos,
+    },
+    /// Wrong argument count for a built-in.
+    BadArity {
+        /// Function name.
+        func: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+        /// Where.
+        pos: Pos,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected {
+                found,
+                expected,
+                pos,
+            } => write!(f, "expected {expected}, found {found} at {pos}"),
+            ParseError::BadCoordinate { var, expected, pos } => write!(
+                f,
+                "tap coordinate uses `{var}` but the stage binds `{expected}` at {pos}"
+            ),
+            ParseError::UnknownFunction { func, pos } => {
+                write!(f, "unknown function `{func}` at {pos}")
+            }
+            ParseError::BadArity {
+                func,
+                expected,
+                found,
+                pos,
+            } => write!(
+                f,
+                "`{func}` takes {expected} argument(s), found {found} at {pos}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses DSL source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with source positions on malformed input.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        x_var: String::new(),
+        y_var: String::new(),
+    };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    at: usize,
+    x_var: String,
+    y_var: String,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at].token
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.at].token.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::Unexpected {
+            found: self.peek().to_string(),
+            expected: expected.to_string(),
+            pos: self.pos(),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok((s, pos))
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        while *self.peek() != Token::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        match self.peek() {
+            Token::Input => {
+                self.bump();
+                let (name, pos) = self.ident("input stage name")?;
+                self.expect(&Token::Semi, "`;`")?;
+                Ok(Item::Input { name, pos })
+            }
+            Token::Output | Token::Ident(_) => {
+                let output = if *self.peek() == Token::Output {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let (name, pos) = self.ident("stage name")?;
+                self.expect(&Token::Assign, "`=`")?;
+                self.expect(&Token::Im, "`im`")?;
+                self.expect(&Token::LParen, "`(`")?;
+                let (xv, _) = self.ident("coordinate variable")?;
+                self.expect(&Token::Comma, "`,`")?;
+                let (yv, _) = self.ident("coordinate variable")?;
+                self.expect(&Token::RParen, "`)`")?;
+                self.x_var = xv.clone();
+                self.y_var = yv.clone();
+                let body = self.expr()?;
+                self.expect(&Token::End, "`end`")?;
+                if *self.peek() == Token::Semi {
+                    self.bump();
+                }
+                Ok(Item::Stage {
+                    name,
+                    output,
+                    x_var: xv,
+                    y_var: yv,
+                    body,
+                    pos,
+                })
+            }
+            _ => Err(self.unexpected("`input`, `output`, or a stage definition")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<AstExpr, ParseError> {
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<AstExpr, ParseError> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Token::Lt => "<",
+            Token::Le => "<=",
+            Token::Gt => ">",
+            Token::Ge => ">=",
+            Token::EqEq => "==",
+            Token::Ne => "!=",
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add()?;
+        Ok(AstExpr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn add(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => "+",
+                Token::Minus => "-",
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul()?;
+            lhs = AstExpr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn mul(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => "*",
+                Token::Slash => "/",
+                Token::Shl => "<<",
+                Token::Shr => ">>",
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = AstExpr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn unary(&mut self) -> Result<AstExpr, ParseError> {
+        if *self.peek() == Token::Minus {
+            self.bump();
+            let inner = self.unary()?;
+            return Ok(AstExpr::Neg(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, ParseError> {
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.bump();
+                Ok(AstExpr::Number(n))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            Token::Ident(name) => {
+                let pos = self.pos();
+                self.bump();
+                if *self.peek() != Token::LParen {
+                    return Err(self.unexpected("`(` (taps are written `K(x, y)`)"));
+                }
+                self.bump();
+                let builtin = matches!(name.as_str(), "abs" | "min" | "max" | "clamp" | "select");
+                if !builtin {
+                    // Not a builtin: this must be a stencil tap. A lone
+                    // identifier as the first argument means a coordinate
+                    // (possibly misnamed); anything else means the author
+                    // used an unknown function.
+                    if let Token::Ident(first) = self.peek().clone() {
+                        let next = &self.tokens[(self.at + 1).min(self.tokens.len() - 1)].token;
+                        if *next != Token::LParen {
+                            if first != self.x_var {
+                                return Err(ParseError::BadCoordinate {
+                                    var: first,
+                                    expected: self.x_var.clone(),
+                                    pos: self.pos(),
+                                });
+                            }
+                            return self.tap(name, pos);
+                        }
+                    }
+                    return Err(ParseError::UnknownFunction { func: name, pos });
+                }
+                // Built-in call.
+                let mut args = Vec::new();
+                if *self.peek() != Token::RParen {
+                    args.push(self.expr()?);
+                    while *self.peek() == Token::Comma {
+                        self.bump();
+                        args.push(self.expr()?);
+                    }
+                }
+                self.expect(&Token::RParen, "`)`")?;
+                let arity = match name.as_str() {
+                    "abs" => 1,
+                    "min" | "max" | "select3" => 2,
+                    "clamp" | "select" => 3,
+                    _ => {
+                        return Err(ParseError::UnknownFunction { func: name, pos });
+                    }
+                };
+                if args.len() != arity {
+                    return Err(ParseError::BadArity {
+                        func: name,
+                        expected: arity,
+                        found: args.len(),
+                        pos,
+                    });
+                }
+                Ok(AstExpr::Call {
+                    func: name,
+                    args,
+                    pos,
+                })
+            }
+            _ => Err(self.unexpected("a number, `(`, tap, or function call")),
+        }
+    }
+
+    /// Parses the remainder of a tap after `NAME(`, consuming `x±dx, y±dy)`.
+    fn tap(&mut self, stage: String, pos: Pos) -> Result<AstExpr, ParseError> {
+        let dx = self.coord(&self.x_var.clone())?;
+        self.expect(&Token::Comma, "`,`")?;
+        let dy = self.coord(&self.y_var.clone())?;
+        self.expect(&Token::RParen, "`)`")?;
+        Ok(AstExpr::Tap { stage, dx, dy, pos })
+    }
+
+    /// Parses `VAR`, `VAR+N`, or `VAR-N`, returning the signed offset.
+    fn coord(&mut self, var: &str) -> Result<i32, ParseError> {
+        let pos = self.pos();
+        let (name, _) = self.ident("coordinate variable")?;
+        if name != var {
+            return Err(ParseError::BadCoordinate {
+                var: name,
+                expected: var.to_string(),
+                pos,
+            });
+        }
+        let sign = match self.peek() {
+            Token::Plus => 1,
+            Token::Minus => -1,
+            _ => return Ok(0),
+        };
+        self.bump();
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.bump();
+                Ok(sign * n as i32)
+            }
+            _ => Err(self.unexpected("an integer offset")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        // The program from the paper's Sec. 4 listing (shape only).
+        let src = "
+            input K0;
+            // K1 reads a 3x3 window from K0
+            K1 = im(x,y) K0(x-1,y-1)+K0(x,y-1)+K0(x+1,y+1) end
+            output K2 = im(x,y) K0(x,y)+K1(x-1,y-1)+K1(x+1,y+1) end
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.items.len(), 3);
+        assert!(matches!(&p.items[0], Item::Input { name, .. } if name == "K0"));
+        match &p.items[2] {
+            Item::Stage { name, output, .. } => {
+                assert_eq!(name, "K2");
+                assert!(output);
+            }
+            _ => panic!("expected stage"),
+        }
+    }
+
+    #[test]
+    fn tap_offsets() {
+        let p = parse_program("input A; output B = im(x,y) A(x-2,y+3) end").unwrap();
+        match &p.items[1] {
+            Item::Stage { body, .. } => match body {
+                AstExpr::Tap { dx, dy, .. } => {
+                    assert_eq!(*dx, -2);
+                    assert_eq!(*dy, 3);
+                }
+                _ => panic!("expected tap"),
+            },
+            _ => panic!("expected stage"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_program("input A; output B = im(x,y) A(x,y) + A(x,y) * 2 end").unwrap();
+        match &p.items[1] {
+            Item::Stage { body, .. } => match body {
+                AstExpr::Bin { op: "+", rhs, .. } => {
+                    assert!(matches!(**rhs, AstExpr::Bin { op: "*", .. }));
+                }
+                other => panic!("wrong shape: {other:?}"),
+            },
+            _ => panic!("expected stage"),
+        }
+    }
+
+    #[test]
+    fn calls_and_arity() {
+        parse_program("input A; output B = im(x,y) min(A(x,y), 3) end").unwrap();
+        parse_program("input A; output B = im(x,y) clamp(A(x,y), 0, 255) end").unwrap();
+        let err =
+            parse_program("input A; output B = im(x,y) min(A(x,y)) end").unwrap_err();
+        assert!(matches!(err, ParseError::BadArity { expected: 2, .. }));
+        let err =
+            parse_program("input A; output B = im(x,y) frob(A(x,y)) end").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownFunction { .. }));
+    }
+
+    #[test]
+    fn coordinate_names_enforced() {
+        let err =
+            parse_program("input A; output B = im(u,v) A(x, y) end").unwrap_err();
+        assert!(matches!(err, ParseError::BadCoordinate { .. }));
+        // Custom coordinate names work when used consistently.
+        parse_program("input A; output B = im(u,v) A(u-1, v+1) end").unwrap();
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_program("input ;").unwrap_err();
+        match err {
+            ParseError::Unexpected { pos, .. } => assert_eq!(pos.col, 7),
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_and_comparison() {
+        let p = parse_program(
+            "input A; output B = im(x,y) select(A(x,y) > 10, -A(x,y), 0) end",
+        )
+        .unwrap();
+        match &p.items[1] {
+            Item::Stage { body, .. } => {
+                assert!(matches!(body, AstExpr::Call { func, .. } if func == "select"));
+            }
+            _ => panic!("expected stage"),
+        }
+    }
+}

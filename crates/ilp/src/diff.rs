@@ -1,0 +1,202 @@
+//! Difference-constraint systems and their componentwise-minimal solutions.
+//!
+//! A difference system is a conjunction of constraints `x_u - x_v >= c`
+//! together with per-variable lower bounds. Such systems are *min-closed*:
+//! the componentwise minimum of two feasible points is feasible, so a unique
+//! componentwise-minimal solution exists whenever the system is feasible.
+//! It is computed by a longest-path (Bellman–Ford) fixpoint.
+//!
+//! In ImaGen this solver serves three roles:
+//! 1. fast feasibility checks for candidate constraint subsets,
+//! 2. the minimum-latency ("ASAP") schedule used for latency reporting, and
+//! 3. an independent cross-check of the simplex solver on difference systems.
+//!
+//! Note that the *buffer-minimal* schedule is not in general the
+//! componentwise-minimal one (delaying a producer can shrink its own buffer
+//! while growing upstream ones), which is why the full ILP exists.
+
+use std::fmt;
+
+/// Error returned when a difference system is infeasible.
+///
+/// Infeasibility of `x_u - x_v >= c` systems is witnessed by a positive
+/// cycle in the constraint graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PositiveCycle;
+
+impl fmt::Display for PositiveCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "difference system contains a positive cycle (infeasible)")
+    }
+}
+
+impl std::error::Error for PositiveCycle {}
+
+/// A system of difference constraints over `n` nonnegative variables.
+///
+/// # Examples
+///
+/// ```
+/// use imagen_ilp::DiffSystem;
+///
+/// let mut sys = DiffSystem::new(3);
+/// sys.add_ge(1, 0, 641); // x1 >= x0 + 641
+/// sys.add_ge(2, 1, 641); // x2 >= x1 + 641
+/// let sol = sys.minimal_solution().unwrap();
+/// assert_eq!(sol, vec![0, 641, 1282]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DiffSystem {
+    n: usize,
+    /// Edge `(v, u, c)` encodes `x_u >= x_v + c`.
+    edges: Vec<(usize, usize, i64)>,
+    lower: Vec<i64>,
+}
+
+impl DiffSystem {
+    /// Creates a system with `n` variables, all bounded below by zero.
+    pub fn new(n: usize) -> DiffSystem {
+        DiffSystem {
+            n,
+            edges: Vec::new(),
+            lower: vec![0; n],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the constraint `x_u - x_v >= c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    #[track_caller]
+    pub fn add_ge(&mut self, u: usize, v: usize, c: i64) {
+        assert!(u < self.n && v < self.n, "variable index out of range");
+        self.edges.push((v, u, c));
+    }
+
+    /// Raises the lower bound of `x_i` to `max(current, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[track_caller]
+    pub fn set_lower(&mut self, i: usize, b: i64) {
+        assert!(i < self.n, "variable index out of range");
+        if b > self.lower[i] {
+            self.lower[i] = b;
+        }
+    }
+
+    /// Computes the componentwise-minimal feasible point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PositiveCycle`] if the system is infeasible.
+    pub fn minimal_solution(&self) -> Result<Vec<i64>, PositiveCycle> {
+        let mut x = self.lower.clone();
+        // Longest-path fixpoint: at most n rounds of relaxation, one extra
+        // round to detect positive cycles.
+        for round in 0..=self.n {
+            let mut changed = false;
+            for &(v, u, c) in &self.edges {
+                let cand = x[v].saturating_add(c);
+                if cand > x[u] {
+                    x[u] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(x);
+            }
+            if round == self.n {
+                return Err(PositiveCycle);
+            }
+        }
+        Ok(x)
+    }
+
+    /// Checks whether an assignment satisfies every constraint and bound.
+    pub fn is_feasible(&self, x: &[i64]) -> bool {
+        if x.len() != self.n {
+            return false;
+        }
+        if x.iter().zip(&self.lower).any(|(xi, lo)| xi < lo) {
+            return false;
+        }
+        self.edges.iter().all(|&(v, u, c)| x[u] - x[v] >= c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_resolves_to_longest_path() {
+        let mut s = DiffSystem::new(4);
+        s.add_ge(1, 0, 10);
+        s.add_ge(2, 1, 5);
+        s.add_ge(3, 2, 5);
+        s.add_ge(3, 0, 25); // tighter diamond path
+        let x = s.minimal_solution().unwrap();
+        assert_eq!(x, vec![0, 10, 15, 25]);
+        assert!(s.is_feasible(&x));
+    }
+
+    #[test]
+    fn lower_bounds_respected() {
+        let mut s = DiffSystem::new(2);
+        s.set_lower(0, 7);
+        s.add_ge(1, 0, 3);
+        let x = s.minimal_solution().unwrap();
+        assert_eq!(x, vec![7, 10]);
+    }
+
+    #[test]
+    fn positive_cycle_is_infeasible() {
+        let mut s = DiffSystem::new(2);
+        s.add_ge(1, 0, 1);
+        s.add_ge(0, 1, 0);
+        assert_eq!(s.minimal_solution().unwrap_err(), PositiveCycle);
+    }
+
+    #[test]
+    fn zero_cycle_is_feasible() {
+        // x1 >= x0, x0 >= x1 forces equality; feasible.
+        let mut s = DiffSystem::new(2);
+        s.add_ge(1, 0, 0);
+        s.add_ge(0, 1, 0);
+        let x = s.minimal_solution().unwrap();
+        assert_eq!(x, vec![0, 0]);
+    }
+
+    #[test]
+    fn minimality_vs_feasible_points() {
+        let mut s = DiffSystem::new(3);
+        s.add_ge(1, 0, 4);
+        s.add_ge(2, 0, 9);
+        let min = s.minimal_solution().unwrap();
+        // Any feasible point dominates the minimal one.
+        let other = vec![3, 100, 50];
+        assert!(s.is_feasible(&other));
+        for i in 0..3 {
+            assert!(min[i] <= other[i]);
+        }
+    }
+
+    #[test]
+    fn empty_system() {
+        let s = DiffSystem::new(0);
+        assert_eq!(s.minimal_solution().unwrap(), Vec::<i64>::new());
+    }
+}

@@ -1,0 +1,364 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! The simplex solver in this crate works over exact rationals so that
+//! optimality and integrality decisions are never subject to floating-point
+//! noise. Values are kept normalized (reduced by their gcd, denominator
+//! strictly positive), which keeps intermediate magnitudes small for the
+//! near-totally-unimodular systems produced by the ImaGen scheduler.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `num / den` with `den > 0`, always reduced.
+///
+/// # Examples
+///
+/// ```
+/// use imagen_ilp::Rational;
+///
+/// let a = Rational::new(1, 3);
+/// let b = Rational::new(1, 6);
+/// assert_eq!(a + b, Rational::new(1, 2));
+/// assert!(Rational::from(2) > a);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+const fn gcd(mut a: i128, mut b: i128) -> i128 {
+    if a < 0 {
+        a = -a;
+    }
+    if b < 0 {
+        b = -b;
+    }
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational `num / den`, reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[track_caller]
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational with zero denominator");
+        let g = gcd(num, den);
+        let (mut n, mut d) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if d < 0 {
+            n = -n;
+            d = -d;
+        }
+        Rational { num: n, den: d }
+    }
+
+    /// Returns the numerator of the reduced form.
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Returns the (strictly positive) denominator of the reduced form.
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is an integer (denominator one).
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// The largest integer less than or equal to this value.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// The smallest integer greater than or equal to this value.
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// The fractional part `self - self.floor()`, in `[0, 1)`.
+    pub fn fract(&self) -> Rational {
+        *self - Rational::from(self.floor())
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    #[track_caller]
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Converts to `f64` (approximately; for reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Returns the integer value if the rational is integral.
+    pub fn to_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// Checked addition; `None` on `i128` overflow.
+    pub fn checked_add(&self, rhs: &Rational) -> Option<Rational> {
+        let g = gcd(self.den, rhs.den);
+        let lcm_l = self.den / g;
+        let n = self
+            .num
+            .checked_mul(rhs.den / g)?
+            .checked_add(rhs.num.checked_mul(lcm_l)?)?;
+        let d = lcm_l.checked_mul(rhs.den)?;
+        Some(Rational::new(n, d))
+    }
+
+    /// Checked multiplication; `None` on `i128` overflow.
+    pub fn checked_mul(&self, rhs: &Rational) -> Option<Rational> {
+        // Cross-reduce before multiplying to minimize overflow risk.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let n = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let d = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Rational::new(n, d))
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(v: i128) -> Self {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    #[track_caller]
+    fn add(self, rhs: Rational) -> Rational {
+        self.checked_add(&rhs).expect("rational addition overflow")
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    #[track_caller]
+    fn sub(self, rhs: Rational) -> Rational {
+        self.checked_add(&(-rhs))
+            .expect("rational subtraction overflow")
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    #[track_caller]
+    fn mul(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs)
+            .expect("rational multiplication overflow")
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    #[track_caller]
+    fn div(self, rhs: Rational) -> Rational {
+        self.checked_mul(&rhs.recip())
+            .expect("rational division overflow")
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b vs c/d with b,d > 0  <=>  a*d vs c*b. Cross-reduce first.
+        let g1 = gcd(self.num, other.num);
+        let g2 = gcd(self.den, other.den);
+        let l = (self.num / if g1 == 0 { 1 } else { g1 }) * (other.den / g2);
+        let r = (other.num / if g1 == 0 { 1 } else { g1 }) * (self.den / g2);
+        l.cmp(&r)
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rational::new(6, -4);
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn zero_numerator_normalizes() {
+        let r = Rational::new(0, -7);
+        assert_eq!(r, Rational::ZERO);
+        assert_eq!(r.denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    fn floor_ceil_fract() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::new(4, 2).floor(), 2);
+        assert_eq!(Rational::new(4, 2).ceil(), 2);
+        assert_eq!(Rational::new(7, 2).fract(), Rational::new(1, 2));
+        assert_eq!(Rational::new(-7, 2).fract(), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(Rational::new(4, 2).is_integer());
+        assert_eq!(Rational::new(4, 2).to_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 6).to_string(), "1/2");
+        assert_eq!(Rational::from(5).to_string(), "5");
+    }
+
+    #[test]
+    fn checked_overflow_detected() {
+        let big = Rational::from(i128::MAX / 2);
+        assert!(big.checked_add(&big).is_none() || big.checked_add(&big).is_some());
+        let huge = Rational::new(i128::MAX, 1);
+        assert!(huge.checked_mul(&Rational::from(3)).is_none());
+    }
+}

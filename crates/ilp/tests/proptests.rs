@@ -1,0 +1,142 @@
+//! Property-based cross-checks of the ILP substrate:
+//! simplex vs. the difference-constraint solver vs. brute-force enumeration.
+
+use imagen_ilp::{Cmp, DiffSystem, LinExpr, Model, Rational, Sense};
+use proptest::prelude::*;
+
+/// Strategy: a random difference system over `n` variables, biased toward
+/// feasible DAG-like systems (edges from lower to higher index).
+fn diff_system(n: usize) -> impl Strategy<Value = Vec<(usize, usize, i64)>> {
+    let edge = (0..n, 0..n, -20i64..60);
+    proptest::collection::vec(edge, 0..12).prop_map(move |edges| {
+        edges
+            .into_iter()
+            .filter(|(u, v, _)| u != v)
+            .map(|(u, v, c)| if u > v { (u, v, c) } else { (u, v, c.min(0)) })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The componentwise-minimal solution of a feasible difference system
+    /// must match the simplex optimum when minimizing the plain sum of
+    /// variables (a monotone objective).
+    #[test]
+    fn diff_solver_matches_simplex(edges in diff_system(5)) {
+        let n = 5;
+        let mut sys = DiffSystem::new(n);
+        for &(u, v, c) in &edges {
+            sys.add_ge(u, v, c);
+        }
+        let minimal = sys.minimal_solution();
+
+        let mut m = Model::new("prop");
+        let vars: Vec<_> = (0..n).map(|i| m.add_int_var(format!("x{i}"))).collect();
+        let mut obj = LinExpr::zero();
+        for &v in &vars {
+            obj = obj + LinExpr::from(v);
+        }
+        for &(u, v, c) in &edges {
+            m.add_diff_ge(vars[u], vars[v], c, "e");
+        }
+        m.set_objective(Sense::Minimize, obj);
+        let lp = m.solve();
+
+        match (minimal, lp) {
+            (Ok(xs), Ok(sol)) => {
+                let sum: i64 = xs.iter().sum();
+                prop_assert_eq!(Rational::from(sum), sol.objective_value());
+                // And the simplex answer must satisfy the system.
+                let vals: Vec<i64> = vars.iter().map(|&v| sol.int_value(v)).collect();
+                prop_assert!(sys.is_feasible(&vals));
+            }
+            (Err(_), Err(_)) => {} // both infeasible: consistent
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "solvers disagree on feasibility: diff={a:?} simplex-ok={}",
+                    b.is_ok()
+                )));
+            }
+        }
+    }
+
+    /// Branch-and-bound must agree with brute-force enumeration on tiny
+    /// bounded integer programs.
+    #[test]
+    fn bnb_matches_bruteforce(
+        a in proptest::array::uniform4(-4i64..5),
+        b in 0i64..30,
+        c in proptest::array::uniform2(-3i64..4),
+    ) {
+        let ub = 6i64;
+        let mut m = Model::new("bf");
+        let x = m.add_int_var("x");
+        let y = m.add_int_var("y");
+        m.set_bounds(x, 0, Some(ub));
+        m.set_bounds(y, 0, Some(ub));
+        let e1 = LinExpr::from(x) * a[0] + LinExpr::from(y) * a[1];
+        let e2 = LinExpr::from(x) * a[2] + LinExpr::from(y) * a[3];
+        m.add_constraint(e1, Cmp::Le, b, "c1");
+        m.add_constraint(e2, Cmp::Ge, -b, "c2");
+        m.set_objective(Sense::Maximize, LinExpr::from(x) * c[0] + LinExpr::from(y) * c[1]);
+
+        // Brute force over the (ub+1)^2 grid.
+        let mut best: Option<i64> = None;
+        for xv in 0..=ub {
+            for yv in 0..=ub {
+                let ok1 = a[0] * xv + a[1] * yv <= b;
+                let ok2 = a[2] * xv + a[3] * yv >= -b;
+                if ok1 && ok2 {
+                    let obj = c[0] * xv + c[1] * yv;
+                    best = Some(best.map_or(obj, |cur| cur.max(obj)));
+                }
+            }
+        }
+
+        match (best, m.solve()) {
+            (Some(bf), Ok(sol)) => prop_assert_eq!(Rational::from(bf), sol.objective_value()),
+            (None, Err(_)) => {}
+            (bf, sol) => {
+                return Err(TestCaseError::fail(format!(
+                    "feasibility mismatch: brute={bf:?} solver-ok={}",
+                    sol.is_ok()
+                )));
+            }
+        }
+    }
+
+    /// Rational arithmetic is a field on small values.
+    #[test]
+    fn rational_field_axioms(
+        an in -50i128..50, ad in 1i128..20,
+        bn in -50i128..50, bd in 1i128..20,
+        cn in -50i128..50, cd in 1i128..20,
+    ) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        if !b.is_zero() {
+            prop_assert_eq!(a / b * b, a);
+        }
+        // Ordering consistent with f64 on this range.
+        prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
+    }
+
+    /// floor/ceil/fract are consistent.
+    #[test]
+    fn rational_floor_ceil(n in -500i128..500, d in 1i128..40) {
+        let r = Rational::new(n, d);
+        prop_assert!(Rational::from(r.floor()) <= r);
+        prop_assert!(Rational::from(r.ceil()) >= r);
+        prop_assert!(r.ceil() - r.floor() <= 1);
+        let fr = r.fract();
+        prop_assert!(fr >= Rational::ZERO && fr < Rational::ONE);
+        prop_assert_eq!(Rational::from(r.floor()) + fr, r);
+    }
+}

@@ -1,0 +1,35 @@
+//! # imagen-ir
+//!
+//! The pipeline intermediate representation of the [ImaGen] accelerator
+//! generator (ISCA 2023 reproduction).
+//!
+//! Image-processing algorithms are DAGs of stencil stages ([`Dag`],
+//! [`Stage`], [`Edge`]). Each compute stage evaluates a [`Expr`] kernel
+//! once per output pixel over windows of its producers' pixels; windows
+//! are normalized at construction so the scheduler's constraints take the
+//! paper's closed forms (see [`graph`] module docs).
+//!
+//! Two DAG transforms used throughout the evaluation live here:
+//!
+//! * [`linearize`] — Darkroom-style rewriting of multiple-consumer
+//!   pipelines into single-consumer form via relay stages (Sec. 3.1);
+//! * [`apply_line_coalescing`] — the Algo. 1 rewrite that splits consumer
+//!   windows into per-block read ports ("virtual stages", Sec. 6).
+//!
+//! [ImaGen]: https://arxiv.org/abs/2304.03352
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coalesce;
+mod expr;
+pub mod graph;
+mod linearize;
+
+pub use coalesce::{apply_line_coalescing, CoalesceFactor, CoalescedEdge};
+pub use expr::{BinOp, CmpOp, Expr, OpCensus, TapExtent};
+pub use graph::{
+    Dag, DagStats, Edge, EdgeId, IrError, Origin, Reachability, ReadPort, Stage, StageId,
+    StageKind, Window,
+};
+pub use linearize::{linearize, Linearized};

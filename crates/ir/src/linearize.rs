@@ -1,0 +1,319 @@
+//! Darkroom-style algorithm linearization (paper Sec. 3.1, Fig. 3).
+//!
+//! Linearization rewrites a pipeline with multiple-consumer stages into a
+//! functionally identical pipeline in which every line buffer is read by
+//! (effectively) a single consumer. For a producer `p` with consumers
+//! `c1, c2, …`, the first consumer keeps reading `p` directly and a dummy
+//! *relay* stage is inserted that mirrors `c1`'s read pattern exactly
+//! (same window, same start cycle); `c2` then reads from the relay instead
+//! of from `p`. With more consumers the relays chain.
+//!
+//! Because the relay and its mirrored sibling read the same addresses on
+//! every cycle, they share a physical read port — `p`'s buffer still serves
+//! one write + one read per cycle. The cost is one extra line buffer per
+//! relay, which is exactly the memory overhead the paper measures.
+//!
+//! # Coordinate shifts
+//!
+//! A relay forwards the *newest* tap of its mirrored window, so its output
+//! stream leads the original image by the window reach; re-normalization
+//! of retargeted consumers shifts their outputs the other way. The rewrite
+//! tracks the net shift of every rebuilt stage and compensates downstream
+//! taps, so every stage computes the original function up to a uniform
+//! raster shift recorded in [`Linearized::shifts`] (interior-exact;
+//! clamp-to-edge borders may differ within the window reach, the boundary
+//! regime the paper scopes out in Sec. 5, footnote 2).
+
+use crate::expr::Expr;
+use crate::graph::{Dag, IrError, Origin, StageId, StageKind, Window};
+
+/// Result of [`linearize`]: the rewritten DAG plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Linearized {
+    /// The rewritten, single-consumer pipeline.
+    pub dag: Dag,
+    /// Mapping from original stage ids to ids in the new DAG.
+    pub stage_map: Vec<StageId>,
+    /// Ids (in the new DAG) of the inserted relay stages.
+    pub relays: Vec<StageId>,
+    /// Per-original-stage raster shift `(ax, ay)`:
+    /// `new[y][x] == orig[y - ay][x - ax]` away from borders.
+    pub shifts: Vec<(i32, i32)>,
+}
+
+/// Linearizes `dag` so that no line buffer is read by more than one
+/// effective consumer.
+///
+/// # Errors
+///
+/// Propagates [`IrError`] from DAG reconstruction (cannot occur for DAGs
+/// that passed [`Dag::validate`]).
+///
+/// # Examples
+///
+/// ```
+/// use imagen_ir::{linearize, Dag, Expr, BinOp};
+///
+/// let mut dag = Dag::new("fig3");
+/// let k0 = dag.add_input("K0");
+/// let k1 = dag.add_stage("K1", &[k0],
+///     Expr::sum((0..9).map(|i| Expr::tap(0, i % 3 - 1, i / 3 - 1))))?;
+/// let k2 = dag.add_stage("K2", &[k0, k1], Expr::bin(
+///     BinOp::Add, Expr::tap(0, 0, 0), Expr::tap(1, 0, 0)))?;
+/// dag.mark_output(k2);
+/// let lin = linearize(&dag)?;
+/// assert_eq!(lin.relays.len(), 1);           // the paper's K11
+/// # Ok::<(), imagen_ir::IrError>(())
+/// ```
+pub fn linearize(dag: &Dag) -> Result<Linearized, IrError> {
+    let mut out = Dag::new(format!("{}-linearized", dag.name()));
+    let mut stage_map: Vec<StageId> = Vec::with_capacity(dag.num_stages());
+    let mut shifts: Vec<(i32, i32)> = Vec::with_capacity(dag.num_stages());
+    let mut relays = Vec::new();
+
+    // For each original producer, the current tail of its relay chain in
+    // the new DAG. `new_tail[y][x] == orig_producer[y - ay][x - ax]` and
+    // `mirror` is the reader whose pattern the next relay must copy.
+    struct Tail {
+        source: StageId,
+        ax: i32,
+        ay: i32,
+        mirror: Option<(StageId, Window)>,
+    }
+    let mut tails: Vec<Tail> = Vec::new();
+
+    for (_sid, stage) in dag.stages() {
+        match stage.kind() {
+            StageKind::Input => {
+                let nid = out.add_input(stage.name());
+                stage_map.push(nid);
+                shifts.push((0, 0));
+                tails.push(Tail {
+                    source: nid,
+                    ax: 0,
+                    ay: 0,
+                    mirror: None,
+                });
+            }
+            StageKind::Compute { kernel } => {
+                // Re-target each slot through the producer's current tail,
+                // inserting a relay first if the tail already has a reader.
+                let mut new_producers = Vec::with_capacity(stage.producers().len());
+                let mut tap_shifts = Vec::with_capacity(stage.producers().len());
+                for p in stage.producers().iter() {
+                    let t = &tails[p.index()];
+                    if let Some((mirror_stage, pattern)) = t.mirror {
+                        // Tail already read by `mirror_stage`: insert a relay
+                        // that mirrors its pattern and move the tail.
+                        let by = pattern.newest_row() as i32;
+                        let bx = pattern.dx_max;
+                        let relay_kernel = Expr::tap(0, bx, by);
+                        let relay = out.add_stage_full(
+                            format!("{}_relay{}", dag.stage(*p).name(), relays.len()),
+                            &[t.source],
+                            relay_kernel,
+                            Origin::Relay {
+                                mirrors: mirror_stage,
+                            },
+                            &[(0, pattern)],
+                        )?;
+                        out.synchronize(relay, mirror_stage);
+                        relays.push(relay);
+                        let t = &mut tails[p.index()];
+                        // relay[y][x] = tail[y+by][x+bx] = orig[y - (ay-by)][…].
+                        t.ax -= bx;
+                        t.ay -= by;
+                        t.source = relay;
+                        t.mirror = None;
+                    }
+                    let t = &tails[p.index()];
+                    new_producers.push(t.source);
+                    tap_shifts.push((t.ax, t.ay));
+                }
+                // Author taps that reproduce the original function through
+                // the shifted producers: orig tap (dx, dy) into p becomes
+                // (dx + ax_p, dy + ay_p) into the tail.
+                let new_kernel = kernel.map_taps(&|slot, dx, dy| {
+                    let (ax, ay) = tap_shifts[slot];
+                    Expr::tap(slot, dx + ax, dy + ay)
+                });
+                let nid = out.add_stage_full(
+                    stage.name(),
+                    &new_producers,
+                    new_kernel,
+                    stage.origin(),
+                    &[],
+                )?;
+                if stage.is_output() {
+                    out.mark_output(nid);
+                }
+                // Construction re-normalizes the authored taps by
+                // (sxn, syn); the stage's output is the original shifted
+                // by exactly that amount.
+                let (sxn, syn) = out.stage(nid).norm_shift();
+                stage_map.push(nid);
+                shifts.push((sxn, syn));
+                // Record this stage as the reader pattern of each tail it
+                // consumed, so the *next* consumer triggers a relay.
+                for (slot, p) in stage.producers().iter().enumerate() {
+                    let win = out
+                        .producer_edges(nid)
+                        .find(|(_, e)| e.slot() == slot)
+                        .map(|(_, e)| *e.window())
+                        .expect("edge created just above");
+                    let t = &mut tails[p.index()];
+                    t.mirror = Some((nid, win));
+                }
+                tails.push(Tail {
+                    source: nid,
+                    ax: sxn,
+                    ay: syn,
+                    mirror: None,
+                });
+            }
+        }
+    }
+
+    Ok(Linearized {
+        dag: out,
+        stage_map,
+        relays,
+        shifts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn box3(slot: usize) -> Expr {
+        Expr::sum((0..9).map(move |i| Expr::tap(slot, i % 3 - 1, i / 3 - 1)))
+    }
+
+    /// The paper's Fig. 3 pipeline: K0 feeds K1 and K2; K2 also reads K1.
+    fn fig3() -> Dag {
+        let mut dag = Dag::new("fig3");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        let k2 = dag
+            .add_stage(
+                "K2",
+                &[k0, k1],
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::sum((0..4).map(|i| Expr::tap(0, i % 2, i / 2))),
+                    box3(1),
+                ),
+            )
+            .unwrap();
+        dag.mark_output(k2);
+        dag
+    }
+
+    #[test]
+    fn single_consumer_pipeline_unchanged() {
+        let mut dag = Dag::new("chain");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        dag.mark_output(k1);
+        let lin = linearize(&dag).unwrap();
+        assert!(lin.relays.is_empty());
+        assert_eq!(lin.dag.num_stages(), 2);
+        assert_eq!(lin.shifts, vec![(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn fig3_inserts_one_relay() {
+        let dag = fig3();
+        let lin = linearize(&dag).unwrap();
+        assert_eq!(lin.relays.len(), 1);
+        assert_eq!(lin.dag.num_stages(), 4, "K0, K1, K11, K2");
+        // The relay mirrors K1's pattern on K0's buffer.
+        let relay = lin.relays[0];
+        let (_, e) = lin.dag.producer_edges(relay).next().unwrap();
+        assert_eq!(e.window().height, 3, "mirrors K1's 3-row window");
+        // Relay and K1 are start-synchronized.
+        let k1_new = lin.stage_map[1];
+        assert!(lin.dag.stage(relay).sync_group().is_some());
+        assert_eq!(
+            lin.dag.stage(relay).sync_group(),
+            lin.dag.stage(k1_new).sync_group()
+        );
+        // K2 no longer reads K0 directly.
+        let k2_new = lin.stage_map[2];
+        let k0_new = lin.stage_map[0];
+        assert!(lin
+            .dag
+            .producer_edges(k2_new)
+            .all(|(_, e)| e.producer() != k0_new));
+    }
+
+    #[test]
+    fn relay_forwards_newest_tap() {
+        let dag = fig3();
+        let lin = linearize(&dag).unwrap();
+        let relay = lin.dag.stage(lin.relays[0]);
+        // Relay kernel is a single tap at the newest cell of the mirrored
+        // 3-row window (dy = 2 in normalized coordinates).
+        let kernel = relay.kernel().unwrap();
+        let mut taps = Vec::new();
+        kernel.for_each_tap(&mut |s, dx, dy| taps.push((s, dx, dy)));
+        assert_eq!(taps.len(), 1);
+        assert_eq!(taps[0].2, 2, "relay forwards the newest row of the 3-row window");
+        assert!(matches!(relay.origin(), Origin::Relay { .. }));
+    }
+
+    #[test]
+    fn shifts_recorded_for_retargeted_consumers() {
+        let dag = fig3();
+        let lin = linearize(&dag).unwrap();
+        // K2 reads through the relay (which leads by the window reach), so
+        // its re-normalization shift is nonzero and recorded.
+        let (ax, ay) = lin.shifts[2];
+        assert!(ay <= 0 && ax <= 0, "retargeted consumer lags: ({ax},{ay})");
+    }
+
+    #[test]
+    fn three_consumers_chain_two_relays() {
+        let mut dag = Dag::new("tri");
+        let k0 = dag.add_input("K0");
+        let a = dag.add_stage("A", &[k0], box3(0)).unwrap();
+        let b = dag.add_stage("B", &[k0], box3(0)).unwrap();
+        let c = dag.add_stage("C", &[k0], box3(0)).unwrap();
+        let d = dag
+            .add_stage(
+                "D",
+                &[a, b, c],
+                Expr::sum(vec![
+                    Expr::tap(0, 0, 0),
+                    Expr::tap(1, 0, 0),
+                    Expr::tap(2, 0, 0),
+                ]),
+            )
+            .unwrap();
+        dag.mark_output(d);
+        let lin = linearize(&dag).unwrap();
+        assert_eq!(lin.relays.len(), 2);
+        // Every buffer now has at most one effective reader group: each
+        // producer's consumers either are a single stage or a synchronized
+        // (stage, relay) pair with identical windows.
+        for p in lin.dag.buffered_stages() {
+            let consumers = lin.dag.consumers_of(p);
+            if consumers.len() > 1 {
+                assert_eq!(consumers.len(), 2);
+                let g0 = lin.dag.stage(consumers[0]).sync_group();
+                let g1 = lin.dag.stage(consumers[1]).sync_group();
+                assert!(g0.is_some() && g0 == g1, "extra readers must be sync'd relays");
+            }
+        }
+        lin.dag.validate().unwrap();
+    }
+
+    #[test]
+    fn linearized_dag_validates() {
+        let lin = linearize(&fig3()).unwrap();
+        lin.dag.validate().unwrap();
+        assert_eq!(lin.dag.stats().relay_stages, 1);
+    }
+}

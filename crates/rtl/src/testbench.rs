@@ -1,0 +1,233 @@
+//! Self-checking Verilog testbench generation.
+//!
+//! For hand-off to a real simulation/synthesis flow, [`generate_testbench`]
+//! emits a testbench that streams a frame into the generated top module,
+//! captures the output stream at the scheduled cycles, and compares it
+//! against golden values computed by `imagen-sim`'s executor — the same
+//! bit-exact reference the Rust cycle simulator checks against, so a
+//! Verilog simulator run closes the loop on the actual RTL.
+
+use imagen_ir::{Dag, StageKind};
+use imagen_mem::Design;
+use std::fmt::Write as _;
+
+use crate::gen::PIXEL_BITS;
+
+/// Inputs to testbench generation: one flattened pixel stream per input
+/// stage and the expected output stream per output stage (raster order),
+/// as produced by the golden executor.
+#[derive(Clone, Debug, Default)]
+pub struct TestVectors {
+    /// One `width*height`-length pixel vector per input stage, in stage
+    /// order.
+    pub inputs: Vec<Vec<i64>>,
+    /// One expected pixel vector per output stage, in stage order.
+    pub outputs: Vec<Vec<i64>>,
+}
+
+/// Emits a self-checking testbench module `imagen_tb` for the design.
+///
+/// The testbench feeds each input stream starting at its stage's start
+/// cycle, samples each output stream over its scheduled window, compares
+/// against the expected vectors, and finishes with a pass/fail banner
+/// (`IMAGEN TB PASS` / `IMAGEN TB FAIL`).
+pub fn generate_testbench(dag: &Dag, design: &Design, vectors: &TestVectors) -> String {
+    let geom = design.geometry;
+    let frame = geom.pixels();
+    let mut v = String::new();
+    let top = format!(
+        "imagen_top_{}",
+        dag.name()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+    );
+
+    let inputs: Vec<usize> = dag
+        .stages()
+        .filter(|(_, s)| s.is_input())
+        .map(|(id, _)| id.index())
+        .collect();
+    let outputs: Vec<usize> = dag
+        .stages()
+        .filter(|(_, s)| matches!(s.kind(), StageKind::Compute { .. }) && s.is_output())
+        .map(|(id, _)| id.index())
+        .collect();
+
+    let _ = writeln!(v, "// Self-checking testbench for `{top}`.");
+    let _ = writeln!(v, "`timescale 1ns/1ps");
+    let _ = writeln!(v, "module imagen_tb;");
+    let _ = writeln!(v, "    reg clk = 1'b0;");
+    let _ = writeln!(v, "    reg rst = 1'b1;");
+    let _ = writeln!(v, "    always #5 clk = ~clk;");
+    let _ = writeln!(v, "    reg [63:0] cycle = 64'd0;");
+    let _ = writeln!(v, "    integer errors = 0;");
+
+    for (i, stage) in inputs.iter().enumerate() {
+        let s = design.start_cycles[*stage];
+        let _ = writeln!(
+            v,
+            "    reg signed [{w}:0] in_mem_{i} [0:{n}];",
+            w = PIXEL_BITS - 1,
+            n = frame - 1
+        );
+        let _ = writeln!(v, "    wire signed [{}:0] stream_in_{i} =", PIXEL_BITS - 1);
+        let _ = writeln!(
+            v,
+            "        (cycle >= 64'd{s} && cycle < 64'd{e}) ? in_mem_{i}[cycle - 64'd{s}] : {p}'sd0;",
+            e = s + frame,
+            p = PIXEL_BITS
+        );
+    }
+    for (i, stage) in outputs.iter().enumerate() {
+        let _ = writeln!(
+            v,
+            "    reg signed [{w}:0] exp_mem_{i} [0:{n}];",
+            w = PIXEL_BITS - 1,
+            n = frame - 1
+        );
+        let _ = writeln!(
+            v,
+            "    wire signed [{}:0] stream_out_{i};",
+            PIXEL_BITS - 1
+        );
+        let _ = stage;
+    }
+
+    // DUT instance.
+    let mut conns = String::new();
+    for i in 0..inputs.len() {
+        let _ = write!(conns, ".stream_in_{i}(stream_in_{i}), ");
+    }
+    for i in 0..outputs.len() {
+        let _ = write!(conns, ".stream_out_{i}(stream_out_{i}), ");
+    }
+    let _ = writeln!(v, "    wire frame_done;");
+    let _ = writeln!(
+        v,
+        "    {top} dut (.clk(clk), .rst(rst), {conns}.frame_done(frame_done));"
+    );
+
+    // Memories initialized from literals (self-contained, no $readmemh
+    // file dependencies).
+    let _ = writeln!(v, "    integer i;");
+    let _ = writeln!(v, "    initial begin");
+    for (i, data) in vectors.inputs.iter().enumerate() {
+        for (k, px) in data.iter().enumerate() {
+            let _ = writeln!(v, "        in_mem_{i}[{k}] = {px};");
+        }
+    }
+    for (i, data) in vectors.outputs.iter().enumerate() {
+        for (k, px) in data.iter().enumerate() {
+            let _ = writeln!(v, "        exp_mem_{i}[{k}] = {px};");
+        }
+    }
+    let _ = writeln!(v, "        @(negedge clk); rst = 1'b0;");
+    let _ = writeln!(v, "    end");
+
+    // Cycle counter and output checking at each output's scheduled window
+    // (one extra cycle of pipeline latency through the stage register).
+    let _ = writeln!(v, "    always @(posedge clk) begin");
+    let _ = writeln!(v, "        if (!rst) cycle <= cycle + 64'd1;");
+    for (i, stage) in outputs.iter().enumerate() {
+        let s = design.start_cycles[*stage];
+        let _ = writeln!(
+            v,
+            "        if (cycle >= 64'd{s} && cycle < 64'd{e}) begin",
+            e = s + frame
+        );
+        let _ = writeln!(
+            v,
+            "            if (stream_out_{i} !== exp_mem_{i}[cycle - 64'd{s}]) begin"
+        );
+        let _ = writeln!(
+            v,
+            "                errors = errors + 1;\n                $display(\"MISMATCH out{i} k=%0d got=%0d want=%0d\", cycle - 64'd{s}, stream_out_{i}, exp_mem_{i}[cycle - 64'd{s}]);"
+        );
+        let _ = writeln!(v, "            end");
+        let _ = writeln!(v, "        end");
+    }
+    let done = design
+        .start_cycles
+        .iter()
+        .zip(dag.stages())
+        .filter(|(_, (_, s))| s.is_output())
+        .map(|(&s, _)| s + frame)
+        .max()
+        .unwrap_or(frame);
+    let _ = writeln!(v, "        if (cycle > 64'd{}) begin", done + 4);
+    let _ = writeln!(
+        v,
+        "            if (errors == 0) $display(\"IMAGEN TB PASS\");\n            else $display(\"IMAGEN TB FAIL (%0d mismatches)\", errors);"
+    );
+    let _ = writeln!(v, "            $finish;");
+    let _ = writeln!(v, "        end");
+    let _ = writeln!(v, "    end");
+    let _ = writeln!(v, "endmodule");
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_structure;
+    use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+    use imagen_schedule::{plan_design, ScheduleOptions};
+
+    fn tiny_plan() -> (imagen_ir::Dag, imagen_mem::Design) {
+        let mut dag = imagen_ir::Dag::new("tb");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage(
+                "K1",
+                &[k0],
+                imagen_ir::Expr::sum((0..3).map(|i| imagen_ir::Expr::tap(0, 0, i))),
+            )
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 6,
+            height: 4,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 256 }, 2);
+        let p = plan_design(&dag, &geom, &spec, ScheduleOptions::default(), DesignStyle::Ours)
+            .unwrap();
+        (p.dag, p.design)
+    }
+
+    #[test]
+    fn testbench_is_well_formed() {
+        let (dag, design) = tiny_plan();
+        let frame = design.geometry.pixels() as usize;
+        let vectors = TestVectors {
+            inputs: vec![(0..frame as i64).collect()],
+            outputs: vec![vec![0; frame]],
+        };
+        let tb = generate_testbench(&dag, &design, &vectors);
+        assert!(tb.contains("module imagen_tb"));
+        assert!(tb.contains("imagen_top_tb dut"));
+        assert!(tb.contains("IMAGEN TB PASS"));
+        assert!(tb.contains("$finish"));
+        // Structurally verifiable together with the DUT netlist.
+        let full = format!("{}\n{}", crate::generate_verilog(&dag, &design), tb);
+        // The tb module instantiates the top; extend the verifier's view
+        // by checking balanced structure of the combined file.
+        let summary = verify_structure(&full).unwrap();
+        assert!(summary.modules >= 4);
+    }
+
+    #[test]
+    fn vectors_embedded_per_stream() {
+        let (dag, design) = tiny_plan();
+        let frame = design.geometry.pixels() as usize;
+        let vectors = TestVectors {
+            inputs: vec![(100..100 + frame as i64).collect()],
+            outputs: vec![vec![7; frame]],
+        };
+        let tb = generate_testbench(&dag, &design, &vectors);
+        assert!(tb.contains("in_mem_0[0] = 100;"));
+        assert!(tb.contains(&format!("in_mem_0[{}] = {};", frame - 1, 99 + frame)));
+        assert!(tb.contains("exp_mem_0[0] = 7;"));
+    }
+}

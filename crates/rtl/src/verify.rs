@@ -1,0 +1,281 @@
+//! Structural verification of emitted Verilog.
+//!
+//! No commercial synthesis tool is available in this environment
+//! (DESIGN.md §5), so the generator's output is checked structurally: a
+//! small Verilog-aware scanner verifies that the netlist is well-formed
+//! enough that a real tool would elaborate it — balanced constructs,
+//! unique module names, every instantiated module defined, and no
+//! duplicate wire/reg declarations within a module.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Structural problems found in generated Verilog.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RtlError {
+    /// `module` / `endmodule` do not balance.
+    UnbalancedModules {
+        /// `module` keywords seen.
+        opens: usize,
+        /// `endmodule` keywords seen.
+        closes: usize,
+    },
+    /// Parentheses or brackets do not balance.
+    UnbalancedDelimiters {
+        /// The offending character class.
+        what: char,
+    },
+    /// Two modules share a name.
+    DuplicateModule {
+        /// The repeated name.
+        name: String,
+    },
+    /// An instantiated module has no definition.
+    UndefinedModule {
+        /// The missing module.
+        name: String,
+        /// Module doing the instantiation.
+        within: String,
+    },
+    /// A wire/reg identifier is declared twice in one module.
+    DuplicateSignal {
+        /// The repeated signal.
+        name: String,
+        /// Module containing it.
+        within: String,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::UnbalancedModules { opens, closes } => {
+                write!(f, "{opens} `module` vs {closes} `endmodule`")
+            }
+            RtlError::UnbalancedDelimiters { what } => {
+                write!(f, "unbalanced `{what}` delimiters")
+            }
+            RtlError::DuplicateModule { name } => {
+                write!(f, "module `{name}` defined more than once")
+            }
+            RtlError::UndefinedModule { name, within } => {
+                write!(f, "module `{name}` instantiated in `{within}` but never defined")
+            }
+            RtlError::DuplicateSignal { name, within } => {
+                write!(f, "signal `{name}` declared twice in module `{within}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+/// Summary of a verified netlist.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RtlSummary {
+    /// Modules defined.
+    pub modules: usize,
+    /// Module instantiations.
+    pub instances: usize,
+    /// SRAM primitive instances.
+    pub sram_instances: usize,
+    /// Total source lines.
+    pub lines: usize,
+}
+
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for d in chars.by_ref() {
+                        if d == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for d in chars.by_ref() {
+                        if prev == '*' && d == '/' {
+                            break;
+                        }
+                        prev = d;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Verifies the structure of a Verilog source string.
+///
+/// # Errors
+///
+/// The first [`RtlError`] found.
+pub fn verify_structure(src: &str) -> Result<RtlSummary, RtlError> {
+    let clean = strip_comments(src);
+
+    // Delimiter balance.
+    for (open, close, what) in [('(', ')', '('), ('[', ']', '[')] {
+        let o = clean.chars().filter(|&c| c == open).count();
+        let c = clean.chars().filter(|&c| c == close).count();
+        if o != c {
+            return Err(RtlError::UnbalancedDelimiters { what });
+        }
+    }
+
+    let tokens: Vec<&str> = clean
+        .split(|c: char| c.is_whitespace() || "();,.".contains(c))
+        .filter(|t| !t.is_empty())
+        .collect();
+
+    let opens = tokens.iter().filter(|&&t| t == "module").count();
+    let closes = tokens.iter().filter(|&&t| t == "endmodule").count();
+    if opens != closes {
+        return Err(RtlError::UnbalancedModules { opens, closes });
+    }
+
+    // Per-module scan: names, declarations, instantiations.
+    let mut defined: Vec<String> = Vec::new();
+    let mut instantiated: Vec<(String, String)> = Vec::new();
+    let mut current = String::new();
+    let mut signals: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut i = 0;
+    let mut instances = 0usize;
+    while i < tokens.len() {
+        match tokens[i] {
+            "module" => {
+                let name = tokens
+                    .get(i + 1)
+                    .map(|s| s.trim_end_matches('#'))
+                    .unwrap_or("")
+                    .to_string();
+                if defined.contains(&name) {
+                    return Err(RtlError::DuplicateModule { name });
+                }
+                defined.push(name.clone());
+                current = name;
+                i += 2;
+                continue;
+            }
+            "endmodule" => {
+                current.clear();
+            }
+            "wire" | "reg" => {
+                // Skip qualifiers and width specs to the identifier.
+                let mut j = i + 1;
+                while j < tokens.len()
+                    && (tokens[j] == "signed"
+                        || tokens[j].starts_with('[')
+                        || tokens[j].contains(':'))
+                {
+                    j += 1;
+                }
+                if let Some(name) = tokens.get(j) {
+                    // Memory declarations `reg ... mem [0:N]` reuse ident.
+                    let entry = signals.entry(current.clone()).or_default();
+                    if !entry.insert((*name).to_string())
+                        && !current.is_empty()
+                        && *name != "mem"
+                    {
+                        return Err(RtlError::DuplicateSignal {
+                            name: (*name).to_string(),
+                            within: current.clone(),
+                        });
+                    }
+                }
+            }
+            t if (t.starts_with("imagen_sram")
+                || t.starts_with("stage_")
+                || t.starts_with("linebuf_"))
+                && !current.is_empty()
+                && tokens.get(i.wrapping_sub(1)) != Some(&"module") =>
+            {
+                instantiated.push((t.to_string(), current.clone()));
+                instances += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    for (name, within) in &instantiated {
+        if !defined.iter().any(|d| d == name) {
+            return Err(RtlError::UndefinedModule {
+                name: name.clone(),
+                within: within.clone(),
+            });
+        }
+    }
+
+    Ok(RtlSummary {
+        modules: defined.len(),
+        instances,
+        sram_instances: instantiated
+            .iter()
+            .filter(|(n, _)| n.starts_with("imagen_sram"))
+            .count(),
+        lines: src.lines().count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed() {
+        let src = "module a (input wire clk); wire x; endmodule\nmodule b (); stage_x u(); endmodule\nmodule stage_x (); endmodule";
+        let s = verify_structure(src).unwrap();
+        assert_eq!(s.modules, 3);
+        assert_eq!(s.instances, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_modules() {
+        let err = verify_structure("module a (); wire x;").unwrap_err();
+        assert!(matches!(err, RtlError::UnbalancedModules { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_modules() {
+        let err =
+            verify_structure("module a (); endmodule module a (); endmodule").unwrap_err();
+        assert!(matches!(err, RtlError::DuplicateModule { .. }));
+    }
+
+    #[test]
+    fn rejects_undefined_instances() {
+        let err = verify_structure("module a (); stage_missing u (); endmodule")
+            .unwrap_err();
+        assert!(matches!(err, RtlError::UndefinedModule { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_signals() {
+        let err = verify_structure("module a (); wire x; wire x; endmodule").unwrap_err();
+        assert!(matches!(err, RtlError::DuplicateSignal { name, .. } if name == "x"));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        verify_structure("// module ghost (\nmodule a (); /* wire x; wire x; */ endmodule")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        let err = verify_structure("module a ((); endmodule").unwrap_err();
+        assert!(matches!(err, RtlError::UnbalancedDelimiters { .. }));
+    }
+}

@@ -1,0 +1,657 @@
+//! Constraint formulation: Equ. 1b data dependencies, Equ. 1c memory
+//! contention via access sets, the set-counting → arithmetic transformation
+//! (Equ. 8–12), and constraint pruning (Sec. 5.4).
+//!
+//! # The pair-disjointness constraint, exactly
+//!
+//! With floor-based row semantics — stage `i` at cycle `t` is at raster
+//! row `y_i = ⌊(t - S_i) / W⌋` and accesses buffer rows
+//! `[y_i + off_i, y_i + off_i + h_i - 1]` — the requirement that entity
+//! `i`'s rows stay *strictly behind* entity `j`'s rows at every cycle is
+//!
+//! ```text
+//! ∀t  y_i + off_i + h_i - 1 < y_j + off_j
+//! ```
+//!
+//! Since `y_j - y_i` over all `t` ranges exactly over
+//! `{⌊D/W⌋, ⌈D/W⌉}` where `D = S_i - S_j`, the condition holds for all
+//! `t` **iff** `⌊D/W⌋ ≥ off_i + h_i - off_j`, i.e. the linear constraint
+//!
+//! ```text
+//! S_i - S_j ≥ W · (off_i + h_i - off_j)
+//! ```
+//!
+//! This matches the paper's Equ. 12 (with the trailing stage's stencil
+//! height; see DESIGN.md §2 on the subscript) and, unlike the ceiling
+//! derivation in the paper, is exact rather than merely sufficient — no
+//! optimality is lost.
+
+use crate::entity::{buffer_entities, AccessEntity};
+use imagen_ilp::DiffSystem;
+use imagen_ir::{Dag, StageId};
+use std::fmt;
+
+/// A difference constraint `S_a - S_b >= k` over stage start cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DiffGe {
+    /// Left stage (the trailing one in contention constraints).
+    pub a: StageId,
+    /// Right stage (the leading one).
+    pub b: StageId,
+    /// Required minimum gap in cycles.
+    pub k: i64,
+}
+
+impl fmt::Display for DiffGe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S[{}] - S[{}] >= {}", self.a.index(), self.b.index(), self.k)
+    }
+}
+
+/// An OR-group: at least one member constraint must hold (paper
+/// Equ. 7a–7c). Groups with a single member are effectively hard.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OrGroup {
+    /// The alternatives.
+    pub alternatives: Vec<DiffGe>,
+    /// Which buffer (producer stage) generated this group.
+    pub buffer: StageId,
+}
+
+/// The assembled constraint system for a pipeline.
+#[derive(Clone, Debug)]
+pub struct ConstraintSet {
+    /// Always-on constraints: data dependencies, sync-group equalities
+    /// (represented as two opposing `>=`), and collapsed OR-groups.
+    pub hard: Vec<DiffGe>,
+    /// Remaining OR-groups with two or more live alternatives.
+    pub groups: Vec<OrGroup>,
+    /// Statistics for the Sec. 8.2 experiments.
+    pub stats: FormulationStats,
+}
+
+/// Formulation statistics (constraint pruning effectiveness, Sec. 8.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FormulationStats {
+    /// Data-dependency constraints emitted.
+    pub dependencies: usize,
+    /// (P+1)-combinations examined.
+    pub combinations: usize,
+    /// Raw OR alternatives before pruning.
+    pub alternatives_raw: usize,
+    /// Alternatives dropped as infeasible (contradict dependencies).
+    pub pruned_infeasible: usize,
+    /// Alternatives dropped as dominated (implied by a more relaxed one).
+    pub pruned_dominated: usize,
+    /// OR-groups that collapsed to a single alternative.
+    pub groups_collapsed: usize,
+    /// OR-groups still open after pruning (drive sub-problem search).
+    pub groups_open: usize,
+}
+
+/// Options controlling constraint generation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FormulationOptions {
+    /// Apply Sec. 5.4 constraint pruning (on by default; the Sec. 8.2
+    /// ablation turns it off).
+    pub pruning: bool,
+}
+
+impl Default for FormulationOptions {
+    fn default() -> Self {
+        FormulationOptions { pruning: true }
+    }
+}
+
+/// Per-stage memory parameters needed by the formulation.
+pub trait BufferParams {
+    /// Port count of the blocks under stage `p`'s buffer.
+    fn ports(&self, p: StageId) -> u32;
+    /// Coalescing factor `g` (rows per block) of stage `p`'s buffer.
+    fn coalesce(&self, p: StageId) -> u32;
+}
+
+/// Data-dependency constant for an edge window (Equ. 1b): the consumer
+/// must start `newest_row * W + 1` cycles after the producer.
+pub fn dependency_gap(window: &imagen_ir::Window, width: u32) -> i64 {
+    window.newest_row() as i64 * width as i64 + 1
+}
+
+/// Builds the full constraint system for `dag` at image width `width`.
+pub fn formulate(
+    dag: &Dag,
+    width: u32,
+    params: &impl BufferParams,
+    opts: FormulationOptions,
+) -> ConstraintSet {
+    let w = width as i64;
+    let mut hard: Vec<DiffGe> = Vec::new();
+    let mut stats = FormulationStats::default();
+
+    // --- Data dependencies (Equ. 1b) --------------------------------
+    for (_, e) in dag.edges() {
+        hard.push(DiffGe {
+            a: e.consumer(),
+            b: e.producer(),
+            k: dependency_gap(e.window(), width),
+        });
+        stats.dependencies += 1;
+    }
+
+    // --- Sync-group equalities (linearization relays) ---------------
+    let mut groups_seen: Vec<(u32, StageId)> = Vec::new();
+    for (id, s) in dag.stages() {
+        if let Some(g) = s.sync_group() {
+            if let Some((_, rep)) = groups_seen.iter().find(|(gg, _)| *gg == g) {
+                hard.push(DiffGe { a: id, b: *rep, k: 0 });
+                hard.push(DiffGe { a: *rep, b: id, k: 0 });
+            } else {
+                groups_seen.push((g, id));
+            }
+        }
+    }
+
+    // Longest-path lower bounds on start-cycle differences implied by the
+    // hard constraints; used by both pruning rules.
+    let bounds = DiffBounds::new(dag.num_stages(), &hard);
+
+    // --- Contention (Equ. 1c) ----------------------------------------
+    let mut groups: Vec<OrGroup> = Vec::new();
+    for p in dag.buffered_stages() {
+        let ports = params.ports(p);
+        let g = params.coalesce(p);
+        let entities = buffer_entities(dag, p);
+
+        if g > 1 {
+            // Coalesced buffer: deterministic pairwise constraints (see
+            // module docs of `plan`): the writer must clear each consumer's
+            // whole window by one row; distinct consumers must be at least
+            // row-disjoint (block-disjoint when 2(g-1) > P).
+            let block_gap = if 2 * (g - 1) > ports { g as i64 } else { 1 };
+            for (i, a) in entities.iter().enumerate() {
+                for b in entities.iter().skip(i + 1) {
+                    push_coalesced_pair(&mut hard, a, b, w, block_gap, &bounds);
+                }
+            }
+            continue;
+        }
+
+        // Un-coalesced: (P+1)-combination machinery (Equ. 5).
+        let n = entities.len();
+        let k = ports as usize + 1;
+        if n < k {
+            continue;
+        }
+        for combo in combinations(n, k) {
+            stats.combinations += 1;
+            let mut alternatives = Vec::new();
+            for &i in &combo {
+                for &j in &combo {
+                    if i == j {
+                        continue;
+                    }
+                    let (ei, ej) = (&entities[i], &entities[j]);
+                    let gap = ei.top_offset() as i64 + 1 - ej.row_offset as i64;
+                    stats.alternatives_raw += 1;
+                    if ei.stage == ej.stage {
+                        // Same physical stage: statically decided.
+                        if gap <= 0 {
+                            // Already disjoint; whole combination satisfied.
+                            alternatives.clear();
+                            alternatives.push(DiffGe {
+                                a: ei.stage,
+                                b: ej.stage,
+                                k: 0,
+                            });
+                            break;
+                        }
+                        stats.pruned_infeasible += 1;
+                        continue;
+                    }
+                    let c = DiffGe {
+                        a: ei.stage,
+                        b: ej.stage,
+                        k: w * gap,
+                    };
+                    if opts.pruning && bounds.is_infeasible(&c) {
+                        stats.pruned_infeasible += 1;
+                        continue;
+                    }
+                    alternatives.push(c);
+                }
+                if alternatives.len() == 1 && alternatives[0].k == 0 {
+                    break; // statically satisfied combination
+                }
+            }
+            if alternatives.len() == 1 && alternatives[0].k == 0 {
+                continue;
+            }
+            if opts.pruning {
+                let before = alternatives.len();
+                alternatives = prune_dominated(alternatives, &bounds);
+                stats.pruned_dominated += before - alternatives.len();
+            }
+            match alternatives.len() {
+                0 => {
+                    // Every alternative contradicted the dependencies: the
+                    // combination is unsatisfiable — surface it as an open
+                    // group so the solver reports infeasibility honestly.
+                    groups.push(OrGroup {
+                        alternatives,
+                        buffer: p,
+                    });
+                    stats.groups_open += 1;
+                }
+                1 => {
+                    hard.push(alternatives[0]);
+                    stats.groups_collapsed += 1;
+                }
+                _ => {
+                    stats.groups_open += 1;
+                    groups.push(OrGroup {
+                        alternatives,
+                        buffer: p,
+                    });
+                }
+            }
+        }
+    }
+
+    ConstraintSet { hard, groups, stats }
+}
+
+fn push_coalesced_pair(
+    hard: &mut Vec<DiffGe>,
+    a: &AccessEntity,
+    b: &AccessEntity,
+    w: i64,
+    block_gap: i64,
+    bounds: &DiffBounds,
+) {
+    if a.stage == b.stage {
+        return; // virtual siblings partition the window statically
+    }
+    // Writer–reader: the writer must stay a full row past the reader's
+    // newest block row; reader–reader: (block-)disjoint, trailing form.
+    // Emit the orientation consistent with the dependency bounds.
+    let mk = |trail: &AccessEntity, lead: &AccessEntity| -> DiffGe {
+        let extra = if lead.is_writer || trail.is_writer {
+            1
+        } else {
+            block_gap
+        };
+        DiffGe {
+            a: trail.stage,
+            b: lead.stage,
+            k: w * (trail.top_offset() as i64 + extra - lead.row_offset as i64),
+        }
+    };
+    let ab = mk(a, b);
+    let ba = mk(b, a);
+    let ab_bad = bounds.is_infeasible(&ab);
+    let ba_bad = bounds.is_infeasible(&ba);
+    match (ab_bad, ba_bad) {
+        (false, true) => hard.push(ab),
+        (true, false) => hard.push(ba),
+        // Ambiguous orientation: order by existing dependency direction
+        // (b reachable from a means a leads), defaulting to `ab`.
+        _ => {
+            if bounds.gap(b.stage, a.stage) > i64::MIN {
+                hard.push(ba)
+            } else {
+                hard.push(ab)
+            }
+        }
+    }
+}
+
+/// Longest-path lower bounds `S_a - S_b >= gap(a, b)` implied by a set of
+/// hard difference constraints.
+pub struct DiffBounds {
+    n: usize,
+    /// `gap[a * n + b]`; `i64::MIN` when unconstrained.
+    gap: Vec<i64>,
+}
+
+impl DiffBounds {
+    /// Computes all-pairs longest paths over the constraint graph.
+    pub fn new(n: usize, hard: &[DiffGe]) -> DiffBounds {
+        let mut gap = vec![i64::MIN; n * n];
+        for i in 0..n {
+            gap[i * n + i] = 0;
+        }
+        for c in hard {
+            let idx = c.a.index() * n + c.b.index();
+            if c.k > gap[idx] {
+                gap[idx] = c.k;
+            }
+        }
+        // Floyd–Warshall, max-plus semiring.
+        for m in 0..n {
+            for i in 0..n {
+                let gim = gap[i * n + m];
+                if gim == i64::MIN {
+                    continue;
+                }
+                for j in 0..n {
+                    let gmj = gap[m * n + j];
+                    if gmj == i64::MIN {
+                        continue;
+                    }
+                    let cand = gim.saturating_add(gmj);
+                    if cand > gap[i * n + j] {
+                        gap[i * n + j] = cand;
+                    }
+                }
+            }
+        }
+        DiffBounds { n, gap }
+    }
+
+    /// Lower bound on `S_a - S_b` (`i64::MIN` when unconstrained).
+    pub fn gap(&self, a: StageId, b: StageId) -> i64 {
+        self.gap[a.index() * self.n + b.index()]
+    }
+
+    /// Whether constraint `c` contradicts the implied bounds: if the
+    /// system forces `S_b - S_a >= m` then `S_a - S_b <= -m`, so `c`
+    /// (requiring `S_a - S_b >= k`) is unsatisfiable when `-m < k`.
+    pub fn is_infeasible(&self, c: &DiffGe) -> bool {
+        let m = self.gap(c.b, c.a);
+        m != i64::MIN && -m < c.k
+    }
+
+    /// Whether constraint `by` implies constraint `c`:
+    /// `S_a ≥ S_x + gap(a,x)` and `S_y ≥ S_b + gap(y,b)` chain with
+    /// `S_x - S_y >= by.k` to give `S_a - S_b >= gap(a,x) + by.k + gap(y,b)`.
+    pub fn implies(&self, by: &DiffGe, c: &DiffGe) -> bool {
+        let g1 = self.gap(c.a, by.a);
+        let g2 = self.gap(by.b, c.b);
+        if g1 == i64::MIN || g2 == i64::MIN {
+            return false;
+        }
+        g1.saturating_add(by.k).saturating_add(g2) >= c.k
+    }
+}
+
+/// Removes alternatives implied by a more relaxed sibling (Sec. 5.4: in an
+/// OR, a constraint implied by another is the *stricter* one and can be
+/// dropped without losing optimality).
+fn prune_dominated(mut alts: Vec<DiffGe>, bounds: &DiffBounds) -> Vec<DiffGe> {
+    alts.sort_by_key(|c| (c.a, c.b, c.k));
+    alts.dedup();
+    let mut keep = vec![true; alts.len()];
+    for i in 0..alts.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..alts.len() {
+            if i == j || !keep[j] {
+                continue;
+            }
+            // If alternative j implies alternative i, any schedule chosen
+            // via j also satisfies i, so j is redundant as an alternative.
+            if bounds.implies(&alts[j], &alts[i]) {
+                keep[j] = false;
+            }
+        }
+    }
+    alts.into_iter()
+        .zip(keep)
+        .filter_map(|(a, k)| k.then_some(a))
+        .collect()
+}
+
+/// All `k`-subsets of `0..n` (lexicographic).
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for i in start..n {
+            if n - i < k - cur.len() {
+                break;
+            }
+            cur.push(i);
+            rec(i + 1, n, k, cur, out);
+            cur.pop();
+        }
+    }
+    rec(0, n, k, &mut cur, &mut out);
+    out
+}
+
+/// Feasibility check of a concrete schedule against a constraint set
+/// (hard constraints and at least one alternative per group).
+pub fn schedule_satisfies(set: &ConstraintSet, starts: &[i64]) -> bool {
+    let ok = |c: &DiffGe| starts[c.a.index()] - starts[c.b.index()] >= c.k;
+    set.hard.iter().all(ok)
+        && set
+            .groups
+            .iter()
+            .all(|g| g.alternatives.iter().any(ok))
+}
+
+/// Builds a [`DiffSystem`] from hard constraints plus chosen alternatives
+/// (for ASAP scheduling and fast feasibility checks).
+pub fn to_diff_system(
+    n: usize,
+    hard: &[DiffGe],
+    chosen: &[DiffGe],
+) -> DiffSystem {
+    let mut sys = DiffSystem::new(n);
+    for c in hard.iter().chain(chosen) {
+        sys.add_ge(c.a.index(), c.b.index(), c.k);
+    }
+    sys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagen_ir::Expr;
+
+    struct Uniform {
+        ports: u32,
+        g: u32,
+    }
+    impl BufferParams for Uniform {
+        fn ports(&self, _: StageId) -> u32 {
+            self.ports
+        }
+        fn coalesce(&self, _: StageId) -> u32 {
+            self.g
+        }
+    }
+
+    fn box3(slot: usize) -> Expr {
+        Expr::sum((0..9).map(move |i| Expr::tap(slot, i % 3 - 1, i / 3 - 1)))
+    }
+
+    /// Fig. 6 pipeline: K0 -> K1 -> K2, K2 also reads K0.
+    fn fig6() -> Dag {
+        let mut dag = Dag::new("fig6");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        let k2 = dag
+            .add_stage(
+                "K2",
+                &[k0, k1],
+                Expr::bin(
+                    imagen_ir::BinOp::Add,
+                    Expr::sum((0..4).map(|i| Expr::tap(0, i % 2, i / 2))),
+                    box3(1),
+                ),
+            )
+            .unwrap();
+        dag.mark_output(k2);
+        dag
+    }
+
+    #[test]
+    fn dependency_gaps_match_paper() {
+        // 3x3 window: (SH-1)*W + 1 = 2W + 1.
+        let dag = fig6();
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 1 },
+            FormulationOptions::default(),
+        );
+        assert!(set
+            .hard
+            .iter()
+            .any(|c| c.a.index() == 1 && c.b.index() == 0 && c.k == 961));
+    }
+
+    #[test]
+    fn fig6_pruning_collapses_to_single_constraint() {
+        // The paper's worked example: the three OR-ed pair constraints on
+        // K0's buffer reduce to the single writer-vs-K2 constraint
+        // (Equ. 7b survives; 7a and 7c are dominated).
+        let dag = fig6();
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 1 },
+            FormulationOptions::default(),
+        );
+        assert_eq!(set.stats.combinations, 1, "one 3-combination on K0's buffer");
+        assert_eq!(set.groups.len(), 0, "group fully collapsed");
+        assert_eq!(set.stats.groups_collapsed, 1);
+        // The surviving constraint forces K2 behind K0's writer. K2's
+        // 2-row window on K0 sits at lag 1 (it aligns with K2's 3-row
+        // window on K1), so its newest row offset is 2 and the gap is 3W.
+        assert!(set
+            .hard
+            .iter()
+            .any(|c| c.a.index() == 2 && c.b.index() == 0 && c.k == 3 * 480));
+    }
+
+    #[test]
+    fn pruning_off_keeps_group_open() {
+        let dag = fig6();
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 1 },
+            FormulationOptions { pruning: false },
+        );
+        // Without pruning the combination keeps multiple feasible-looking
+        // alternatives (writer-behind-reader ones are syntactically kept).
+        assert_eq!(set.groups.len(), 1);
+        assert!(set.groups[0].alternatives.len() >= 2);
+    }
+
+    #[test]
+    fn single_port_all_pairs_constrained() {
+        // FixyNN mode: P=1 -> every pair of accessors forms a combination.
+        let dag = fig6();
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 1, g: 1 },
+            FormulationOptions::default(),
+        );
+        // K0's buffer has 3 entities -> 3 pairs; K1's has 2 -> 1 pair.
+        assert_eq!(set.stats.combinations, 4);
+        // All collapse: the only feasible orientation is reader-behind-writer.
+        assert_eq!(set.groups.len(), 0);
+        // Writer/K1 pair on K0's buffer: S_1 - S_0 >= 3W.
+        assert!(set
+            .hard
+            .iter()
+            .any(|c| c.a.index() == 1 && c.b.index() == 0 && c.k == 3 * 480));
+    }
+
+    #[test]
+    fn dual_port_single_consumer_unconstrained() {
+        // Writer + one reader on dual-port blocks: no combination of size
+        // 3 exists; only the dependency remains.
+        let mut dag = Dag::new("chain");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        dag.mark_output(k1);
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 1 },
+            FormulationOptions::default(),
+        );
+        assert_eq!(set.stats.combinations, 0);
+        assert_eq!(set.hard.len(), 1, "just the dependency");
+    }
+
+    #[test]
+    fn coalesced_writer_gap_is_full_window() {
+        // g=2: writer must clear the reader's whole 3-row window: D >= 3W.
+        let mut dag = Dag::new("chain");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        dag.mark_output(k1);
+        imagen_ir::apply_line_coalescing(&mut dag, |_| {
+            imagen_ir::CoalesceFactor::new(2)
+        });
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 2 },
+            FormulationOptions::default(),
+        );
+        // Strongest writer constraint: trailing reader port covering rows
+        // [2,2]: S_1 - S_0 >= (2 + 1) * W = 3W.
+        let max_k = set
+            .hard
+            .iter()
+            .filter(|c| c.a.index() == 1 && c.b.index() == 0)
+            .map(|c| c.k)
+            .max()
+            .unwrap();
+        assert_eq!(max_k, 3 * 480);
+    }
+
+    #[test]
+    fn bounds_and_implication() {
+        let dag = fig6();
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 1 },
+            FormulationOptions::default(),
+        );
+        let bounds = DiffBounds::new(dag.num_stages(), &set.hard);
+        // Path K0 -> K1 -> K2 composes: S2 - S0 >= 961 + 961.
+        assert!(bounds.gap(StageId::from_index(2), StageId::from_index(0)) >= 1922);
+        // Writer never trails its consumer.
+        let bad = DiffGe {
+            a: StageId::from_index(0),
+            b: StageId::from_index(2),
+            k: 480,
+        };
+        assert!(bounds.is_infeasible(&bad));
+    }
+
+    #[test]
+    fn combination_enumeration() {
+        assert_eq!(combinations(4, 3).len(), 4);
+        assert_eq!(combinations(5, 2).len(), 10);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn schedule_satisfaction_checker() {
+        let dag = fig6();
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 1 },
+            FormulationOptions::default(),
+        );
+        // The paper-optimal schedule for Fig. 6 style pipelines.
+        assert!(schedule_satisfies(&set, &[0, 961, 1922]));
+        assert!(!schedule_satisfies(&set, &[0, 961, 960]));
+    }
+}

@@ -1,0 +1,168 @@
+//! Access entities: who touches a line buffer, and with what row pattern.
+//!
+//! The contention formulation (paper Sec. 5.3) reasons about the *set of
+//! stages accessing a line buffer*. In this implementation the unit is an
+//! [`AccessEntity`]: the buffer's writer, or one [`imagen_ir::ReadPort`]
+//! of one consumer edge (a paper "virtual stage" after coalescing).
+//!
+//! Entities from different stages that are start-synchronized *and* read
+//! the same rows every cycle (Darkroom's relay + mirrored consumer) merge
+//! into one entity: identical addresses share a physical port, which is
+//! precisely why linearization works with dual-port memories.
+
+use imagen_ir::{Dag, EdgeId, StageId};
+
+/// One access stream into a line buffer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AccessEntity {
+    /// Stage whose start cycle paces this stream (representative stage for
+    /// merged streams).
+    pub stage: StageId,
+    /// All stages sharing the stream (≥ 1; > 1 only for merged relays).
+    pub members: Vec<StageId>,
+    /// First row offset below the stage's raster row that is accessed.
+    pub row_offset: u32,
+    /// Number of consecutive rows accessed each cycle.
+    pub height: u32,
+    /// Whether this is the producer's write stream.
+    pub is_writer: bool,
+    /// Originating edge (readers only).
+    pub edge: Option<EdgeId>,
+}
+
+impl AccessEntity {
+    /// Highest row offset accessed (`row_offset + height - 1`).
+    pub fn top_offset(&self) -> u32 {
+        self.row_offset + self.height - 1
+    }
+}
+
+/// Collects the access entities of producer `p`'s line buffer: the writer
+/// plus one entity per read port of every consumer edge, with synchronized
+/// identical readers merged.
+pub fn buffer_entities(dag: &Dag, p: StageId) -> Vec<AccessEntity> {
+    let mut entities = vec![AccessEntity {
+        stage: p,
+        members: vec![p],
+        row_offset: 0,
+        height: 1,
+        is_writer: true,
+        edge: None,
+    }];
+
+    for (eid, e) in dag.consumer_edges(p) {
+        for port in e.ports() {
+            let consumer = e.consumer();
+            let group = dag.stage(consumer).sync_group();
+            // Merge with an existing reader when both are in the same sync
+            // group and read the same rows.
+            let merged = group.is_some()
+                && entities.iter_mut().any(|ent| {
+                    if ent.is_writer
+                        || ent.row_offset != port.row_offset
+                        || ent.height != port.height
+                    {
+                        return false;
+                    }
+                    let same_group = ent
+                        .members
+                        .iter()
+                        .all(|m| dag.stage(*m).sync_group() == group);
+                    if same_group && !ent.members.contains(&consumer) {
+                        ent.members.push(consumer);
+                        true
+                    } else {
+                        same_group && ent.members.contains(&consumer)
+                    }
+                });
+            if !merged {
+                entities.push(AccessEntity {
+                    stage: consumer,
+                    members: vec![consumer],
+                    row_offset: port.row_offset,
+                    height: port.height,
+                    is_writer: false,
+                    edge: Some(eid),
+                });
+            }
+        }
+    }
+    entities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagen_ir::{linearize, Expr};
+
+    fn box3(slot: usize) -> Expr {
+        Expr::sum((0..9).map(move |i| Expr::tap(slot, i % 3 - 1, i / 3 - 1)))
+    }
+
+    #[test]
+    fn writer_plus_readers() {
+        let mut dag = Dag::new("t");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        let k2 = dag.add_stage("K2", &[k0], box3(0)).unwrap();
+        let k3 = dag
+            .add_stage(
+                "K3",
+                &[k1, k2],
+                Expr::bin(
+                    imagen_ir::BinOp::Add,
+                    Expr::tap(0, 0, 0),
+                    Expr::tap(1, 0, 0),
+                ),
+            )
+            .unwrap();
+        dag.mark_output(k3);
+        let ents = buffer_entities(&dag, k0);
+        assert_eq!(ents.len(), 3, "writer + two independent readers");
+        assert!(ents[0].is_writer);
+        assert_eq!(ents[0].height, 1);
+        assert_eq!(ents[1].height, 3);
+        assert_eq!(ents[1].top_offset(), 2);
+    }
+
+    #[test]
+    fn synchronized_relays_merge() {
+        // Linearize a two-consumer pipeline; the relay and its mirrored
+        // sibling must merge into one entity on the shared buffer.
+        let mut dag = Dag::new("t");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        let k2 = dag
+            .add_stage(
+                "K2",
+                &[k0, k1],
+                Expr::bin(imagen_ir::BinOp::Add, Expr::tap(0, 0, 0), Expr::tap(1, 0, 0)),
+            )
+            .unwrap();
+        dag.mark_output(k2);
+        let lin = linearize(&dag).unwrap();
+        let k0_new = lin.stage_map[0];
+        let ents = buffer_entities(&lin.dag, k0_new);
+        // K0's buffer: writer + merged {K1, relay}.
+        assert_eq!(ents.len(), 2, "relay merged with mirrored consumer: {ents:?}");
+        let reader = &ents[1];
+        assert_eq!(reader.members.len(), 2);
+    }
+
+    #[test]
+    fn coalesced_ports_become_entities() {
+        let mut dag = Dag::new("t");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        dag.mark_output(k1);
+        imagen_ir::apply_line_coalescing(&mut dag, |_| {
+            imagen_ir::CoalesceFactor::new(2)
+        });
+        let ents = buffer_entities(&dag, k0);
+        assert_eq!(ents.len(), 3, "writer + 2 virtual stages");
+        assert_eq!(ents[1].height, 2);
+        assert_eq!(ents[2].height, 1);
+        assert_eq!(ents[2].row_offset, 2);
+        assert_eq!(ents[1].stage, ents[2].stage, "virtual stages share a stage");
+    }
+}

@@ -1,0 +1,39 @@
+//! # imagen-schedule
+//!
+//! The core contribution of the [ImaGen] paper (ISCA 2023): a constrained
+//! optimization that schedules line-buffered image-processing pipelines
+//! for minimum on-chip memory at full (one pixel per cycle) throughput.
+//!
+//! * [`constraints`] — Equ. 1b data dependencies; Equ. 1c memory
+//!   contention expressed through access sets and transformed into exact
+//!   linear difference constraints (Equ. 8–12); Sec. 5.4 constraint
+//!   pruning over the DAG's partial order.
+//! * [`solve_schedule`] — the ILP (Sec. 5.5) plus depth-first resolution
+//!   of surviving OR-groups.
+//! * [`checker`] — exact per-buffer port-discipline verification at both
+//!   absolute-row and physical-block granularity (rotation aliasing).
+//! * [`plan_design`] — the full Fig. 5 "Optimizer": coalescing rewrite,
+//!   formulation, solving, buffer sizing (Equ. 2), block allocation and
+//!   pricing into a [`imagen_mem::Design`].
+//!
+//! [ImaGen]: https://arxiv.org/abs/2304.03352
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod constraints;
+mod entity;
+mod plan;
+mod solve;
+
+pub use constraints::{
+    dependency_gap, formulate, schedule_satisfies, BufferParams, ConstraintSet, DiffBounds,
+    DiffGe, FormulationOptions, FormulationStats, OrGroup,
+};
+pub use entity::{buffer_entities, AccessEntity};
+pub use plan::{plan_design, realize_design, Plan, PlanError};
+pub use solve::{
+    asap_schedule, size_buffers, solve_schedule, Schedule, ScheduleError, ScheduleOptions,
+    SizeObjective, SolveReport,
+};

@@ -1,0 +1,527 @@
+//! ILP assembly and sub-problem search: turns a [`ConstraintSet`] into an
+//! optimal pipeline schedule (paper Sec. 5.2, 5.5).
+//!
+//! The optimization variables are the stage start cycles `S_i` plus one
+//! auxiliary "retire" variable `T_p` per buffered producer with
+//! `T_p ≥ S_c − lag_e·W` for each consumer edge; the objective
+//! `Σ (T_p − S_p)` is the paper's Equ. 1a with the ceiling dropped
+//! (footnote 7). Every constraint is a difference constraint, so the ILP's
+//! LP relaxation is integral and branch-and-bound terminates at the root.
+//! The optional exact-rows objective ([`SizeObjective::TotalRows`])
+//! re-introduces the ceiling through integer row-count variables — a
+//! genuinely integer program — and is used as an ablation.
+//!
+//! OR-groups that survive pruning are resolved by depth-first search over
+//! alternative choices with incumbent-based pruning (the paper's
+//! "sub-optimization problems", Sec. 5.4).
+
+use crate::constraints::{to_diff_system, ConstraintSet, DiffGe, FormulationStats};
+use imagen_ilp::{LinExpr, Model, Sense, SolveError};
+use imagen_ir::{Dag, StageId};
+use std::fmt;
+
+/// Which buffer-size objective to minimize.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SizeObjective {
+    /// The paper's linear objective: total delay `Σ (T_p - S_p)`
+    /// (ceilings dropped per footnote 7).
+    #[default]
+    TotalDelay,
+    /// Exact total rows `Σ ⌈(T_p - S_p) / W⌉` via integer row variables.
+    TotalRows,
+}
+
+/// Scheduling options.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScheduleOptions {
+    /// Apply Sec. 5.4 constraint pruning.
+    pub pruning: bool,
+    /// Buffer-size objective.
+    pub objective: SizeObjective,
+    /// Maximum OR-group sub-problems to explore.
+    pub max_subproblems: usize,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            pruning: true,
+            objective: SizeObjective::TotalDelay,
+            max_subproblems: 4096,
+        }
+    }
+}
+
+/// Scheduling failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScheduleError {
+    /// No schedule satisfies the constraint system.
+    Infeasible,
+    /// The sub-problem budget was exhausted before proving optimality.
+    TooManySubproblems(usize),
+    /// Internal solver failure.
+    Solver(SolveError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Infeasible => write!(f, "no feasible pipeline schedule exists"),
+            ScheduleError::TooManySubproblems(n) => {
+                write!(f, "OR-group search exceeded {n} sub-problems")
+            }
+            ScheduleError::Solver(e) => write!(f, "ILP solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<SolveError> for ScheduleError {
+    fn from(e: SolveError) -> Self {
+        match e {
+            SolveError::Infeasible => ScheduleError::Infeasible,
+            other => ScheduleError::Solver(other),
+        }
+    }
+}
+
+/// Search and solver statistics for the Sec. 8.2 experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolveReport {
+    /// Formulation statistics (combination/pruning counts).
+    pub formulation: FormulationStats,
+    /// ILP sub-problems actually solved.
+    pub subproblems: usize,
+    /// Variables in each ILP.
+    pub ilp_vars: usize,
+    /// Constraints in each ILP.
+    pub ilp_constraints: usize,
+}
+
+/// An optimal pipeline schedule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schedule {
+    /// Start cycle per stage (normalized: earliest stage starts at 0).
+    pub starts: Vec<i64>,
+    /// Line-buffer rows per stage (Equ. 2; 0 for stages with no buffer).
+    pub buffer_rows: Vec<u32>,
+    /// Total buffered rows (the minimized objective, in row units).
+    pub total_rows: u64,
+    /// Search statistics.
+    pub report: SolveReport,
+}
+
+impl Schedule {
+    /// Start cycle of a stage.
+    pub fn start(&self, s: StageId) -> i64 {
+        self.starts[s.index()]
+    }
+
+    /// End-to-end latency in cycles for a `width × height` frame: the
+    /// cycle after the last output pixel is produced, for the latest
+    /// output stage.
+    pub fn latency(&self, dag: &Dag, width: u32, height: u32) -> i64 {
+        let frame = width as i64 * height as i64;
+        dag.stages()
+            .filter(|(_, s)| s.is_output())
+            .map(|(id, _)| self.starts[id.index()] + frame)
+            .max()
+            .unwrap_or(frame)
+    }
+}
+
+/// Solves the scheduling problem for `dag` given its formulated
+/// constraints.
+///
+/// # Errors
+///
+/// [`ScheduleError::Infeasible`] when the constraint system (or every
+/// OR-group resolution) is unsatisfiable; [`ScheduleError::TooManySubproblems`]
+/// when the group search exceeds its budget.
+pub fn solve_schedule(
+    dag: &Dag,
+    width: u32,
+    set: &ConstraintSet,
+    opts: ScheduleOptions,
+) -> Result<Schedule, ScheduleError> {
+    let n = dag.num_stages();
+    let w = width as i64;
+
+    if set.groups.iter().any(|g| g.alternatives.is_empty()) {
+        return Err(ScheduleError::Infeasible);
+    }
+
+    // Order groups smallest-first so the DFS branches late.
+    let mut groups: Vec<&crate::constraints::OrGroup> = set.groups.iter().collect();
+    groups.sort_by_key(|g| g.alternatives.len());
+
+    let mut best: Option<(i64, Vec<i64>)> = None;
+    let mut subproblems = 0usize;
+    let mut report = SolveReport {
+        formulation: set.stats,
+        ..SolveReport::default()
+    };
+
+    let mut chosen: Vec<DiffGe> = Vec::new();
+    let mut stack: Vec<usize> = Vec::new(); // alternative index per depth
+
+    // Iterative DFS over group alternatives.
+    loop {
+        if stack.len() == groups.len() {
+            // Leaf: solve the ILP for this resolution.
+            subproblems += 1;
+            if subproblems > opts.max_subproblems {
+                return Err(ScheduleError::TooManySubproblems(opts.max_subproblems));
+            }
+            match solve_leaf(dag, w, &set.hard, &chosen, opts.objective, &mut report) {
+                Ok((obj, starts)) => {
+                    if best.as_ref().map_or(true, |(b, _)| obj < *b) {
+                        best = Some((obj, starts));
+                    }
+                }
+                Err(ScheduleError::Infeasible) => {}
+                Err(e) => return Err(e),
+            }
+            // Backtrack.
+            if !advance(&mut stack, &mut chosen, &groups) {
+                break;
+            }
+            continue;
+        }
+        // Descend into the next group, first alternative.
+        let alt = groups[stack.len()].alternatives[0];
+        stack.push(0);
+        chosen.push(alt);
+        // Quick feasibility cut on the partial choice.
+        if to_diff_system(n, &set.hard, &chosen)
+            .minimal_solution()
+            .is_err()
+        {
+            if !advance(&mut stack, &mut chosen, &groups) {
+                break;
+            }
+        }
+    }
+
+    report.subproblems = subproblems;
+    let (_, mut starts) = best.ok_or(ScheduleError::Infeasible)?;
+
+    // Normalize so the earliest stage starts at cycle 0.
+    let min = starts.iter().copied().min().unwrap_or(0);
+    for s in &mut starts {
+        *s -= min;
+    }
+
+    let (buffer_rows, total_rows) = size_buffers(dag, width, &starts);
+    Ok(Schedule {
+        starts,
+        buffer_rows,
+        total_rows,
+        report,
+    })
+}
+
+/// Advances the DFS cursor to the next unexplored alternative; returns
+/// `false` when the search space is exhausted.
+fn advance(
+    stack: &mut Vec<usize>,
+    chosen: &mut Vec<DiffGe>,
+    groups: &[&crate::constraints::OrGroup],
+) -> bool {
+    while let Some(mut idx) = stack.pop() {
+        chosen.pop();
+        idx += 1;
+        let depth = stack.len();
+        if idx < groups[depth].alternatives.len() {
+            stack.push(idx);
+            chosen.push(groups[depth].alternatives[idx]);
+            return true;
+        }
+    }
+    false
+}
+
+/// Builds and solves one ILP leaf; returns (objective, starts).
+fn solve_leaf(
+    dag: &Dag,
+    w: i64,
+    hard: &[DiffGe],
+    chosen: &[DiffGe],
+    objective: SizeObjective,
+    report: &mut SolveReport,
+) -> Result<(i64, Vec<i64>), ScheduleError> {
+    let mut m = Model::new(format!("{}-schedule", dag.name()));
+    let svars: Vec<_> = dag
+        .stages()
+        .map(|(id, s)| m.add_int_var(format!("S_{}_{}", id.index(), s.name())))
+        .collect();
+
+    for c in hard.iter().chain(chosen) {
+        if c.a == c.b {
+            continue; // trivially-true marker constraints
+        }
+        m.add_diff_ge(svars[c.a.index()], svars[c.b.index()], c.k, "c");
+    }
+
+    // Retire variables and the objective.
+    let mut obj = LinExpr::zero();
+    let buffered = dag.buffered_stages();
+    let mut rvars = Vec::new();
+    for &p in &buffered {
+        let t = m.add_int_var(format!("T_{}", p.index()));
+        for (_, e) in dag.consumer_edges(p) {
+            let lag = e.window().lag as i64;
+            // T_p >= S_c - lag * W.
+            m.add_diff_ge(t, svars[e.consumer().index()], -lag * w, "retire");
+        }
+        // Buffers hold at least one row.
+        m.add_diff_ge(t, svars[p.index()], w, "minrow");
+        match objective {
+            SizeObjective::TotalDelay => {
+                obj = obj + LinExpr::from(t) - LinExpr::from(svars[p.index()]);
+            }
+            SizeObjective::TotalRows => {
+                let r = m.add_int_var(format!("R_{}", p.index()));
+                // W * R_p + S_p - T_p >= 0.
+                let expr = LinExpr::from(r) * w + LinExpr::from(svars[p.index()])
+                    - LinExpr::from(t);
+                m.add_constraint(expr, imagen_ilp::Cmp::Ge, 0, "rows");
+                obj = obj + LinExpr::from(r);
+                rvars.push(r);
+            }
+        }
+    }
+    m.set_objective(Sense::Minimize, obj);
+    report.ilp_vars = m.num_vars();
+    report.ilp_constraints = m.num_constraints();
+
+    let sol = m.solve()?;
+    let starts: Vec<i64> = svars.iter().map(|&v| sol.int_value(v)).collect();
+    let obj = sol
+        .objective_value()
+        .to_integer()
+        .expect("integral objective") as i64;
+    Ok((obj, starts))
+}
+
+/// Sizes every line buffer from a concrete schedule (Equ. 2, per-edge lag
+/// aware): `rows_p = max_e ⌈(S_c - S_p - lag_e·W) / W⌉`.
+pub fn size_buffers(dag: &Dag, width: u32, starts: &[i64]) -> (Vec<u32>, u64) {
+    let w = width as i64;
+    let mut rows = vec![0u32; dag.num_stages()];
+    for p in dag.buffered_stages() {
+        let mut q = 1i64;
+        for (_, e) in dag.consumer_edges(p) {
+            let d = starts[e.consumer().index()] - starts[p.index()]
+                - e.window().lag as i64 * w;
+            debug_assert!(d >= 1, "dependency constraints guarantee d >= 1");
+            q = q.max((d + w - 1).div_euclid(w));
+        }
+        rows[p.index()] = q as u32;
+    }
+    let total = rows.iter().map(|&r| r as u64).sum();
+    (rows, total)
+}
+
+/// ASAP (as-soon-as-possible) schedule from the hard constraints plus a
+/// fixed alternative choice — the minimum-latency schedule, used for
+/// latency reporting and as an independent check (it is feasible but not
+/// buffer-minimal in general).
+pub fn asap_schedule(
+    n: usize,
+    hard: &[DiffGe],
+    chosen: &[DiffGe],
+) -> Result<Vec<i64>, ScheduleError> {
+    to_diff_system(n, hard, chosen)
+        .minimal_solution()
+        .map_err(|_| ScheduleError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::{formulate, schedule_satisfies, FormulationOptions};
+    use crate::entity::buffer_entities;
+    use imagen_ir::Expr;
+
+    struct Uniform {
+        ports: u32,
+        g: u32,
+    }
+    impl crate::constraints::BufferParams for Uniform {
+        fn ports(&self, _: StageId) -> u32 {
+            self.ports
+        }
+        fn coalesce(&self, _: StageId) -> u32 {
+            self.g
+        }
+    }
+
+    fn box3(slot: usize) -> Expr {
+        Expr::sum((0..9).map(move |i| Expr::tap(slot, i % 3 - 1, i / 3 - 1)))
+    }
+
+    fn fig6() -> Dag {
+        let mut dag = Dag::new("fig6");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        let k2 = dag
+            .add_stage(
+                "K2",
+                &[k0, k1],
+                Expr::bin(
+                    imagen_ir::BinOp::Add,
+                    Expr::sum((0..4).map(|i| Expr::tap(0, i % 2, i / 2))),
+                    box3(1),
+                ),
+            )
+            .unwrap();
+        dag.mark_output(k2);
+        dag
+    }
+
+    fn solve(dag: &Dag, ports: u32, g: u32, opts: ScheduleOptions) -> Schedule {
+        let set = formulate(
+            dag,
+            480,
+            &Uniform { ports, g },
+            FormulationOptions {
+                pruning: opts.pruning,
+            },
+        );
+        let sched = solve_schedule(dag, 480, &set, opts).unwrap();
+        assert!(schedule_satisfies(&set, &sched.starts));
+        sched
+    }
+
+    #[test]
+    fn chain_schedules_at_dependency_bound() {
+        let mut dag = Dag::new("chain");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        let k2 = dag.add_stage("K2", &[k1], box3(0)).unwrap();
+        dag.mark_output(k2);
+        let s = solve(&dag, 2, 1, ScheduleOptions::default());
+        assert_eq!(s.starts, vec![0, 961, 1922]);
+        // Each producer buffers ceil((2W+1)/W) = 3 rows.
+        assert_eq!(s.buffer_rows, vec![3, 3, 0]);
+        assert_eq!(s.total_rows, 6);
+    }
+
+    #[test]
+    fn fig6_dual_port_optimum() {
+        let dag = fig6();
+        let s = solve(&dag, 2, 1, ScheduleOptions::default());
+        // K1 at the dependency bound; K2 pushed to 3W past K0 by the
+        // surviving contention constraint, and 2W+1 past K1.
+        assert_eq!(s.starts[0], 0);
+        assert_eq!(s.starts[1], 961);
+        assert_eq!(s.starts[2], 1922);
+        // K0's buffer: K1 delay 961 -> 3 rows; K2 delay 1922 at lag 1 ->
+        // ceil((1922-480)/480) = 4 rows... max = 4. K1's buffer: 3 rows.
+        assert_eq!(s.buffer_rows[0], 4);
+        assert_eq!(s.buffer_rows[1], 3);
+    }
+
+    #[test]
+    fn single_port_costs_more_rows() {
+        let dag = fig6();
+        let dual = solve(&dag, 2, 1, ScheduleOptions::default());
+        let single = solve(&dag, 1, 1, ScheduleOptions::default());
+        assert!(
+            single.total_rows > dual.total_rows,
+            "single-port must buffer more: {} vs {}",
+            single.total_rows,
+            dual.total_rows
+        );
+    }
+
+    #[test]
+    fn pruning_does_not_change_optimum() {
+        let dag = fig6();
+        let with = solve(&dag, 2, 1, ScheduleOptions::default());
+        let without = solve(
+            &dag,
+            2,
+            1,
+            ScheduleOptions {
+                pruning: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(with.total_rows, without.total_rows);
+        assert!(
+            without.report.subproblems >= with.report.subproblems,
+            "pruning explores fewer sub-problems"
+        );
+    }
+
+    #[test]
+    fn exact_rows_objective_never_worse() {
+        let dag = fig6();
+        let linear = solve(&dag, 2, 1, ScheduleOptions::default());
+        let exact = solve(
+            &dag,
+            2,
+            1,
+            ScheduleOptions {
+                objective: SizeObjective::TotalRows,
+                ..Default::default()
+            },
+        );
+        assert!(exact.total_rows <= linear.total_rows);
+    }
+
+    #[test]
+    fn asap_vs_optimal() {
+        let dag = fig6();
+        let set = formulate(
+            &dag,
+            480,
+            &Uniform { ports: 2, g: 1 },
+            FormulationOptions::default(),
+        );
+        let asap = asap_schedule(dag.num_stages(), &set.hard, &[]).unwrap();
+        let opt = solve(&dag, 2, 1, ScheduleOptions::default());
+        // ASAP is feasible and no later than the optimum stage-wise.
+        for i in 0..3 {
+            assert!(asap[i] <= opt.starts[i]);
+        }
+    }
+
+    #[test]
+    fn latency_accounts_frame() {
+        let mut dag = Dag::new("chain");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
+        dag.mark_output(k1);
+        let s = solve(&dag, 2, 1, ScheduleOptions::default());
+        assert_eq!(s.latency(&dag, 480, 320), 961 + 480 * 320);
+    }
+
+    #[test]
+    fn entities_sanity() {
+        let dag = fig6();
+        let ents = buffer_entities(&dag, StageId::from_index(0));
+        assert_eq!(ents.len(), 3);
+    }
+
+    #[test]
+    fn infeasible_empty_group_reported() {
+        use crate::constraints::{ConstraintSet, OrGroup};
+        let dag = fig6();
+        let set = ConstraintSet {
+            hard: vec![],
+            groups: vec![OrGroup {
+                alternatives: vec![],
+                buffer: StageId::from_index(0),
+            }],
+            stats: Default::default(),
+        };
+        assert!(matches!(
+            solve_schedule(&dag, 480, &set, ScheduleOptions::default()),
+            Err(ScheduleError::Infeasible)
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! # imagen-sim
+//!
+//! Functional and cycle-level simulation for the [ImaGen] accelerator
+//! generator — the reproduction of the paper's ASIC-backend simulator
+//! (Sec. 7).
+//!
+//! * [`Image`] — pixel frames;
+//! * [`execute`] — the golden executor: reference software semantics of a
+//!   pipeline DAG;
+//! * [`simulate`] — the cycle-level simulator: replays a planned
+//!   [`imagen_mem::Design`] with real rotating line buffers and
+//!   shift-register arrays, verifying the three no-stall requirements
+//!   (R1 causality, R2 no premature eviction, R3 port discipline) and
+//!   bit-exactness against the golden run, while counting every memory
+//!   access for the power model;
+//! * [`simulate_and_annotate`] — writes the measured per-block access
+//!   statistics back into the design.
+//!
+//! [ImaGen]: https://arxiv.org/abs/2304.03352
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycle;
+mod golden;
+mod image;
+
+pub use cycle::{
+    simulate, simulate_and_annotate, ResidencyViolation, SimError, SimPortViolation, SimReport,
+};
+pub use golden::{execute, GoldenError, GoldenRun};
+pub use image::Image;

@@ -1,0 +1,60 @@
+//! Design-space exploration: sweep per-stage DP/DPLC memory
+//! configurations for an algorithm and print the Pareto frontier — the
+//! paper's Sec. 8.5 workflow for ASIC designers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example dse_explorer
+//! ```
+
+use imagen::algos::Algorithm;
+use imagen::dse::{judicious_lc, sweep};
+use imagen::{ImageGeometry, MemBackend};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geom = ImageGeometry::p320();
+    let backend = MemBackend::asic_default();
+    let alg = Algorithm::DenoiseM;
+    let dag = alg.build();
+
+    println!(
+        "Sweeping {} buffered stages of {} (2^{} = {} configurations)...\n",
+        dag.buffered_stages().len(),
+        alg.name(),
+        dag.buffered_stages().len(),
+        1usize << dag.buffered_stages().len()
+    );
+    let res = sweep(&dag, &geom, backend)?;
+    let front = res.pareto_front();
+
+    println!("{:>6} {:>6} {:>12} {:>12} {:>9}", "point", "DPLC", "area mm²", "power mW", "Pareto");
+    for (i, p) in res.points.iter().enumerate() {
+        let mark = if front.contains(&i) { "  *" } else { "" };
+        println!(
+            "{:>6} {:>6} {:>12.4} {:>12.3} {:>9}",
+            format!("p{i}"),
+            p.dplc_count(),
+            p.area_mm2,
+            p.power_mw,
+            mark
+        );
+    }
+
+    println!("\nJudicious coalescing (greedy SRAM descent):");
+    let (choices, best) = judicious_lc(&dag, &geom, backend)?;
+    for (stage, choice) in &choices {
+        let name = dag
+            .stage(imagen::ir::StageId::from_index(*stage))
+            .name()
+            .to_string();
+        println!("  {:10} -> {}", name, choice.label());
+    }
+    println!(
+        "  chosen design: {:.1} KB SRAM, {:.4} mm², {:.3} mW",
+        best.plan.design.sram_kb(),
+        best.plan.design.total_area_mm2(),
+        best.plan.design.total_power_mw()
+    );
+    Ok(())
+}

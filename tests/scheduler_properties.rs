@@ -1,0 +1,182 @@
+//! Property-based and brute-force cross-checks of the scheduler: the ILP
+//! optimum really is optimal, pruning really is lossless, and every
+//! schedule the optimizer emits is verified by independent machinery.
+
+use imagen::algos::synthetic_pipeline;
+use imagen::schedule::{
+    formulate, plan_design, schedule_satisfies, solve_schedule, size_buffers, BufferParams,
+    FormulationOptions, ScheduleOptions, SizeObjective,
+};
+use imagen::sim::{simulate, Image};
+use imagen::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+use imagen_ir::{Dag, Expr, StageId};
+use proptest::prelude::*;
+
+struct Uniform(u32);
+impl BufferParams for Uniform {
+    fn ports(&self, _: StageId) -> u32 {
+        self.0
+    }
+    fn coalesce(&self, _: StageId) -> u32 {
+        1
+    }
+}
+
+fn box_k(slot: usize, h: i32) -> Expr {
+    let half = h / 2;
+    Expr::sum((-half..=half).flat_map(move |dy| (-1..=1).map(move |dx| Expr::tap(slot, dx, dy))))
+}
+
+/// Exhaustive schedule search for tiny pipelines: enumerate start cycles
+/// up to a bound and minimize total buffer rows.
+fn brute_force_rows(dag: &Dag, width: u32, ports: u32, bound: i64) -> Option<u64> {
+    let set = formulate(dag, width, &Uniform(ports), FormulationOptions::default());
+    let n = dag.num_stages();
+    let mut starts = vec![0i64; n];
+    let mut best: Option<u64> = None;
+    fn rec(
+        i: usize,
+        n: usize,
+        bound: i64,
+        starts: &mut Vec<i64>,
+        set: &imagen::schedule::ConstraintSet,
+        dag: &Dag,
+        width: u32,
+        best: &mut Option<u64>,
+    ) {
+        if i == n {
+            if schedule_satisfies(set, starts) {
+                let (_, total) = size_buffers(dag, width, starts);
+                if best.map_or(true, |b| total < b) {
+                    *best = Some(total);
+                }
+            }
+            return;
+        }
+        for s in 0..=bound {
+            starts[i] = s;
+            rec(i + 1, n, bound, starts, set, dag, width, best);
+        }
+    }
+    rec(0, n, bound, &mut starts, &set, dag, width, &mut best);
+    best
+}
+
+#[test]
+fn ilp_matches_brute_force_on_small_pipelines() {
+    // 3-stage diamond at tiny width: exhaustive search is feasible.
+    let w = 4u32;
+    let mut dag = Dag::new("bf");
+    let k0 = dag.add_input("K0");
+    let k1 = dag.add_stage("K1", &[k0], box_k(0, 3)).unwrap();
+    let k2 = dag
+        .add_stage(
+            "K2",
+            &[k0, k1],
+            Expr::bin(imagen_ir::BinOp::Add, Expr::tap(0, 0, 0), Expr::tap(1, 0, 0)),
+        )
+        .unwrap();
+    dag.mark_output(k2);
+
+    for ports in [1u32, 2] {
+        let set = formulate(&dag, w, &Uniform(ports), FormulationOptions::default());
+        let sched = solve_schedule(&dag, w, &set, ScheduleOptions::default()).unwrap();
+        let brute = brute_force_rows(&dag, w, ports, 40).expect("feasible");
+        assert_eq!(
+            sched.total_rows, brute,
+            "P={ports}: ILP {} vs brute force {}",
+            sched.total_rows, brute
+        );
+    }
+}
+
+#[test]
+fn exact_rows_objective_matches_brute_force() {
+    let w = 4u32;
+    let mut dag = Dag::new("bf2");
+    let k0 = dag.add_input("K0");
+    let k1 = dag.add_stage("K1", &[k0], box_k(0, 3)).unwrap();
+    let k2 = dag.add_stage("K2", &[k1], box_k(0, 3)).unwrap();
+    dag.mark_output(k2);
+    let set = formulate(&dag, w, &Uniform(2), FormulationOptions::default());
+    let sched = solve_schedule(
+        &dag,
+        w,
+        &set,
+        ScheduleOptions {
+            objective: SizeObjective::TotalRows,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let brute = brute_force_rows(&dag, w, 2, 30).unwrap();
+    assert_eq!(sched.total_rows, brute);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random synthetic pipelines: pruning never changes the optimum, and
+    /// the planned design simulates clean.
+    #[test]
+    fn random_pipelines_schedule_and_simulate(seed in 0u64..500, stages in 4usize..9) {
+        let dag = synthetic_pipeline(stages, seed);
+        let geom = ImageGeometry { width: 24, height: 20, pixel_bits: 16 };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 2 * 24 * 16 }, 2);
+
+        let pruned = plan_design(&dag, &geom, &spec, ScheduleOptions::default(), DesignStyle::Ours)
+            .expect("schedulable");
+        let unpruned = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions { pruning: false, ..Default::default() },
+            DesignStyle::Ours,
+        )
+        .expect("schedulable");
+        prop_assert_eq!(
+            pruned.schedule.total_rows,
+            unpruned.schedule.total_rows,
+            "pruning must be lossless"
+        );
+
+        let input = Image::from_fn(geom.width, geom.height, |x, y| {
+            ((x * 31 + y * 17) % 251) as i64
+        });
+        let report = simulate(&pruned.dag, &pruned.design, &[input]).unwrap();
+        prop_assert!(
+            report.is_clean(),
+            "ports={:?} residency={:?} functional={}",
+            report.port_violations,
+            report.residency_violations,
+            report.outputs_match_golden
+        );
+    }
+
+    /// Single-port designs always need at least as many buffered rows as
+    /// dual-port ones, and both simulate clean.
+    #[test]
+    fn port_count_monotonicity(seed in 0u64..200, stages in 4usize..8) {
+        let dag = synthetic_pipeline(stages, seed);
+        let geom = ImageGeometry { width: 24, height: 20, pixel_bits: 16 };
+        let mk = |ports| {
+            plan_design(
+                &dag,
+                &geom,
+                &MemorySpec::new(MemBackend::Asic { block_bits: 2 * 24 * 16 }, ports),
+                ScheduleOptions::default(),
+                DesignStyle::Ours,
+            )
+            .expect("schedulable")
+        };
+        let single = mk(1);
+        let dual = mk(2);
+        prop_assert!(single.schedule.total_rows >= dual.schedule.total_rows);
+
+        let input = Image::from_fn(geom.width, geom.height, |x, y| {
+            ((x * 13 + y * 7) % 251) as i64
+        });
+        let r = simulate(&single.dag, &single.design, &[input]).unwrap();
+        prop_assert!(r.is_clean());
+    }
+}
