@@ -82,10 +82,7 @@ impl Algorithm {
     pub fn expected_multi_consumer(&self) -> usize {
         match self {
             Algorithm::CannyS | Algorithm::HarrisS => 0,
-            Algorithm::CannyM
-            | Algorithm::HarrisM
-            | Algorithm::UnsharpM
-            | Algorithm::XcorrM => 1,
+            Algorithm::CannyM | Algorithm::HarrisM | Algorithm::UnsharpM | Algorithm::XcorrM => 1,
             Algorithm::DenoiseM => 2,
         }
     }
@@ -283,11 +280,7 @@ mod tests {
     #[test]
     fn xcorr_has_tall_stencil() {
         let dag = Algorithm::XcorrM.build();
-        let max_h = dag
-            .edges()
-            .map(|(_, e)| e.window().height)
-            .max()
-            .unwrap();
+        let max_h = dag.edges().map(|(_, e)| e.window().height).max().unwrap();
         assert_eq!(max_h, 18, "the paper's 18x1 window");
     }
 

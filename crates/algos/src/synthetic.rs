@@ -38,11 +38,7 @@ pub fn synthetic_pipeline(stages: usize, seed: u64) -> Dag {
         let h = *[1i32, 3, 3, 5].get(rng.gen_range(0..4)).unwrap_or(&3);
         let kernel = match secondary {
             None => window_sum(0, h),
-            Some(_) => Expr::bin(
-                imagen_ir::BinOp::Add,
-                window_sum(0, h),
-                window_sum(1, 3),
-            ),
+            Some(_) => Expr::bin(imagen_ir::BinOp::Add, window_sum(0, h), window_sum(1, 3)),
         };
         let producers: Vec<StageId> = match secondary {
             None => vec![primary],
@@ -68,11 +64,7 @@ pub fn synthetic_pipeline(stages: usize, seed: u64) -> Dag {
 
 fn window_sum(slot: usize, h: i32) -> Expr {
     let half = h / 2;
-    Expr::sum(
-        (-half..=half).flat_map(move |dy| {
-            (-1..=1).map(move |dx| Expr::tap(slot, dx, dy))
-        }),
-    )
+    Expr::sum((-half..=half).flat_map(move |dy| (-1..=1).map(move |dx| Expr::tap(slot, dx, dy))))
 }
 
 /// Deterministic synthetic test patterns for simulator inputs.
@@ -177,8 +169,12 @@ mod tests {
         }
         // Seeds matter for noise.
         assert_ne!(
-            (0..64).map(|i| sample_pattern(TestPattern::Noise, 1, i, 0)).collect::<Vec<_>>(),
-            (0..64).map(|i| sample_pattern(TestPattern::Noise, 2, i, 0)).collect::<Vec<_>>()
+            (0..64)
+                .map(|i| sample_pattern(TestPattern::Noise, 1, i, 0))
+                .collect::<Vec<_>>(),
+            (0..64)
+                .map(|i| sample_pattern(TestPattern::Noise, 2, i, 0))
+                .collect::<Vec<_>>()
         );
     }
 }

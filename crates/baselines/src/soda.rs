@@ -69,8 +69,7 @@ pub fn generate_soda(
         }
     }
     for (_, e) in dag.edges() {
-        sra_bits +=
-            e.window().height as u64 * e.window().width() as u64 * geom.pixel_bits as u64;
+        sra_bits += e.window().height as u64 * e.window().width() as u64 * geom.pixel_bits as u64;
     }
 
     let design = Design {
@@ -123,8 +122,7 @@ fn plan_fifo_buffer(
     let depths: Vec<u32> = dag
         .consumer_edges(p)
         .map(|(_, e)| {
-            let d = starts[e.consumer().index()] - starts[p.index()]
-                - e.window().lag as i64 * w;
+            let d = starts[e.consumer().index()] - starts[p.index()] - e.window().lag as i64 * w;
             let skew_rows = (d + w - 1).div_euclid(w).max(1) as u32;
             skew_rows.max(e.window().newest_row() + 1)
         })

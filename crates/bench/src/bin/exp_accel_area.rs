@@ -3,12 +3,11 @@
 //! and total-area savings of Ours+LC over FixyNN/Darkroom.
 
 use imagen_algos::Algorithm;
-use imagen_bench::{asic_backend, evaluate, reduction_pct};
-use imagen_mem::{DesignStyle, ImageGeometry};
+use imagen_bench::{asic_backend, evaluate, geom_1080, geom_320, reduction_pct};
+use imagen_mem::DesignStyle;
 
 fn main() {
-    for geom in [ImageGeometry::p320(), ImageGeometry::p1080()] {
-        let label = if geom.width == 480 { "320p" } else { "1080p" };
+    for (geom, label) in [(geom_320(), "320p"), (geom_1080(), "1080p")] {
         println!("\n# Sec. 8.3 — Accelerator area @{label}\n");
         println!("| Algorithm | style | total mm² | memory mm² | memory share |");
         println!("|---|---|---|---|---|");

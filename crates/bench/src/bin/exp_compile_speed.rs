@@ -4,18 +4,19 @@
 //! Darkroom's linearization compiler (paper: ours 37.4% faster).
 
 use imagen_algos::Algorithm;
-use imagen_bench::asic_backend;
+use imagen_bench::{asic_backend, geom_320, timing_reps};
 use imagen_core::Compiler;
 use imagen_ir::linearize;
-use imagen_mem::{ImageGeometry, MemorySpec};
+use imagen_mem::MemorySpec;
 use imagen_schedule::{plan_design, ScheduleOptions};
 use std::time::Instant;
 
 fn time_ms(mut f: impl FnMut()) -> f64 {
-    // Warm up once, then take the best of 5 (compile times are ms-scale).
+    // Warm up once, then take the best of N (compile times are ms-scale;
+    // N is 5, or 1 in IMAGEN_SMOKE mode).
     f();
     let mut best = f64::INFINITY;
-    for _ in 0..5 {
+    for _ in 0..timing_reps() {
         let t = Instant::now();
         f();
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
@@ -24,7 +25,7 @@ fn time_ms(mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let geom = ImageGeometry::p320();
+    let geom = geom_320();
     let backend = asic_backend();
     println!("# Sec. 8.2 — Compilation speed @320p\n");
     println!("| Algorithm | Ours (ms) | no pruning (ms) | pruning speedup | Darkroom (ms) | Ours vs Darkroom |");
@@ -79,7 +80,10 @@ fn main() {
         );
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("\nAverage compile time: {:.2} ms (paper: 14.5 ms)", avg(&ours_all));
+    println!(
+        "\nAverage compile time: {:.2} ms (paper: 14.5 ms)",
+        avg(&ours_all)
+    );
     println!(
         "Average pruning speedup on -m algorithms: {:.2}x (paper: 4x)",
         avg(&speedups)

@@ -5,13 +5,13 @@
 //! (paper: 19.7%/5.8%/17.7% lower than FixyNN/Darkroom/SODA).
 
 use imagen_algos::Algorithm;
-use imagen_bench::{evaluate, reduction_pct, STYLES};
-use imagen_mem::{DesignStyle, ImageGeometry, MemBackend};
+use imagen_bench::{evaluate, geom_1080, reduction_pct, STYLES};
+use imagen_mem::{DesignStyle, MemBackend};
 
 const BOARD_BRAMS: usize = 120;
 
 fn main() {
-    let geom = ImageGeometry::p1080();
+    let geom = geom_1080();
     let backend = MemBackend::Fpga;
     println!("# Sec. 8.3/8.4 — FPGA backend @1080p (36 Kbit BRAMs, {BOARD_BRAMS}-block board)\n");
     println!("| Algorithm | style | BRAM blocks | board share | memory power (mW) |");

@@ -4,13 +4,13 @@
 //! fits in 84 BRAM blocks.
 
 use imagen_algos::Algorithm;
-use imagen_bench::generate;
-use imagen_mem::{DesignStyle, ImageGeometry, MemBackend};
+use imagen_bench::{generate, geom_320};
+use imagen_mem::{DesignStyle, MemBackend};
 
 const BOARD_BRAMS: usize = 120;
 
 fn main() {
-    let geom = ImageGeometry::p320();
+    let geom = geom_320();
     let backend = MemBackend::Fpga;
     // The six concurrently-resident algorithms (one Canny variant, as the
     // paper packs six of its seven workloads).

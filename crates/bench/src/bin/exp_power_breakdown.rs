@@ -5,27 +5,39 @@
 //! here with exact counts from the cycle-level simulator.
 
 use imagen_algos::Algorithm;
-use imagen_bench::{asic_backend, generate, test_frame};
+use imagen_bench::{asic_backend, generate, smoke_mode, test_frame};
 use imagen_mem::{BramModel, DesignStyle, ImageGeometry};
 use imagen_sim::simulate_and_annotate;
 
 fn main() {
     // Scale height down for simulation speed; access *rates* are
-    // height-invariant (the raster pattern repeats row by row).
-    let geom = ImageGeometry {
-        width: 480,
-        height: 64,
-        pixel_bits: 16,
+    // height-invariant (the raster pattern repeats row by row). Smoke
+    // mode shrinks the frame further for CI.
+    let geom = if smoke_mode() {
+        ImageGeometry {
+            width: 96,
+            height: 16,
+            pixel_bits: 16,
+        }
+    } else {
+        ImageGeometry {
+            width: 480,
+            height: 64,
+            pixel_bits: 16,
+        }
     };
-    println!("# Sec. 8.4 — access-rate breakdown (simulated, 480-wide frames)\n");
+    println!(
+        "# Sec. 8.4 — access-rate breakdown (simulated, {}-wide frames)\n",
+        geom.width
+    );
     println!("| Algorithm | style | blocks | avg accesses/block/cycle | max block rate |");
     println!("|---|---|---|---|---|");
     for alg in [Algorithm::UnsharpM, Algorithm::DenoiseM, Algorithm::CannyM] {
         for style in [DesignStyle::Soda, DesignStyle::Ours, DesignStyle::FixyNn] {
             let mut plan = generate(alg, style, &geom, asic_backend());
             let input = test_frame(&geom, 7);
-            let report = simulate_and_annotate(&plan.dag, &mut plan.design, &[input])
-                .expect("simulation");
+            let report =
+                simulate_and_annotate(&plan.dag, &mut plan.design, &[input]).expect("simulation");
             assert!(
                 report.port_violations.is_empty(),
                 "{} {}: {:?}",

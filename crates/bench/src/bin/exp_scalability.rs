@@ -4,17 +4,22 @@
 //! with OR-Tools; our exact rational solver scales similarly in shape).
 
 use imagen_algos::synthetic_pipeline;
-use imagen_bench::asic_backend;
+use imagen_bench::{asic_backend, geom_320, smoke_mode};
 use imagen_core::Compiler;
-use imagen_mem::{ImageGeometry, MemorySpec};
+use imagen_mem::MemorySpec;
 use std::time::Instant;
 
 fn main() {
-    let geom = ImageGeometry::p320();
+    let geom = geom_320();
     println!("# Sec. 8.2 — Scalability sweep (synthetic pipelines)\n");
     println!("| Stages | MC stages | constraints | sub-problems | compile (ms) |");
     println!("|---|---|---|---|---|");
-    for stages in [9usize, 15, 24, 33, 42, 51, 60] {
+    let sweep: &[usize] = if smoke_mode() {
+        &[9, 15, 24]
+    } else {
+        &[9, 15, 24, 33, 42, 51, 60]
+    };
+    for &stages in sweep {
         let dag = synthetic_pipeline(stages, 2023);
         let spec = MemorySpec::new(asic_backend(), 2);
         let compiler = Compiler::new(geom, spec);

@@ -4,12 +4,12 @@
 //! average latency at no memory/power cost).
 
 use imagen_algos::Algorithm;
-use imagen_bench::{asic_backend, generate, test_frame};
-use imagen_mem::{DesignStyle, ImageGeometry};
+use imagen_bench::{asic_backend, generate, geom_320, test_frame};
+use imagen_mem::DesignStyle;
 use imagen_sim::simulate;
 
 fn main() {
-    let geom = ImageGeometry::p320();
+    let geom = geom_320();
     println!("# Sec. 8.1 — Throughput and latency @320p\n");
     println!("| Algorithm | px/cycle | clean sim | latency Ours | vs Darkroom | vs SODA |");
     println!("|---|---|---|---|---|---|");

@@ -7,17 +7,20 @@
 //! * Denoise-m has *two* Pareto-optimal designs (all-DP and all-DPLC).
 
 use imagen_algos::Algorithm;
-use imagen_bench::asic_backend;
+use imagen_bench::{asic_backend, geom_320};
 use imagen_dse::sweep;
-use imagen_mem::ImageGeometry;
 
 fn main() {
-    let geom = ImageGeometry::p320();
+    let geom = geom_320();
     for alg in [Algorithm::CannyM, Algorithm::DenoiseM] {
         let dag = alg.build();
         let res = sweep(&dag, &geom, asic_backend()).expect("sweep");
         let front = res.pareto_front();
-        println!("\n## Fig. 10 — {} DSE ({} design points)\n", alg.name(), res.points.len());
+        println!(
+            "\n## Fig. 10 — {} DSE ({} design points)\n",
+            alg.name(),
+            res.points.len()
+        );
         println!("| Design | DPLC stages | Area (mm²) | Power (mW) | Pareto |");
         println!("|---|---|---|---|---|");
         let all_dp = 0usize;

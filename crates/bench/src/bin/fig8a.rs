@@ -1,11 +1,11 @@
 //! Reproduces **Fig. 8a**: on-chip SRAM size (KB) of the five generators
 //! on 320p frames, per algorithm plus the average, on the ASIC backend.
 
-use imagen_bench::{asic_backend, figure_matrix, print_matrix, reduction_pct, STYLES};
-use imagen_mem::{DesignStyle, ImageGeometry};
+use imagen_bench::{asic_backend, figure_matrix, geom_320, print_matrix, reduction_pct, STYLES};
+use imagen_mem::DesignStyle;
 
 fn main() {
-    let geom = ImageGeometry::p320();
+    let geom = geom_320();
     let (algos, sram, _, _) = figure_matrix(&geom, asic_backend());
     print_matrix("Fig. 8a — SRAM size @320p", "KB", &algos, &sram, &STYLES);
 

@@ -1,13 +1,19 @@
 //! Reproduces **Fig. 8b**: on-chip memory power (mW) of the five
 //! generators on 320p frames, ASIC backend.
 
-use imagen_bench::{asic_backend, figure_matrix, print_matrix, reduction_pct, STYLES};
-use imagen_mem::{DesignStyle, ImageGeometry};
+use imagen_bench::{asic_backend, figure_matrix, geom_320, print_matrix, reduction_pct, STYLES};
+use imagen_mem::DesignStyle;
 
 fn main() {
-    let geom = ImageGeometry::p320();
+    let geom = geom_320();
     let (algos, _, power, _) = figure_matrix(&geom, asic_backend());
-    print_matrix("Fig. 8b — memory power @320p", "mW", &algos, &power, &STYLES);
+    print_matrix(
+        "Fig. 8b — memory power @320p",
+        "mW",
+        &algos,
+        &power,
+        &STYLES,
+    );
 
     let avg = |style: DesignStyle| -> f64 {
         let idx = STYLES.iter().position(|s| *s == style).unwrap();
@@ -39,8 +45,6 @@ fn main() {
         "- Ours vs SODA:     {:+.1}% lower power (paper 56.0%)",
         reduction_pct(soda, ours)
     );
-    println!(
-        "\nNote: Ours beats SODA on power despite using more SRAM — SODA's"
-    );
+    println!("\nNote: Ours beats SODA on power despite using more SRAM — SODA's");
     println!("FIFOs serve two accesses per block every cycle (Sec. 8.4).");
 }

@@ -2,11 +2,14 @@
 //! coalescing does not apply — a 1080p row fills the whole block (Sec. 7)
 //! — so the `Ours+LC` column is absent, as in the paper.
 
-use imagen_bench::{asic_backend, figure_matrix, lc_available, print_matrix, reduction_pct, STYLES};
-use imagen_mem::{DesignStyle, ImageGeometry};
+use imagen_bench::{
+    asic_backend, figure_matrix, geom_1080, geom_320, lc_available, print_matrix, reduction_pct,
+    STYLES,
+};
+use imagen_mem::DesignStyle;
 
 fn main() {
-    let geom = ImageGeometry::p1080();
+    let geom = geom_1080();
     assert!(
         !lc_available(&geom, asic_backend()),
         "paper setup: no coalescing at 1080p"
@@ -39,7 +42,7 @@ fn main() {
     // metric above is block-count-driven and resolution-invariant; the
     // paper's OpenRAM-sized arrays grow with the row width, which this
     // column shows).
-    let (_, _, _, points) = figure_matrix(&ImageGeometry::p320(), asic_backend());
+    let (_, _, _, points) = figure_matrix(&geom_320(), asic_backend());
     let used = |pts: &Vec<imagen_bench::EvalPoint>, style: DesignStyle| {
         pts.iter()
             .find(|e| e.style == style)

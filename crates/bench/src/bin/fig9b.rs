@@ -1,13 +1,19 @@
 //! Reproduces **Fig. 9b**: on-chip memory power (mW) at 1080p (no
 //! `Ours+LC` column, as in the paper).
 
-use imagen_bench::{asic_backend, figure_matrix, print_matrix, reduction_pct, STYLES};
-use imagen_mem::{DesignStyle, ImageGeometry};
+use imagen_bench::{asic_backend, figure_matrix, geom_1080, print_matrix, reduction_pct, STYLES};
+use imagen_mem::DesignStyle;
 
 fn main() {
-    let geom = ImageGeometry::p1080();
+    let geom = geom_1080();
     let (algos, _, power, _) = figure_matrix(&geom, asic_backend());
-    print_matrix("Fig. 9b — memory power @1080p", "mW", &algos, &power, &STYLES);
+    print_matrix(
+        "Fig. 9b — memory power @1080p",
+        "mW",
+        &algos,
+        &power,
+        &STYLES,
+    );
 
     let avg = |style: DesignStyle| -> f64 {
         let idx = STYLES.iter().position(|s| *s == style).unwrap();

@@ -16,8 +16,16 @@ fn main() {
             Algorithm::XcorrM => "Cross correlation",
             Algorithm::DenoiseM => "Image denoise",
         };
-        let max_h = dag.edges().map(|(_, e)| e.window().height).max().unwrap_or(1);
-        let max_w = dag.edges().map(|(_, e)| e.window().width()).max().unwrap_or(1);
+        let max_h = dag
+            .edges()
+            .map(|(_, e)| e.window().height)
+            .max()
+            .unwrap_or(1);
+        let max_w = dag
+            .edges()
+            .map(|(_, e)| e.window().width())
+            .max()
+            .unwrap_or(1);
         println!(
             "| {} | {} | {} | {} | {}x{} |",
             alg.name(),

@@ -68,16 +68,23 @@ pub const STYLES: [DesignStyle; 5] = [
 ///
 /// Panics if any generator fails — the evaluation workloads are all
 /// schedulable by construction.
-pub fn generate(alg: Algorithm, style: DesignStyle, geom: &ImageGeometry, backend: MemBackend) -> Plan {
+pub fn generate(
+    alg: Algorithm,
+    style: DesignStyle,
+    geom: &ImageGeometry,
+    backend: MemBackend,
+) -> Plan {
     let dag = alg.build();
     match style {
         DesignStyle::FixyNn => generate_fixynn(&dag, geom, backend).expect("fixynn"),
         DesignStyle::Darkroom => generate_darkroom(&dag, geom, backend).expect("darkroom"),
         DesignStyle::Soda => generate_soda(&dag, geom, backend).expect("soda"),
-        DesignStyle::Ours => Compiler::new(*geom, MemorySpec::new(backend, 2))
-            .compile_dag(&dag)
-            .expect("ours")
-            .plan,
+        DesignStyle::Ours => {
+            Compiler::new(*geom, MemorySpec::new(backend, 2))
+                .compile_dag(&dag)
+                .expect("ours")
+                .plan
+        }
         DesignStyle::OursLc => {
             // "Judicious" coalescing: per-buffer LC only where it reduces
             // SRAM (imagen-dse's greedy descent).
@@ -125,6 +132,71 @@ pub fn evaluate(alg: Algorithm, geom: &ImageGeometry, backend: MemBackend) -> Ve
 /// The standard ASIC backend of the evaluation (DESIGN.md §7).
 pub fn asic_backend() -> MemBackend {
     MemBackend::asic_default()
+}
+
+/// True when the `IMAGEN_SMOKE` environment variable is set to anything
+/// other than `0`, `false`, `off` or the empty string.
+///
+/// In smoke mode every experiment binary shrinks its workload — tiny
+/// frames, fewer timing repetitions, shorter sweeps — so that CI can
+/// cheaply check each one still runs end to end. The printed numbers are
+/// *not* the paper's numbers in this mode.
+pub fn smoke_mode() -> bool {
+    smoke_value(std::env::var("IMAGEN_SMOKE").ok().as_deref())
+}
+
+fn smoke_value(var: Option<&str>) -> bool {
+    match var {
+        Some(v) => !matches!(v.trim(), "" | "0" | "false" | "off"),
+        None => false,
+    }
+}
+
+/// The shrunken stand-in for 320p used by [`geom_320`] in smoke mode.
+pub const SMOKE_GEOM_320: ImageGeometry = ImageGeometry {
+    width: 96,
+    height: 48,
+    pixel_bits: 16,
+};
+
+/// The shrunken stand-in for 1080p used by [`geom_1080`] in smoke mode.
+pub const SMOKE_GEOM_1080: ImageGeometry = ImageGeometry {
+    width: 1184,
+    height: 64,
+    pixel_bits: 16,
+};
+
+/// The evaluation's 320p geometry, or a structurally equivalent tiny
+/// frame in [`smoke_mode`] (line coalescing stays available: an ASIC
+/// block still holds several rows, as at real 320p).
+pub fn geom_320() -> ImageGeometry {
+    if smoke_mode() {
+        SMOKE_GEOM_320
+    } else {
+        ImageGeometry::p320()
+    }
+}
+
+/// The evaluation's 1080p geometry, or a structurally equivalent short
+/// frame in [`smoke_mode`]. The smoke width keeps a row wider than half
+/// a block on *both* backends (ASIC 32 Kbit and FPGA 36 Kbit BRAM:
+/// 1184 × 16 bits = 18 944 > 18 432), so line coalescing stays
+/// *unavailable*, as at real 1080p — Sec. 7.
+pub fn geom_1080() -> ImageGeometry {
+    if smoke_mode() {
+        SMOKE_GEOM_1080
+    } else {
+        ImageGeometry::p1080()
+    }
+}
+
+/// Timing repetitions for best-of-N measurement loops (1 in smoke mode).
+pub fn timing_reps() -> usize {
+    if smoke_mode() {
+        1
+    } else {
+        5
+    }
 }
 
 /// A deterministic test frame for simulator-backed experiments.
@@ -263,5 +335,31 @@ mod tests {
     #[test]
     fn reduction_math() {
         assert!((reduction_pct(100.0, 72.0) - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoke_mode_off_values() {
+        for (v, expect) in [
+            (Some("1"), true),
+            (Some("yes"), true),
+            (Some("0"), false),
+            (Some("false"), false),
+            (Some("off"), false),
+            (Some(""), false),
+            (Some(" 0 "), false),
+            (None, false),
+        ] {
+            assert_eq!(smoke_value(v), expect, "IMAGEN_SMOKE={v:?}");
+        }
+    }
+
+    #[test]
+    fn smoke_geometries_preserve_lc_structure() {
+        // The shrunken frames must keep the paper's coalescing structure:
+        // available at "320p" scale, unavailable at "1080p" scale on both
+        // backends.
+        assert!(lc_available(&SMOKE_GEOM_320, MemBackend::asic_default()));
+        assert!(!lc_available(&SMOKE_GEOM_1080, MemBackend::asic_default()));
+        assert!(!lc_available(&SMOKE_GEOM_1080, MemBackend::Fpga));
     }
 }

@@ -1,0 +1,52 @@
+//! Smoke checks for the paper-figure binaries: each experiment must start,
+//! produce output and exit 0 on a tiny input (`IMAGEN_SMOKE=1`).
+//!
+//! This guards the whole experiment surface — any binary that stops
+//! compiling fails `cargo build`, and any binary that panics on its
+//! shrunken workload fails here, without CI paying for the full
+//! paper-scale runs.
+
+use std::process::Command;
+
+fn run_smoke(exe: &str, expect_stdout: &str) {
+    let out = Command::new(exe)
+        .env("IMAGEN_SMOKE", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        out.status.code()
+    );
+    assert!(
+        stdout.contains(expect_stdout),
+        "{exe} stdout missing {expect_stdout:?}:\n{stdout}"
+    );
+}
+
+macro_rules! smoke_tests {
+    ($($name:ident => $expect:expr;)*) => {$(
+        #[test]
+        fn $name() {
+            run_smoke(env!(concat!("CARGO_BIN_EXE_", stringify!($name))), $expect);
+        }
+    )*};
+}
+
+smoke_tests! {
+    tbl3 => "Tbl. 3";
+    exp_throughput => "Sec. 8.1";
+    exp_compile_speed => "Sec. 8.2";
+    exp_scalability => "Sec. 8.2";
+    exp_accel_area => "Sec. 8.3";
+    exp_fpga => "Sec. 8.3";
+    exp_multi_algo => "Sec. 8.3";
+    exp_power_breakdown => "Sec. 8.4";
+    fig8a => "Fig. 8a";
+    fig8b => "Fig. 8b";
+    fig9a => "Fig. 9a";
+    fig9b => "Fig. 9b";
+    fig10 => "Fig. 10";
+}

@@ -246,7 +246,10 @@ mod tests {
         let (geom, spec) = small();
         let c = Compiler::new(geom, spec);
         let out = c
-            .compile_source("blur", "input a; output b = im(x,y) (a(x,y-1)+a(x,y)+a(x,y+1))/3 end")
+            .compile_source(
+                "blur",
+                "input a; output b = im(x,y) (a(x,y-1)+a(x,y)+a(x,y+1))/3 end",
+            )
             .unwrap();
         assert!(out.timing.optimize_us > 0);
         assert!(out.timing.total_us() >= out.timing.optimize_us);

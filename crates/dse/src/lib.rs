@@ -199,7 +199,7 @@ pub fn judicious_lc(
             }
         }
     }
-    let cfg = buffered.into_iter().zip(choices).map(|(s, c)| (s, c)).collect();
+    let cfg = buffered.into_iter().zip(choices).collect();
     Ok((cfg, best))
 }
 
@@ -282,8 +282,7 @@ mod tests {
                     continue;
                 }
                 assert!(
-                    !(p.area_mm2 <= res.points[i].area_mm2
-                        && p.power_mw < res.points[i].power_mw),
+                    !(p.area_mm2 <= res.points[i].area_mm2 && p.power_mw < res.points[i].power_mw),
                     "frontier point {i} dominated by {j}"
                 );
             }
@@ -309,8 +308,7 @@ mod tests {
     // Canny-s has 8 buffered stages -> 256 points; keep the test fast by
     // sweeping only the extremes.
     fn sweep_small(dag: &imagen_ir::Dag) -> DseResult {
-        let buffered: Vec<usize> =
-            dag.buffered_stages().iter().map(|s| s.index()).collect();
+        let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
         let mut points = Vec::new();
         for &all_lc in &[false, true] {
             let mut spec = MemorySpec::new(backend(), 2);

@@ -126,9 +126,7 @@ pub fn lower(name: &str, program: &Program) -> Result<Dag, LowerError> {
 fn lower_expr(e: &AstExpr, slot_of: &HashMap<&str, usize>) -> Expr {
     match e {
         AstExpr::Number(n) => Expr::Const(*n),
-        AstExpr::Tap { stage, dx, dy, .. } => {
-            Expr::tap(slot_of[stage.as_str()], *dx, *dy)
-        }
+        AstExpr::Tap { stage, dx, dy, .. } => Expr::tap(slot_of[stage.as_str()], *dx, *dy),
         AstExpr::Neg(inner) => Expr::Neg(Box::new(lower_expr(inner, slot_of))),
         AstExpr::Call { func, args, .. } => {
             let mut a: Vec<Expr> = args.iter().map(|x| lower_expr(x, slot_of)).collect();

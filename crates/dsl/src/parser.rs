@@ -463,18 +463,15 @@ mod tests {
     fn calls_and_arity() {
         parse_program("input A; output B = im(x,y) min(A(x,y), 3) end").unwrap();
         parse_program("input A; output B = im(x,y) clamp(A(x,y), 0, 255) end").unwrap();
-        let err =
-            parse_program("input A; output B = im(x,y) min(A(x,y)) end").unwrap_err();
+        let err = parse_program("input A; output B = im(x,y) min(A(x,y)) end").unwrap_err();
         assert!(matches!(err, ParseError::BadArity { expected: 2, .. }));
-        let err =
-            parse_program("input A; output B = im(x,y) frob(A(x,y)) end").unwrap_err();
+        let err = parse_program("input A; output B = im(x,y) frob(A(x,y)) end").unwrap_err();
         assert!(matches!(err, ParseError::UnknownFunction { .. }));
     }
 
     #[test]
     fn coordinate_names_enforced() {
-        let err =
-            parse_program("input A; output B = im(u,v) A(x, y) end").unwrap_err();
+        let err = parse_program("input A; output B = im(u,v) A(x, y) end").unwrap_err();
         assert!(matches!(err, ParseError::BadCoordinate { .. }));
         // Custom coordinate names work when used consistently.
         parse_program("input A; output B = im(u,v) A(u-1, v+1) end").unwrap();
@@ -491,10 +488,8 @@ mod tests {
 
     #[test]
     fn negation_and_comparison() {
-        let p = parse_program(
-            "input A; output B = im(x,y) select(A(x,y) > 10, -A(x,y), 0) end",
-        )
-        .unwrap();
+        let p = parse_program("input A; output B = im(x,y) select(A(x,y) > 10, -A(x,y), 0) end")
+            .unwrap();
         match &p.items[1] {
             Item::Stage { body, .. } => {
                 assert!(matches!(body, AstExpr::Call { func, .. } if func == "select"));

@@ -24,13 +24,7 @@ pub fn to_dsl(dag: &Dag) -> String {
                     .collect();
                 let mut body = String::new();
                 render(kernel, &names, &mut body);
-                let _ = writeln!(
-                    out,
-                    "{}{} = im(x,y) {} end",
-                    prefix,
-                    stage.name(),
-                    body
-                );
+                let _ = writeln!(out, "{}{} = im(x,y) {} end", prefix, stage.name(), body);
                 let _ = id;
             }
         }
@@ -56,7 +50,13 @@ fn render(e: &Expr, names: &[&str], out: &mut String) {
             }
         }
         Expr::Tap { slot, dx, dy } => {
-            let _ = write!(out, "{}({},{})", names[*slot], coord("x", *dx), coord("y", *dy));
+            let _ = write!(
+                out,
+                "{}({},{})",
+                names[*slot],
+                coord("x", *dx),
+                coord("y", *dy)
+            );
         }
         Expr::Neg(inner) => {
             out.push_str("(-");

@@ -26,7 +26,10 @@ pub struct PositiveCycle;
 
 impl fmt::Display for PositiveCycle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "difference system contains a positive cycle (infeasible)")
+        write!(
+            f,
+            "difference system contains a positive cycle (infeasible)"
+        )
     }
 }
 

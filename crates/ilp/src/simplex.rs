@@ -174,9 +174,7 @@ impl Tableau {
                     match &leave {
                         None => leave = Some((i, ratio)),
                         Some((li, lr)) => {
-                            if ratio < *lr
-                                || (ratio == *lr && self.basis[i] < self.basis[*li])
-                            {
+                            if ratio < *lr || (ratio == *lr && self.basis[i] < self.basis[*li]) {
                                 leave = Some((i, ratio));
                             }
                         }

@@ -142,8 +142,7 @@ mod tests {
         let k1 = dag.add_input("K1");
         let k2 = dag.add_stage("K2", &[k1], column(0, 3)).unwrap();
         dag.mark_output(k2);
-        let rewritten =
-            apply_line_coalescing(&mut dag, |_| CoalesceFactor::new(2));
+        let rewritten = apply_line_coalescing(&mut dag, |_| CoalesceFactor::new(2));
         assert_eq!(rewritten.len(), 1);
         assert_eq!(rewritten[0].virtual_stages, 2);
         let (_, e) = dag.consumer_edges(k1).next().unwrap();
@@ -169,8 +168,7 @@ mod tests {
         let k0 = dag.add_input("K0");
         let k1 = dag.add_stage("K1", &[k0], column(0, 18)).unwrap();
         dag.mark_output(k1);
-        let rewritten =
-            apply_line_coalescing(&mut dag, |_| CoalesceFactor::new(2));
+        let rewritten = apply_line_coalescing(&mut dag, |_| CoalesceFactor::new(2));
         assert_eq!(rewritten[0].virtual_stages, 9);
         let (_, e) = dag.consumer_edges(k0).next().unwrap();
         assert!(e.ports().iter().all(|p| p.height <= 2));
@@ -184,8 +182,7 @@ mod tests {
         let k0 = dag.add_input("K0");
         let k1 = dag.add_stage("K1", &[k0], Expr::tap(0, 0, 0)).unwrap();
         dag.mark_output(k1);
-        let rewritten =
-            apply_line_coalescing(&mut dag, |_| CoalesceFactor::new(2));
+        let rewritten = apply_line_coalescing(&mut dag, |_| CoalesceFactor::new(2));
         assert!(rewritten.is_empty());
     }
 
@@ -229,16 +226,10 @@ mod tests {
             )
             .unwrap();
         dag.mark_output(k1);
-        let (_, e) = dag
-            .producer_edges(k1)
-            .find(|(_, e)| e.slot() == 1)
-            .unwrap();
+        let (_, e) = dag.producer_edges(k1).find(|(_, e)| e.slot() == 1).unwrap();
         assert_eq!(e.window().lag, 1);
         apply_line_coalescing(&mut dag, |_| CoalesceFactor::new(2));
-        let (_, e) = dag
-            .producer_edges(k1)
-            .find(|(_, e)| e.slot() == 1)
-            .unwrap();
+        let (_, e) = dag.producer_edges(k1).find(|(_, e)| e.slot() == 1).unwrap();
         assert_eq!(e.ports()[0].row_offset, 1);
         assert_eq!(e.ports()[0].height, 2);
         assert_eq!(e.ports()[1].row_offset, 3);

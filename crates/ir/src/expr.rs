@@ -269,11 +269,7 @@ impl Expr {
                 cond,
                 then,
                 otherwise,
-            } => Expr::select(
-                cond.map_taps(f),
-                then.map_taps(f),
-                otherwise.map_taps(f),
-            ),
+            } => Expr::select(cond.map_taps(f), then.map_taps(f), otherwise.map_taps(f)),
             Expr::Clamp { value, lo, hi } => Expr::Clamp {
                 value: Box::new(value.map_taps(f)),
                 lo: Box::new(lo.map_taps(f)),
@@ -440,11 +436,7 @@ mod tests {
 
     #[test]
     fn eval_taps_positional() {
-        let e = Expr::bin(
-            BinOp::Sub,
-            Expr::tap(0, 1, 0),
-            Expr::tap(0, -1, 0),
-        );
+        let e = Expr::bin(BinOp::Sub, Expr::tap(0, 1, 0), Expr::tap(0, -1, 0));
         let mut fetch = |_s: usize, dx: i32, _dy: i32| (dx * 10) as i64;
         assert_eq!(e.eval(&mut fetch), 20);
     }

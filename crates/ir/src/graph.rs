@@ -309,10 +309,16 @@ impl fmt::Display for IrError {
                 "stage `{stage}` taps slot {slot} but declares only {producers} producer(s)"
             ),
             IrError::UnknownProducer { stage } => {
-                write!(f, "stage `{stage}` references a producer that does not exist")
+                write!(
+                    f,
+                    "stage `{stage}` references a producer that does not exist"
+                )
             }
             IrError::UnreadProducer { stage, slot } => {
-                write!(f, "stage `{stage}` never reads its declared producer {slot}")
+                write!(
+                    f,
+                    "stage `{stage}` never reads its declared producer {slot}"
+                )
             }
             IrError::NoOutput => write!(f, "pipeline has no output stage"),
             IrError::NoInput => write!(f, "pipeline has no input stage"),
@@ -583,14 +589,12 @@ impl Dag {
 
     /// Edges out of a producer (its consumers' reads).
     pub fn consumer_edges(&self, p: StageId) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges()
-            .filter(move |(_, e)| e.producer == p)
+        self.edges().filter(move |(_, e)| e.producer == p)
     }
 
     /// Edges into a consumer (its producer reads), in slot order.
     pub fn producer_edges(&self, c: StageId) -> impl Iterator<Item = (EdgeId, &Edge)> {
-        self.edges()
-            .filter(move |(_, e)| e.consumer == c)
+        self.edges().filter(move |(_, e)| e.consumer == c)
     }
 
     /// Distinct consumer stages of a producer.
@@ -827,9 +831,12 @@ mod tests {
         assert_eq!(dag.stage(k1).norm_shift(), (1, -1));
         // After normalization every tap satisfies dy >= 0, dx <= 0.
         let mut ok = true;
-        dag.stage(k1).kernel().unwrap().for_each_tap(&mut |_, dx, dy| {
-            ok &= dy >= 0 && dx <= 0;
-        });
+        dag.stage(k1)
+            .kernel()
+            .unwrap()
+            .for_each_tap(&mut |_, dx, dy| {
+                ok &= dy >= 0 && dx <= 0;
+            });
         assert!(ok);
     }
 
@@ -885,9 +892,7 @@ mod tests {
         let k0 = dag.add_input("K0");
         let err = dag.add_stage("K1", &[k0], Expr::tap(1, 0, 0)).unwrap_err();
         assert!(matches!(err, IrError::UnknownSlot { slot: 1, .. }));
-        let err = dag
-            .add_stage("K1", &[k0], Expr::Const(5))
-            .unwrap_err();
+        let err = dag.add_stage("K1", &[k0], Expr::Const(5)).unwrap_err();
         assert!(matches!(err, IrError::UnreadProducer { slot: 0, .. }));
     }
 
@@ -897,10 +902,7 @@ mod tests {
         let k0 = dag.add_input("K");
         let k1 = dag.add_stage("K", &[k0], Expr::tap(0, 0, 0)).unwrap();
         dag.mark_output(k1);
-        assert!(matches!(
-            dag.validate(),
-            Err(IrError::DuplicateName { .. })
-        ));
+        assert!(matches!(dag.validate(), Err(IrError::DuplicateName { .. })));
     }
 
     #[test]

@@ -260,7 +260,10 @@ mod tests {
         let mut taps = Vec::new();
         kernel.for_each_tap(&mut |s, dx, dy| taps.push((s, dx, dy)));
         assert_eq!(taps.len(), 1);
-        assert_eq!(taps[0].2, 2, "relay forwards the newest row of the 3-row window");
+        assert_eq!(
+            taps[0].2, 2,
+            "relay forwards the newest row of the 3-row window"
+        );
         assert!(matches!(relay.origin(), Origin::Relay { .. }));
     }
 
@@ -304,7 +307,10 @@ mod tests {
                 assert_eq!(consumers.len(), 2);
                 let g0 = lin.dag.stage(consumers[0]).sync_group();
                 let g1 = lin.dag.stage(consumers[1]).sync_group();
-                assert!(g0.is_some() && g0 == g1, "extra readers must be sync'd relays");
+                assert!(
+                    g0.is_some() && g0 == g1,
+                    "extra readers must be sync'd relays"
+                );
             }
         }
         lin.dag.validate().unwrap();

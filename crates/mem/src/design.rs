@@ -9,9 +9,7 @@
 
 use crate::geometry::ImageGeometry;
 use crate::spec::MemBackend;
-use crate::tech::{
-    pj_per_cycle_to_mw, BramModel, DffModel, SramConfig, SramModel, CLOCK_MHZ,
-};
+use crate::tech::{pj_per_cycle_to_mw, BramModel, DffModel, SramConfig, SramModel, CLOCK_MHZ};
 
 /// What a physical block stores.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -73,8 +71,7 @@ impl BufferPlan {
         }
         let phys_row = (abs_row % self.phys_rows as u64) as u32;
         let idx = if self.blocks_per_row > 1 {
-            let seg =
-                (x as u64 * geom.pixel_bits as u64) / self.segment_bits();
+            let seg = (x as u64 * geom.pixel_bits as u64) / self.segment_bits();
             phys_row as u64 * self.blocks_per_row as u64 + seg
         } else {
             (phys_row / self.rows_per_block) as u64
@@ -252,7 +249,8 @@ impl Design {
 
     /// Total accelerator power: memory + PEs + shift-register arrays.
     pub fn total_power_mw(&self) -> f64 {
-        self.memory_power_mw() + self.pe_power_mw
+        self.memory_power_mw()
+            + self.pe_power_mw
             + DffModel::shift_power_mw(self.sra_bits, CLOCK_MHZ)
     }
 
@@ -471,21 +469,8 @@ mod tests {
 
     #[test]
     fn fifo_role_allocates() {
-        let plan = allocate_buffer(
-            1,
-            2,
-            2,
-            1,
-            &geom320(),
-            MemBackend::Fpga,
-            2,
-            480 * 16,
-            true,
-        );
-        assert!(plan
-            .blocks
-            .iter()
-            .all(|b| b.role == BlockRole::FifoSegment));
+        let plan = allocate_buffer(1, 2, 2, 1, &geom320(), MemBackend::Fpga, 2, 480 * 16, true);
+        assert!(plan.blocks.iter().all(|b| b.role == BlockRole::FifoSegment));
         assert_eq!(plan.dff_bits, 7680);
         assert_eq!(plan.blocks[0].capacity_bits, BramModel::BLOCK_BITS);
     }
@@ -493,17 +478,7 @@ mod tests {
     #[test]
     fn empty_buffer_is_legal() {
         // SODA head-only buffers: everything in DFFs, no SRAM blocks.
-        let plan = allocate_buffer(
-            0,
-            0,
-            0,
-            1,
-            &geom320(),
-            MemBackend::Fpga,
-            2,
-            100,
-            true,
-        );
+        let plan = allocate_buffer(0, 0, 0, 1, &geom320(), MemBackend::Fpga, 2, 100, true);
         assert!(plan.blocks.is_empty());
         assert_eq!(plan.block_of(0, 0, &geom320()), None);
         assert_eq!(plan.capacity_bits(), 0);

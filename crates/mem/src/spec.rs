@@ -135,9 +135,7 @@ impl MemorySpec {
         if !self.coalesce_enabled(stage) {
             return 1;
         }
-        self.ports_for(stage)
-            .min(self.rows_fitting(geom))
-            .max(1)
+        self.ports_for(stage).min(self.rows_fitting(geom)).max(1)
     }
 }
 

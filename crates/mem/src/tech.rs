@@ -173,14 +173,14 @@ pub struct PeModel;
 impl PeModel {
     /// Area of a PE with the given op counts, mm².
     pub fn area_mm2(adds: usize, muls: usize, divs: usize, cmps: usize, muxes: usize) -> f64 {
-        (adds + cmps + muxes) as f64 * k::ADD_MM2 + muls as f64 * k::MUL_MM2
+        (adds + cmps + muxes) as f64 * k::ADD_MM2
+            + muls as f64 * k::MUL_MM2
             + divs as f64 * k::DIV_MM2
     }
 
     /// Energy of one activation of the PE, pJ.
     pub fn energy_pj(adds: usize, muls: usize, divs: usize, cmps: usize, muxes: usize) -> f64 {
-        (adds + cmps + muxes) as f64 * k::ADD_PJ + muls as f64 * k::MUL_PJ
-            + divs as f64 * k::DIV_PJ
+        (adds + cmps + muxes) as f64 * k::ADD_PJ + muls as f64 * k::MUL_PJ + divs as f64 * k::DIV_PJ
     }
 }
 
@@ -230,12 +230,10 @@ mod tests {
     #[test]
     fn access_energy_grows_with_size_and_ports() {
         assert!(
-            SramModel::access_energy_pj(cfg(65536, 1))
-                > SramModel::access_energy_pj(cfg(8192, 1))
+            SramModel::access_energy_pj(cfg(65536, 1)) > SramModel::access_energy_pj(cfg(8192, 1))
         );
         assert!(
-            SramModel::access_energy_pj(cfg(32768, 2))
-                > SramModel::access_energy_pj(cfg(32768, 1))
+            SramModel::access_energy_pj(cfg(32768, 2)) > SramModel::access_energy_pj(cfg(32768, 1))
         );
     }
 
@@ -244,10 +242,7 @@ mod tests {
         let one = BramModel::power_mw(1.0);
         let two = BramModel::power_mw(2.0);
         let ratio = two / one;
-        assert!(
-            (ratio - 1.35).abs() < 0.01,
-            "expected ~1.35x, got {ratio}"
-        );
+        assert!((ratio - 1.35).abs() < 0.01, "expected ~1.35x, got {ratio}");
     }
 
     #[test]

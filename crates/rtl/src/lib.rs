@@ -37,9 +37,7 @@ mod tests {
             .add_stage(
                 "K1",
                 &[k0],
-                imagen_ir::Expr::sum(
-                    (0..9).map(|i| imagen_ir::Expr::tap(0, i % 3 - 1, i / 3 - 1)),
-                ),
+                imagen_ir::Expr::sum((0..9).map(|i| imagen_ir::Expr::tap(0, i % 3 - 1, i / 3 - 1))),
             )
             .unwrap();
         let k2 = dag
@@ -62,8 +60,14 @@ mod tests {
             pixel_bits: 16,
         };
         let spec = MemorySpec::new(MemBackend::Asic { block_bits: 1024 }, 2);
-        let p = plan_design(&dag, &geom, &spec, ScheduleOptions::default(), DesignStyle::Ours)
-            .unwrap();
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
         (p.dag, p.design)
     }
 

@@ -86,11 +86,7 @@ pub fn generate_testbench(dag: &Dag, design: &Design, vectors: &TestVectors) -> 
             w = PIXEL_BITS - 1,
             n = frame - 1
         );
-        let _ = writeln!(
-            v,
-            "    wire signed [{}:0] stream_out_{i};",
-            PIXEL_BITS - 1
-        );
+        let _ = writeln!(v, "    wire signed [{}:0] stream_out_{i};", PIXEL_BITS - 1);
         let _ = stage;
     }
 
@@ -191,8 +187,14 @@ mod tests {
             pixel_bits: 16,
         };
         let spec = MemorySpec::new(MemBackend::Asic { block_bits: 256 }, 2);
-        let p = plan_design(&dag, &geom, &spec, ScheduleOptions::default(), DesignStyle::Ours)
-            .unwrap();
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
         (p.dag, p.design)
     }
 

@@ -59,7 +59,10 @@ impl fmt::Display for RtlError {
                 write!(f, "module `{name}` defined more than once")
             }
             RtlError::UndefinedModule { name, within } => {
-                write!(f, "module `{name}` instantiated in `{within}` but never defined")
+                write!(
+                    f,
+                    "module `{name}` instantiated in `{within}` but never defined"
+                )
             }
             RtlError::DuplicateSignal { name, within } => {
                 write!(f, "signal `{name}` declared twice in module `{within}`")
@@ -184,10 +187,7 @@ pub fn verify_structure(src: &str) -> Result<RtlSummary, RtlError> {
                 if let Some(name) = tokens.get(j) {
                     // Memory declarations `reg ... mem [0:N]` reuse ident.
                     let entry = signals.entry(current.clone()).or_default();
-                    if !entry.insert((*name).to_string())
-                        && !current.is_empty()
-                        && *name != "mem"
-                    {
+                    if !entry.insert((*name).to_string()) && !current.is_empty() && *name != "mem" {
                         return Err(RtlError::DuplicateSignal {
                             name: (*name).to_string(),
                             within: current.clone(),
@@ -249,15 +249,13 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_modules() {
-        let err =
-            verify_structure("module a (); endmodule module a (); endmodule").unwrap_err();
+        let err = verify_structure("module a (); endmodule module a (); endmodule").unwrap_err();
         assert!(matches!(err, RtlError::DuplicateModule { .. }));
     }
 
     #[test]
     fn rejects_undefined_instances() {
-        let err = verify_structure("module a (); stage_missing u (); endmodule")
-            .unwrap_err();
+        let err = verify_structure("module a (); stage_missing u (); endmodule").unwrap_err();
         assert!(matches!(err, RtlError::UndefinedModule { .. }));
     }
 

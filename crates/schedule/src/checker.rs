@@ -130,16 +130,14 @@ pub fn check_accesses(
             let x = k.rem_euclid(w);
             // Clamped unique rows accessed this cycle.
             let lo = (y + e.row_offset as i64).min(height as i64 - 1);
-            let hi = (y + e.row_offset as i64 + e.height as i64 - 1)
-                .min(height as i64 - 1);
+            let hi = (y + e.row_offset as i64 + e.height as i64 - 1).min(height as i64 - 1);
             for row in lo..=hi {
                 let key = match layout {
                     None => row as u64,
                     Some(l) => {
                         let phys = (row as u64) % l.phys_rows as u64;
                         if l.blocks_per_row > 1 {
-                            let seg =
-                                (x as u64 * pixel_bits as u64) / l.block_bits;
+                            let seg = (x as u64 * pixel_bits as u64) / l.block_bits;
                             phys * l.blocks_per_row as u64 + seg
                         } else {
                             phys / l.rows_per_block as u64
@@ -282,8 +280,7 @@ mod tests {
         let err = check_accesses(W, H, PX, &ents, 1, Some(&layout)).unwrap_err();
         assert!(err.physical);
         // One slack row fixes it.
-        let q = required_phys_rows(W, H, PX, &ents, 1, 3, 1, 1, (W * PX) as u64)
-            .unwrap();
+        let q = required_phys_rows(W, H, PX, &ents, 1, 3, 1, 1, (W * PX) as u64).unwrap();
         assert_eq!(q, 4);
     }
 

@@ -44,7 +44,13 @@ pub struct DiffGe {
 
 impl fmt::Display for DiffGe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "S[{}] - S[{}] >= {}", self.a.index(), self.b.index(), self.k)
+        write!(
+            f,
+            "S[{}] - S[{}] >= {}",
+            self.a.index(),
+            self.b.index(),
+            self.k
+        )
     }
 }
 
@@ -143,8 +149,16 @@ pub fn formulate(
     for (id, s) in dag.stages() {
         if let Some(g) = s.sync_group() {
             if let Some((_, rep)) = groups_seen.iter().find(|(gg, _)| *gg == g) {
-                hard.push(DiffGe { a: id, b: *rep, k: 0 });
-                hard.push(DiffGe { a: *rep, b: id, k: 0 });
+                hard.push(DiffGe {
+                    a: id,
+                    b: *rep,
+                    k: 0,
+                });
+                hard.push(DiffGe {
+                    a: *rep,
+                    b: id,
+                    k: 0,
+                });
             } else {
                 groups_seen.push((g, id));
             }
@@ -257,7 +271,11 @@ pub fn formulate(
         }
     }
 
-    ConstraintSet { hard, groups, stats }
+    ConstraintSet {
+        hard,
+        groups,
+        stats,
+    }
 }
 
 fn push_coalesced_pair(
@@ -428,20 +446,12 @@ fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
 /// (hard constraints and at least one alternative per group).
 pub fn schedule_satisfies(set: &ConstraintSet, starts: &[i64]) -> bool {
     let ok = |c: &DiffGe| starts[c.a.index()] - starts[c.b.index()] >= c.k;
-    set.hard.iter().all(ok)
-        && set
-            .groups
-            .iter()
-            .all(|g| g.alternatives.iter().any(ok))
+    set.hard.iter().all(ok) && set.groups.iter().all(|g| g.alternatives.iter().any(ok))
 }
 
 /// Builds a [`DiffSystem`] from hard constraints plus chosen alternatives
 /// (for ASAP scheduling and fast feasibility checks).
-pub fn to_diff_system(
-    n: usize,
-    hard: &[DiffGe],
-    chosen: &[DiffGe],
-) -> DiffSystem {
+pub fn to_diff_system(n: usize, hard: &[DiffGe], chosen: &[DiffGe]) -> DiffSystem {
     let mut sys = DiffSystem::new(n);
     for c in hard.iter().chain(chosen) {
         sys.add_ge(c.a.index(), c.b.index(), c.k);
@@ -519,7 +529,10 @@ mod tests {
             &Uniform { ports: 2, g: 1 },
             FormulationOptions::default(),
         );
-        assert_eq!(set.stats.combinations, 1, "one 3-combination on K0's buffer");
+        assert_eq!(
+            set.stats.combinations, 1,
+            "one 3-combination on K0's buffer"
+        );
         assert_eq!(set.groups.len(), 0, "group fully collapsed");
         assert_eq!(set.stats.groups_collapsed, 1);
         // The surviving constraint forces K2 behind K0's writer. K2's
@@ -592,9 +605,7 @@ mod tests {
         let k0 = dag.add_input("K0");
         let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
         dag.mark_output(k1);
-        imagen_ir::apply_line_coalescing(&mut dag, |_| {
-            imagen_ir::CoalesceFactor::new(2)
-        });
+        imagen_ir::apply_line_coalescing(&mut dag, |_| imagen_ir::CoalesceFactor::new(2));
         let set = formulate(
             &dag,
             480,

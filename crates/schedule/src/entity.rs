@@ -136,7 +136,11 @@ mod tests {
             .add_stage(
                 "K2",
                 &[k0, k1],
-                Expr::bin(imagen_ir::BinOp::Add, Expr::tap(0, 0, 0), Expr::tap(1, 0, 0)),
+                Expr::bin(
+                    imagen_ir::BinOp::Add,
+                    Expr::tap(0, 0, 0),
+                    Expr::tap(1, 0, 0),
+                ),
             )
             .unwrap();
         dag.mark_output(k2);
@@ -144,7 +148,11 @@ mod tests {
         let k0_new = lin.stage_map[0];
         let ents = buffer_entities(&lin.dag, k0_new);
         // K0's buffer: writer + merged {K1, relay}.
-        assert_eq!(ents.len(), 2, "relay merged with mirrored consumer: {ents:?}");
+        assert_eq!(
+            ents.len(),
+            2,
+            "relay merged with mirrored consumer: {ents:?}"
+        );
         let reader = &ents[1];
         assert_eq!(reader.members.len(), 2);
     }
@@ -155,9 +163,7 @@ mod tests {
         let k0 = dag.add_input("K0");
         let k1 = dag.add_stage("K1", &[k0], box3(0)).unwrap();
         dag.mark_output(k1);
-        imagen_ir::apply_line_coalescing(&mut dag, |_| {
-            imagen_ir::CoalesceFactor::new(2)
-        });
+        imagen_ir::apply_line_coalescing(&mut dag, |_| imagen_ir::CoalesceFactor::new(2));
         let ents = buffer_entities(&dag, k0);
         assert_eq!(ents.len(), 3, "writer + 2 virtual stages");
         assert_eq!(ents[1].height, 2);

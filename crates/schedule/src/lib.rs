@@ -28,8 +28,8 @@ mod plan;
 mod solve;
 
 pub use constraints::{
-    dependency_gap, formulate, schedule_satisfies, BufferParams, ConstraintSet, DiffBounds,
-    DiffGe, FormulationOptions, FormulationStats, OrGroup,
+    dependency_gap, formulate, schedule_satisfies, BufferParams, ConstraintSet, DiffBounds, DiffGe,
+    FormulationOptions, FormulationStats, OrGroup,
 };
 pub use entity::{buffer_entities, AccessEntity};
 pub use plan::{plan_design, realize_design, Plan, PlanError};

@@ -14,8 +14,7 @@ use crate::entity::buffer_entities;
 use crate::solve::{solve_schedule, Schedule, ScheduleError, ScheduleOptions};
 use imagen_ir::{apply_line_coalescing, CoalesceFactor, Dag, StageId, StageKind};
 use imagen_mem::{
-    allocate_buffer, Design, DesignStyle, ImageGeometry, MemorySpec, PeModel,
-    CLOCK_MHZ,
+    allocate_buffer, Design, DesignStyle, ImageGeometry, MemorySpec, PeModel, CLOCK_MHZ,
 };
 use std::fmt;
 
@@ -247,8 +246,7 @@ pub fn realize_design(
         }
     }
     for (_, e) in dag.edges() {
-        sra_bits +=
-            e.window().height as u64 * e.window().width() as u64 * geom.pixel_bits as u64;
+        sra_bits += e.window().height as u64 * e.window().width() as u64 * geom.pixel_bits as u64;
     }
 
     Ok(Design {
@@ -421,11 +419,7 @@ mod tests {
         // K0's buffer: writer 1 + K1 reads 3 + K2 reads 2 = 6 accesses per
         // cycle, spread over its blocks.
         let b0 = &plan.design.buffers[0];
-        let total: f64 = b0
-            .blocks
-            .iter()
-            .map(|b| b.avg_accesses_per_cycle)
-            .sum();
+        let total: f64 = b0.blocks.iter().map(|b| b.avg_accesses_per_cycle).sum();
         assert!((total - 6.0).abs() < 1e-9, "got {total}");
     }
 

@@ -284,8 +284,8 @@ fn solve_leaf(
             SizeObjective::TotalRows => {
                 let r = m.add_int_var(format!("R_{}", p.index()));
                 // W * R_p + S_p - T_p >= 0.
-                let expr = LinExpr::from(r) * w + LinExpr::from(svars[p.index()])
-                    - LinExpr::from(t);
+                let expr =
+                    LinExpr::from(r) * w + LinExpr::from(svars[p.index()]) - LinExpr::from(t);
                 m.add_constraint(expr, imagen_ilp::Cmp::Ge, 0, "rows");
                 obj = obj + LinExpr::from(r);
                 rvars.push(r);
@@ -313,8 +313,7 @@ pub fn size_buffers(dag: &Dag, width: u32, starts: &[i64]) -> (Vec<u32>, u64) {
     for p in dag.buffered_stages() {
         let mut q = 1i64;
         for (_, e) in dag.consumer_edges(p) {
-            let d = starts[e.consumer().index()] - starts[p.index()]
-                - e.window().lag as i64 * w;
+            let d = starts[e.consumer().index()] - starts[p.index()] - e.window().lag as i64 * w;
             debug_assert!(d >= 1, "dependency constraints guarantee d >= 1");
             q = q.max((d + w - 1).div_euclid(w));
         }

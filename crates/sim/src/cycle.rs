@@ -223,11 +223,7 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
         })
         .collect();
 
-    let end = starts
-        .iter()
-        .map(|s| s + frame)
-        .max()
-        .unwrap_or(frame);
+    let end = starts.iter().map(|s| s + frame).max().unwrap_or(frame);
 
     let mut port_violations = Vec::new();
     let mut residency_violations = Vec::new();
@@ -247,10 +243,8 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
         }
     }
 
-    let edge_list: Vec<(usize, imagen_ir::Edge)> = dag
-        .edges()
-        .map(|(id, e)| (id.index(), e.clone()))
-        .collect();
+    let edge_list: Vec<(usize, imagen_ir::Edge)> =
+        dag.edges().map(|(id, e)| (id.index(), e.clone())).collect();
     // Per-stage slot -> edge index lookup for kernel taps.
     let slot_edge: Vec<Vec<usize>> = dag
         .stages()
@@ -353,9 +347,7 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
 
             // 2. Compute the stage's output pixel from its SRAs.
             computed[sid.index()] = match stage.kind() {
-                StageKind::Input => {
-                    inputs[next_input[sid.index()]].get(x as u32, y as u32)
-                }
+                StageKind::Input => inputs[next_input[sid.index()]].get(x as u32, y as u32),
                 StageKind::Compute { kernel } => {
                     let slots = &slot_edge[sid.index()];
                     kernel.eval(&mut |slot, dx, dy| {
@@ -390,8 +382,7 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
                 sb.data[slot] = value;
                 if !sb.fifo {
                     if let Some(pi) = sb.plan {
-                        if let Some(block) =
-                            design.buffers[pi].block_of(y as u64, x as u32, &geom)
+                        if let Some(block) = design.buffers[pi].block_of(y as u64, x as u32, &geom)
                         {
                             bump(&mut sb.cycle_counts, block);
                             sb.totals_w[block] += 1;
@@ -607,21 +598,41 @@ mod tests {
     #[test]
     fn multi_consumer_clean_dual_port() {
         let r = plan_and_sim(MULTI, 2, false);
-        assert!(r.is_clean(), "port={:?} res={:?}", r.port_violations, r.residency_violations);
+        assert!(
+            r.is_clean(),
+            "port={:?} res={:?}",
+            r.port_violations,
+            r.residency_violations
+        );
     }
 
     #[test]
     fn single_port_fixynn_style_clean() {
         let r = plan_and_sim(MULTI, 1, false);
-        assert!(r.is_clean(), "port={:?} res={:?}", r.port_violations, r.residency_violations);
+        assert!(
+            r.is_clean(),
+            "port={:?} res={:?}",
+            r.port_violations,
+            r.residency_violations
+        );
     }
 
     #[test]
     fn coalesced_clean() {
         let r = plan_and_sim(BLUR, 2, true);
-        assert!(r.is_clean(), "port={:?} res={:?}", r.port_violations, r.residency_violations);
+        assert!(
+            r.is_clean(),
+            "port={:?} res={:?}",
+            r.port_violations,
+            r.residency_violations
+        );
         let r = plan_and_sim(MULTI, 2, true);
-        assert!(r.is_clean(), "port={:?} res={:?}", r.port_violations, r.residency_violations);
+        assert!(
+            r.is_clean(),
+            "port={:?} res={:?}",
+            r.port_violations,
+            r.residency_violations
+        );
     }
 
     #[test]

@@ -151,7 +151,10 @@ mod tests {
         // Normalization makes the stored tap (0,0) with the stage anchored
         // one pixel later, so the *normalized* semantics here are identity
         // of the normalized tap: check against direct evaluation instead.
-        let k = dag.stage(imagen_ir::StageId::from_index(1)).kernel().unwrap();
+        let k = dag
+            .stage(imagen_ir::StageId::from_index(1))
+            .kernel()
+            .unwrap();
         let mut expect = Image::new(4, 4);
         for y in 0..4 {
             for x in 0..4 {

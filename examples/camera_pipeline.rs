@@ -31,16 +31,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Simulating {} cycles...", geom.pixels() + 2000);
     let report = simulate(&ours.plan.dag, &ours.plan.design, &[frame])?;
-    println!("  throughput        : {} px/cycle", report.throughput_px_per_cycle);
+    println!(
+        "  throughput        : {} px/cycle",
+        report.throughput_px_per_cycle
+    );
     println!("  port violations   : {}", report.port_violations.len());
-    println!("  residency faults  : {}", report.residency_violations.len());
+    println!(
+        "  residency faults  : {}",
+        report.residency_violations.len()
+    );
     println!("  bit-exact output  : {}", report.outputs_match_golden);
     println!("  frame latency     : {} cycles", report.latency);
     println!("  memory accesses   : {}", report.total_accesses);
     assert!(report.is_clean(), "the generated design must not stall");
 
     println!("\nBaseline comparison (same algorithm, same frame size):\n");
-    println!("{:10} {:>10} {:>8} {:>12}", "design", "SRAM KB", "blocks", "mem mW");
+    println!(
+        "{:10} {:>10} {:>8} {:>12}",
+        "design", "SRAM KB", "blocks", "mem mW"
+    );
     let fx = generate_fixynn(&dag, &geom, backend)?;
     let dk = generate_darkroom(&dag, &geom, backend)?;
     let soda = generate_soda(&dag, &geom, backend)?;

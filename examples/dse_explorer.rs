@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let res = sweep(&dag, &geom, backend)?;
     let front = res.pareto_front();
 
-    println!("{:>6} {:>6} {:>12} {:>12} {:>9}", "point", "DPLC", "area mm²", "power mW", "Pareto");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>9}",
+        "point", "DPLC", "area mm²", "power mW", "Pareto"
+    );
     for (i, p) in res.points.iter().enumerate() {
         let mark = if front.contains(&i) { "  *" } else { "" };
         println!(

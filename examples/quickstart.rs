@@ -69,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  memory power   : {:.2} mW", design.memory_power_mw());
     println!(
         "  latency        : {} cycles/frame",
-        out.plan.schedule.latency(&out.plan.dag, geom.width, geom.height)
+        out.plan
+            .schedule
+            .latency(&out.plan.dag, geom.width, geom.height)
     );
     println!(
         "  compile time   : {:.2} ms (front end {:.2} + optimize {:.2} + codegen {:.2})",

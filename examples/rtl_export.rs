@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = PathBuf::from("target/rtl");
     fs::create_dir_all(&out_dir)?;
 
-    println!("{:12} {:>8} {:>9} {:>7} {:>9}", "algorithm", "modules", "SRAMs", "lines", "compile");
+    println!(
+        "{:12} {:>8} {:>9} {:>7} {:>9}",
+        "algorithm", "modules", "SRAMs", "lines", "compile"
+    );
     for alg in Algorithm::all() {
         let out = compiler.compile_dag(&alg.build())?;
         let summary = verify_structure(&out.verilog)?;

@@ -1,0 +1,231 @@
+//! Offline stand-in for the subset of [`criterion` 0.5](https://docs.rs/criterion)
+//! that this workspace's benches use: `Criterion::benchmark_group`,
+//! `sample_size`/`measurement_time`, `bench_function`/`bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId` and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! this minimal timing harness instead. It has none of criterion's
+//! statistics: each benchmark runs one warm-up iteration plus `sample_size`
+//! timed iterations (capped by the group's `measurement_time`) and prints
+//! min / mean / max wall-clock per iteration. Set `CRITERION_SHIM_SAMPLES`
+//! to override the per-group sample count (useful as a `=1` smoke mode
+//! in CI).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value, e.g. a problem size.
+    pub fn from_parameter<D: Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<D: Display>(function_name: &str, parameter: D) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; runs and times the
+/// benchmarked routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_budget: usize,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let started = Instant::now();
+        for _ in 0..self.sample_budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.time_budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Bounds the wall-clock spent per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let samples = std::env::var("CRITERION_SHIM_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let mut b = Bencher {
+            samples: Vec::with_capacity(samples),
+            sample_budget: samples,
+            time_budget: self.measurement_time,
+        };
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{}/{}: {} samples, min {:.3?}, mean {:.3?}, max {:.3?}",
+            self.name,
+            id.0,
+            b.samples.len(),
+            min,
+            total / n as u32,
+            max
+        );
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in this shim beyond dropping it).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let name = "criterion".to_string();
+        let mut group = BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            _criterion: self,
+        };
+        group.run(id.into(), f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs >= 4, "warm-up plus timed samples, got {runs}");
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        benches();
+    }
+}

@@ -1,0 +1,470 @@
+//! Offline stand-in for the subset of [`proptest` 1.x](https://docs.rs/proptest)
+//! that this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! API surface its property tests need: the [`proptest!`] macro, integer
+//! range strategies, tuples of strategies, [`collection::vec`],
+//! [`array::uniform2`]/[`array::uniform4`], [`Strategy::prop_map`], the
+//! `prop_assert*` macros, [`test_runner::ProptestConfig`] and
+//! [`test_runner::TestCaseError`].
+//!
+//! Unlike real proptest there is no shrinking and no persistence file:
+//! every test draws its cases from a SplitMix64 stream seeded by hashing
+//! the test's `module_path!()::name`, so a failure reproduces exactly on
+//! every run and on every machine, and the failing inputs are printed in
+//! the panic message. Set `PROPTEST_SHIM_SEED=<u64>` to perturb the stream
+//! when hunting for new counterexamples.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Run-time configuration for a [`proptest!`](crate::proptest) block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// A failed test case (the only variant this shim models is `fail`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Rejects the current case with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used to generate cases.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from the fully qualified test name (FNV-1a),
+        /// optionally perturbed by `PROPTEST_SHIM_SEED`.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SHIM_SEED") {
+                if let Ok(extra) = s.parse::<u64>() {
+                    h ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values for property tests.
+    ///
+    /// This shim drops proptest's shrinking machinery: a strategy is just a
+    /// deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The type of value this strategy yields.
+        type Value;
+
+        /// Draws one value from the stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "cannot sample empty range {:?}..{:?}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                    let off = raw % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<i128> {
+        type Value = i128;
+
+        fn generate(&self, rng: &mut TestRng) -> i128 {
+            assert!(
+                self.start < self.end,
+                "cannot sample empty range {}..{}",
+                self.start,
+                self.end
+            );
+            let span = (self.end - self.start) as u128;
+            let raw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            self.start + (raw % span) as i128
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for fixed-size arrays whose elements all come from the same
+    /// element strategy.
+    #[derive(Clone, Debug)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    /// An `[T; 2]` drawn from two independent samples of `element`.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArrayStrategy<S, 2> {
+        UniformArrayStrategy { element }
+    }
+
+    /// An `[T; 3]` drawn from three independent samples of `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArrayStrategy<S, 3> {
+        UniformArrayStrategy { element }
+    }
+
+    /// An `[T; 4]` drawn from four independent samples of `element`.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+/// The commonly used names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Map, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the common form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, ys in proptest::collection::vec(0i64..9, 0..5)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        // Bodies that unconditionally panic or return make the generated
+        // trailing `Ok(())` unreachable; that is expected.
+        #[allow(unreachable_code)]
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $arg = ($strat).generate(&mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                // catch_unwind so a plain panic!/unwrap inside the body
+                // still gets its generated inputs reported before the
+                // panic resumes.
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::core::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > { $body ::core::result::Result::Ok(()) },
+                    ),
+                );
+                match __result {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                    ::core::result::Result::Ok(::core::result::Result::Err(__e)) => {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n    inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __cfg.cases,
+                            __e,
+                            __inputs,
+                        );
+                    }
+                    ::core::result::Result::Err(__payload) => {
+                        eprintln!(
+                            "proptest {} panicked at case {}/{}\n    inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __cfg.cases,
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_are_deterministic_per_test_name() {
+        let mut a = TestRng::for_test("shim::t1");
+        let mut b = TestRng::for_test("shim::t1");
+        let s = 0u64..1000;
+        let xs: Vec<u64> = (0..32).map(|_| s.clone().generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| s.clone().generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|&x| x < 1000));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        /// A panic inside the body must propagate (after the input dump)
+        /// so `#[should_panic]` and ordinary test failure still work.
+        #[test]
+        #[should_panic(expected = "deliberate body panic")]
+        fn body_panics_propagate(_x in 0u64..4) {
+            panic!("deliberate body panic");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro machinery itself: tuples, vec, prop_map, arrays.
+        #[test]
+        fn shim_machinery_works(
+            x in 3usize..17,
+            pair in (0i64..5, -5i64..0),
+            ys in crate::collection::vec(0i128..9, 2..6),
+            arr in crate::array::uniform4(-4i64..5),
+            mapped in (0u32..10).prop_map(|v| v * 2),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(pair.0 >= 0 && pair.1 < 0);
+            prop_assert!(ys.len() >= 2 && ys.len() < 6);
+            prop_assert!(ys.iter().all(|&y| (0..9).contains(&y)));
+            prop_assert!(arr.iter().all(|&a| (-4..5).contains(&a)));
+            prop_assert_eq!(mapped % 2, 0);
+            prop_assert_ne!(mapped, 21);
+        }
+    }
+}

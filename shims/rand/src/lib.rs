@@ -1,0 +1,126 @@
+//! Offline stand-in for the subset of [`rand` 0.8](https://docs.rs/rand/0.8)
+//! that this workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`]
+//! and [`Rng::gen_range`] over half-open integer ranges.
+//!
+//! The container this repo builds in has no access to crates.io, so the
+//! workspace vendors the small API surface it needs. The generator is
+//! SplitMix64 — deliberately simple, fully deterministic in the seed, and
+//! *not* the same stream as the real `StdRng` (ChaCha12). Every caller in
+//! this repo seeds explicitly and only asserts on properties that hold for
+//! any reasonable stream, so the difference is unobservable to the tests.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seeding interface: construct a generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from a half-open [`Range`].
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[range.start, range.end)` given a raw
+    /// 64-bit draw. Panics if the range is empty.
+    fn sample(range: Range<Self>, raw: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, raw: u64) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "cannot sample empty range {:?}..{:?}",
+                    range.start,
+                    range.end
+                );
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let off = (raw as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random-number-generator interface (the sliver of `rand::Rng` we use).
+pub trait Rng {
+    /// Returns the next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from the half-open integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let raw = self.next_u64();
+        T::sample(range, raw)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..6);
+            assert!((-5..6).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(4usize..4);
+    }
+}

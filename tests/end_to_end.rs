@@ -114,8 +114,7 @@ fn rtl_generates_and_verifies_for_all() {
             .compile_dag(&alg.build())
             .unwrap();
         let v = generate_verilog(&out.plan.dag, &out.plan.design);
-        let summary =
-            verify_structure(&v).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        let summary = verify_structure(&v).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
         assert!(summary.modules >= alg.expected_stages(), "{}", alg.name());
         assert!(summary.sram_instances > 0, "{}", alg.name());
     }

@@ -84,9 +84,10 @@ fn rtl_respects_memory_spec() {
     // Dual-port spec -> dual-port macros only; single-port -> 1p macros.
     // Both primitives are always *defined* (one occurrence each); only the
     // matching one may be *instantiated* (two or more occurrences).
-    for (ports, macro_kind, absent) in
-        [(2u32, "imagen_sram_2p #", "imagen_sram_1p #"), (1, "imagen_sram_1p #", "imagen_sram_2p #")]
-    {
+    for (ports, macro_kind, absent) in [
+        (2u32, "imagen_sram_2p #", "imagen_sram_1p #"),
+        (1, "imagen_sram_1p #", "imagen_sram_2p #"),
+    ] {
         let spec = MemorySpec::new(
             MemBackend::Asic {
                 block_bits: 2 * geom.row_bits(),
@@ -149,8 +150,6 @@ fn simulator_rejects_geometry_mismatch() {
     let out = Compiler::new(geom, spec)
         .compile_dag(&Algorithm::UnsharpM.build())
         .unwrap();
-    let wrong = Image::from_fn(8, 8, |x, y| {
-        sample_pattern(TestPattern::Gradient, 0, x, y)
-    });
+    let wrong = Image::from_fn(8, 8, |x, y| sample_pattern(TestPattern::Gradient, 0, x, y));
     assert!(imagen::sim::simulate(&out.plan.dag, &out.plan.design, &[wrong]).is_err());
 }

@@ -4,7 +4,7 @@
 
 use imagen::algos::synthetic_pipeline;
 use imagen::schedule::{
-    formulate, plan_design, schedule_satisfies, solve_schedule, size_buffers, BufferParams,
+    formulate, plan_design, schedule_satisfies, size_buffers, solve_schedule, BufferParams,
     FormulationOptions, ScheduleOptions, SizeObjective,
 };
 use imagen::sim::{simulate, Image};
@@ -73,7 +73,11 @@ fn ilp_matches_brute_force_on_small_pipelines() {
         .add_stage(
             "K2",
             &[k0, k1],
-            Expr::bin(imagen_ir::BinOp::Add, Expr::tap(0, 0, 0), Expr::tap(1, 0, 0)),
+            Expr::bin(
+                imagen_ir::BinOp::Add,
+                Expr::tap(0, 0, 0),
+                Expr::tap(1, 0, 0),
+            ),
         )
         .unwrap();
     dag.mark_output(k2);

@@ -127,12 +127,7 @@ fn linearized_designs_simulate_bit_exact() {
     let (orig_id, _) = dag.stages().find(|(_, s)| s.is_output()).unwrap();
     let (_, sim_img) = &report.output_images[0];
     assert_eq!(
-        diff_interior_shifted(
-            orig.stage(orig_id),
-            sim_img,
-            lin.shifts[orig_id.index()],
-            8
-        ),
+        diff_interior_shifted(orig.stage(orig_id), sim_img, lin.shifts[orig_id.index()], 8),
         0
     );
 }
@@ -148,12 +143,7 @@ fn relay_count_matches_extra_consumers() {
             .map(|&p| dag.consumers_of(p).len().saturating_sub(1))
             .sum();
         let lin = linearize(&dag).unwrap();
-        assert_eq!(
-            lin.relays.len(),
-            expected,
-            "{}: relay count",
-            alg.name()
-        );
+        assert_eq!(lin.relays.len(), expected, "{}: relay count", alg.name());
         assert_eq!(
             lin.dag.num_stages(),
             dag.num_stages() + expected,
