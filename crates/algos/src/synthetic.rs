@@ -87,7 +87,7 @@ pub fn sample_pattern(pattern: TestPattern, seed: u64, x: u32, y: u32) -> i64 {
         TestPattern::Gradient => ((x + 2 * y) % 256) as i64,
         TestPattern::Checker(t) => {
             let t = t.max(1);
-            if ((x / t) + (y / t)) % 2 == 0 {
+            if ((x / t) + (y / t)).is_multiple_of(2) {
                 220
             } else {
                 30
@@ -104,7 +104,7 @@ pub fn sample_pattern(pattern: TestPattern, seed: u64, x: u32, y: u32) -> i64 {
             ((z ^ (z >> 31)) % 256) as i64
         }
         TestPattern::Bars => {
-            let base = if (y / 8) % 2 == 0 { 200 } else { 40 };
+            let base = if (y / 8).is_multiple_of(2) { 200 } else { 40 };
             let spike = sample_pattern(TestPattern::Noise, seed ^ 0xABCD, x, y);
             if spike > 250 {
                 255

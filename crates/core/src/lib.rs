@@ -37,6 +37,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod session;
+
+pub use session::{CompileCache, Session};
+
 use imagen_dsl::DslError;
 use imagen_ir::Dag;
 use imagen_mem::{DesignStyle, ImageGeometry, MemorySpec};
@@ -120,7 +124,7 @@ impl Compiler {
     /// Creates a compiler for the given frame geometry and memory spec.
     pub fn new(geom: ImageGeometry, spec: MemorySpec) -> Compiler {
         // Label the output by whether the spec ever coalesces.
-        let style = if (0..1024).any(|i| spec.coalesce_factor(i, &geom) > 1) {
+        let style = if spec.ever_coalesces(&geom) {
             DesignStyle::OursLc
         } else {
             DesignStyle::Ours

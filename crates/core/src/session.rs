@@ -1,0 +1,484 @@
+//! Reusable compile sessions with memoization — the multi-point entry
+//! into the compiler.
+//!
+//! A one-shot [`Compiler`](crate::Compiler) re-derives everything per
+//! call. Design-space exploration (paper Sec. 8.5) instead compiles the
+//! *same* DAG under hundreds of memory configurations, where two phases
+//! are invariant across points:
+//!
+//! * the DAG analysis and the spec-independent constraint skeleton
+//!   (data dependencies, sync equalities, longest-path bounds) — built
+//!   once per [`Session`];
+//! * any point already compiled — returned from the [`CompileCache`],
+//!   keyed by (DAG fingerprint, geometry, resolved per-stage memory
+//!   config, schedule options, style).
+//!
+//! Sessions are `Sync`: design points can be fanned out over
+//! `std::thread::scope` workers sharing one session, and the cache is
+//! shared across threads (compilation runs outside the cache lock, so
+//! workers never serialize on the solver).
+
+use crate::{CompileError, CompileOutput, CompileTiming};
+use imagen_ir::Dag;
+use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+use imagen_schedule::{formulate_skeleton, plan_design_with, ConstraintSkeleton, Plan};
+use imagen_schedule::{ScheduleOptions, SizeObjective};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Cache key identifying one fully-resolved compile point.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct PointKey {
+    dag_fingerprint: u64,
+    width: u32,
+    height: u32,
+    pixel_bits: u32,
+    backend: MemBackend,
+    /// Resolved `(ports, coalesce factor)` per stage — two specs that
+    /// resolve identically compile identically.
+    stages: Vec<(u32, u32)>,
+    pruning: bool,
+    objective: SizeObjective,
+    max_subproblems: usize,
+    style: DesignStyle,
+}
+
+/// One memoized compile: the plan always, the Verilog once someone asked
+/// for it.
+#[derive(Clone)]
+struct CacheEntry {
+    plan: Arc<Plan>,
+    verilog: Option<Arc<String>>,
+    timing: CompileTiming,
+}
+
+/// Shared memo store for compiled design points.
+///
+/// One cache can back several [`Session`]s (the DAG fingerprint is part
+/// of the key) and any number of threads.
+#[derive(Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<PointKey, CacheEntry>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Number of memoized design points.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn get(&self, key: &PointKey) -> Option<CacheEntry> {
+        let found = self
+            .entries
+            .lock()
+            .expect("cache poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn insert(&self, key: PointKey, entry: CacheEntry) {
+        // Racing workers may compute the same point; keep the first entry
+        // (both are identical — compilation is deterministic).
+        self.entries
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert(entry);
+    }
+}
+
+/// A compile session: one DAG, one geometry, many memory configurations.
+///
+/// # Examples
+///
+/// ```
+/// use imagen_core::Session;
+/// use imagen_ir::{Dag, Expr};
+/// use imagen_mem::{ImageGeometry, MemBackend, MemorySpec};
+///
+/// let mut dag = Dag::new("chain");
+/// let k0 = dag.add_input("K0");
+/// let k1 = dag.add_stage("K1", &[k0], Expr::sum(
+///     (0..3).map(|dy| Expr::tap(0, 0, dy)),
+/// )).unwrap();
+/// dag.mark_output(k1);
+///
+/// let geom = ImageGeometry { width: 64, height: 48, pixel_bits: 16 };
+/// let session = Session::new(&dag, geom);
+/// let spec = MemorySpec::new(MemBackend::Asic { block_bits: 4096 }, 2);
+/// let cold = session.price(&spec, None)?;
+/// let warm = session.price(&spec, None)?;   // cache hit
+/// assert_eq!(cold.design, warm.design);
+/// assert_eq!(session.cache().stats(), (1, 1));
+/// # Ok::<(), imagen_core::CompileError>(())
+/// ```
+pub struct Session {
+    dag: Dag,
+    dag_fingerprint: u64,
+    geom: ImageGeometry,
+    skeleton: ConstraintSkeleton,
+    opts: ScheduleOptions,
+    cache: Arc<CompileCache>,
+}
+
+impl Session {
+    /// Creates a session for `dag` at `geom` with its own fresh cache.
+    pub fn new(dag: &Dag, geom: ImageGeometry) -> Session {
+        Session::with_cache(dag, geom, Arc::new(CompileCache::new()))
+    }
+
+    /// Creates a session backed by an existing (possibly shared) cache.
+    pub fn with_cache(dag: &Dag, geom: ImageGeometry, cache: Arc<CompileCache>) -> Session {
+        Session {
+            dag: dag.clone(),
+            dag_fingerprint: dag.fingerprint(),
+            skeleton: formulate_skeleton(dag, geom.width),
+            geom,
+            opts: ScheduleOptions::default(),
+            cache,
+        }
+    }
+
+    /// Overrides the scheduling options used by this session.
+    pub fn with_options(mut self, opts: ScheduleOptions) -> Session {
+        self.opts = opts;
+        self
+    }
+
+    /// The session's DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// The session's frame geometry.
+    pub fn geometry(&self) -> &ImageGeometry {
+        &self.geom
+    }
+
+    /// The backing cache (shareable across sessions and threads).
+    pub fn cache(&self) -> &Arc<CompileCache> {
+        &self.cache
+    }
+
+    /// The style a spec is labeled with when none is forced: `Ours+LC`
+    /// iff any stage's buffer actually coalesces (the same rule as
+    /// [`Compiler::new`](crate::Compiler::new)).
+    pub fn infer_style(&self, spec: &MemorySpec) -> DesignStyle {
+        if spec.ever_coalesces(&self.geom) {
+            DesignStyle::OursLc
+        } else {
+            DesignStyle::Ours
+        }
+    }
+
+    fn key_for(&self, spec: &MemorySpec, style: DesignStyle) -> PointKey {
+        PointKey {
+            dag_fingerprint: self.dag_fingerprint,
+            width: self.geom.width,
+            height: self.geom.height,
+            pixel_bits: self.geom.pixel_bits,
+            backend: spec.backend(),
+            stages: (0..self.dag.num_stages())
+                .map(|i| (spec.ports_for(i), spec.coalesce_factor(i, &self.geom)))
+                .collect(),
+            pruning: self.opts.pruning,
+            objective: self.opts.objective,
+            max_subproblems: self.opts.max_subproblems,
+            style,
+        }
+    }
+
+    /// Plans and prices one memory configuration — **without** emitting
+    /// RTL. This is the skip-RTL path for design points that only need
+    /// area/power; a later [`Session::compile`] of the same point reuses
+    /// the cached plan and only adds codegen.
+    ///
+    /// `style` labels the design; `None` infers it from the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Plan`] from the optimizer.
+    pub fn price(
+        &self,
+        spec: &MemorySpec,
+        style: Option<DesignStyle>,
+    ) -> Result<Arc<Plan>, CompileError> {
+        let style = style.unwrap_or_else(|| self.infer_style(spec));
+        let key = self.key_for(spec, style);
+        if let Some(entry) = self.cache.get(&key) {
+            return Ok(entry.plan);
+        }
+        let entry = self.compute(spec, style)?;
+        let plan = entry.plan.clone();
+        self.cache.insert(key, entry);
+        Ok(plan)
+    }
+
+    /// Like [`Session::price`], but a miss is **not** memoized (hits are
+    /// still served). For walks that never revisit a configuration —
+    /// exhaustive or random sweeps — where caching every point would
+    /// only grow the store: a 2^20-point sweep must not pin a million
+    /// plans in memory for the session's lifetime.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Plan`] from the optimizer.
+    pub fn price_transient(
+        &self,
+        spec: &MemorySpec,
+        style: Option<DesignStyle>,
+    ) -> Result<Arc<Plan>, CompileError> {
+        let style = style.unwrap_or_else(|| self.infer_style(spec));
+        let key = self.key_for(spec, style);
+        if let Some(entry) = self.cache.get(&key) {
+            return Ok(entry.plan);
+        }
+        Ok(self.compute(spec, style)?.plan)
+    }
+
+    /// Compiles one memory configuration end to end (plan + Verilog),
+    /// memoized. A cache hit from a previous [`Session::price`] call
+    /// reuses the plan and only runs codegen (once).
+    ///
+    /// `style` labels the design; `None` infers it from the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Plan`] from the optimizer.
+    pub fn compile(
+        &self,
+        spec: &MemorySpec,
+        style: Option<DesignStyle>,
+    ) -> Result<CompileOutput, CompileError> {
+        let style = style.unwrap_or_else(|| self.infer_style(spec));
+        let key = self.key_for(spec, style);
+        let mut entry = match self.cache.get(&key) {
+            Some(e) => e,
+            None => self.compute(spec, style)?,
+        };
+        if entry.verilog.is_none() {
+            let t = Instant::now();
+            let verilog = imagen_rtl::generate_verilog(&entry.plan.dag, &entry.plan.design);
+            entry.timing.codegen_us = t.elapsed().as_micros();
+            entry.verilog = Some(Arc::new(verilog));
+        }
+        // Re-insert so later calls see plan + RTL (or_insert keeps the
+        // richer existing entry only if one raced in; replace instead).
+        self.cache
+            .entries
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, entry.clone());
+        Ok(CompileOutput {
+            plan: (*entry.plan).clone(),
+            verilog: (*entry.verilog.expect("just generated")).clone(),
+            timing: entry.timing,
+        })
+    }
+
+    /// Cold path: plan one configuration (no RTL). Runs outside the cache
+    /// lock so parallel workers do not serialize on the solver.
+    fn compute(&self, spec: &MemorySpec, style: DesignStyle) -> Result<CacheEntry, CompileError> {
+        let t = Instant::now();
+        let plan = plan_design_with(
+            &self.dag,
+            &self.skeleton,
+            &self.geom,
+            spec,
+            self.opts,
+            style,
+        )?;
+        let timing = CompileTiming {
+            frontend_us: 0,
+            optimize_us: t.elapsed().as_micros(),
+            codegen_us: 0,
+        };
+        Ok(CacheEntry {
+            plan: Arc::new(plan),
+            verilog: None,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Compiler;
+    use imagen_algos::Algorithm;
+    use imagen_mem::StageMemConfig;
+
+    fn geom() -> ImageGeometry {
+        ImageGeometry {
+            width: 48,
+            height: 32,
+            pixel_bits: 16,
+        }
+    }
+
+    fn backend() -> MemBackend {
+        MemBackend::Asic {
+            block_bits: 2 * 48 * 16,
+        }
+    }
+
+    #[test]
+    fn cache_hit_equals_cold_compile() {
+        let dag = Algorithm::UnsharpM.build();
+        let session = Session::new(&dag, geom());
+        let spec = MemorySpec::new(backend(), 2).with_coalescing();
+
+        let cold = session.compile(&spec, None).unwrap();
+        let warm = session.compile(&spec, None).unwrap();
+        assert_eq!(cold.plan.schedule, warm.plan.schedule);
+        assert_eq!(cold.plan.design, warm.plan.design);
+        assert_eq!(cold.verilog, warm.verilog);
+
+        // And both equal the one-shot Compiler.
+        let one_shot = Compiler::new(geom(), spec).compile_dag(&dag).unwrap();
+        assert_eq!(cold.plan.schedule, one_shot.plan.schedule);
+        assert_eq!(cold.plan.design, one_shot.plan.design);
+        assert_eq!(cold.verilog, one_shot.verilog);
+    }
+
+    #[test]
+    fn price_then_compile_reuses_plan() {
+        let dag = Algorithm::HarrisS.build();
+        let session = Session::new(&dag, geom());
+        let spec = MemorySpec::new(backend(), 2);
+        let plan = session.price(&spec, None).unwrap();
+        let (hits, misses) = session.cache().stats();
+        assert_eq!((hits, misses), (0, 1));
+        let full = session.compile(&spec, None).unwrap();
+        assert_eq!(plan.schedule, full.plan.schedule, "compile reused the plan");
+        assert_eq!(plan.design, full.plan.design);
+        let (hits, _) = session.cache().stats();
+        assert_eq!(hits, 1);
+        imagen_rtl::verify_structure(&full.verilog).unwrap();
+    }
+
+    #[test]
+    fn style_inference_matches_compiler() {
+        let dag = Algorithm::UnsharpM.build();
+        let session = Session::new(&dag, geom());
+        let plain = MemorySpec::new(backend(), 2);
+        let lc = plain.clone().with_coalescing();
+        assert_eq!(session.infer_style(&plain), DesignStyle::Ours);
+        assert_eq!(session.infer_style(&lc), DesignStyle::OursLc);
+        assert_eq!(
+            session.price(&plain, None).unwrap().design.style,
+            DesignStyle::Ours
+        );
+        assert_eq!(
+            session.price(&lc, None).unwrap().design.style,
+            DesignStyle::OursLc
+        );
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let dag = Algorithm::CannyS.build();
+        let session = Session::new(&dag, geom());
+        let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
+        let mut spec_a = MemorySpec::new(backend(), 2);
+        let mut spec_b = MemorySpec::new(backend(), 2);
+        for &s in &buffered {
+            spec_a.set_stage(
+                s,
+                StageMemConfig {
+                    ports: 2,
+                    coalesce: false,
+                },
+            );
+            spec_b.set_stage(
+                s,
+                StageMemConfig {
+                    ports: 2,
+                    coalesce: true,
+                },
+            );
+        }
+        let a = session.price(&spec_a, None).unwrap();
+        let b = session.price(&spec_b, None).unwrap();
+        assert_ne!(a.design.sram_kb(), b.design.sram_kb());
+        assert_eq!(session.cache().len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_across_sessions() {
+        let dag = Algorithm::HarrisS.build();
+        let cache = Arc::new(CompileCache::new());
+        let s1 = Session::with_cache(&dag, geom(), cache.clone());
+        let s2 = Session::with_cache(&dag, geom(), cache.clone());
+        let spec = MemorySpec::new(backend(), 2);
+        let a = s1.price(&spec, None).unwrap();
+        let b = s2.price(&spec, None).unwrap();
+        assert_eq!(a.design, b.design);
+        assert_eq!(cache.stats(), (1, 1), "second session hit the cache");
+    }
+
+    #[test]
+    fn parallel_sessions_share_one_cache() {
+        let dag = Algorithm::CannyS.build();
+        let session = Session::new(&dag, geom());
+        let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
+        let specs: Vec<MemorySpec> = (0..8u32)
+            .map(|mask| {
+                let mut spec = MemorySpec::new(backend(), 2);
+                for (bit, &s) in buffered.iter().enumerate() {
+                    spec.set_stage(
+                        s,
+                        StageMemConfig {
+                            ports: 2,
+                            coalesce: mask & (1 << bit) != 0,
+                        },
+                    );
+                }
+                spec
+            })
+            .collect();
+        let sequential: Vec<f64> = specs
+            .iter()
+            .map(|s| session.price(s, None).unwrap().design.sram_kb())
+            .collect();
+
+        let fresh = Session::new(&dag, geom());
+        let mut parallel = vec![0.0f64; specs.len()];
+        std::thread::scope(|scope| {
+            for (slot, spec) in parallel.iter_mut().zip(&specs) {
+                let fresh = &fresh;
+                scope.spawn(move || {
+                    *slot = fresh.price(spec, None).unwrap().design.sram_kb();
+                });
+            }
+        });
+        assert_eq!(sequential, parallel);
+    }
+}

@@ -6,22 +6,43 @@
 //! Because ImaGen accepts *arbitrary* memory specifications, each stage's
 //! line buffer can independently use a dual-port block (DP) or a
 //! dual-port block with line coalescing (DPLC). For an algorithm with
-//! `N` buffered stages that is a `2^N` design space; [`sweep`] enumerates
-//! it, prices every point (area from the SRAM model, power from the
-//! access statistics) and [`pareto_front`] extracts the non-dominated
-//! designs. The paper's headline observation — the Pareto frontier is
-//! *algorithm-specific* (3 points for Canny-m, 2 for Denoise-m, with
-//! all-DPLC strictly dominated on Canny-m) — is reproduced by the
-//! `fig10` experiment binary.
+//! `N` buffered stages that is a `2^N` design space. [`explore`] walks it
+//! under a chosen [`ExploreStrategy`]:
+//!
+//! * [`ExploreStrategy::Exhaustive`] — every configuration, the paper's
+//!   Fig. 10 sweep ([`sweep`] is this strategy with default options);
+//! * [`ExploreStrategy::Greedy`] — the "judicious coalescing" descent
+//!   from all-DPLC ([`judicious_lc`] wraps it);
+//! * [`ExploreStrategy::Random`] — budget-capped, deterministically
+//!   seeded sampling for spaces too large to enumerate.
+//!
+//! Evaluation fans out over `std::thread::scope` workers sharing one
+//! memoized [`Session`]: the constraint skeleton is built once per DAG,
+//! repeated configurations (the greedy walk revisits many) are cache
+//! hits, and points are *priced* (area from the SRAM model, power from
+//! the access statistics) without generating RTL nobody reads. Results
+//! are byte-identical to a sequential walk regardless of thread count.
+//!
+//! [`pareto_front`] / [`ParetoFront`] extract the non-dominated designs —
+//! incrementally, not by the quadratic post-hoc scan. The paper's
+//! headline observation — the Pareto frontier is *algorithm-specific*
+//! (3 points for Canny-m, 2 for Denoise-m, with all-DPLC strictly
+//! dominated on Canny-m) — is reproduced by the `fig10` experiment
+//! binary.
 //!
 //! [ImaGen]: https://arxiv.org/abs/2304.03352
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use imagen_core::{CompileError, Compiler};
+use imagen_core::{CompileError, Session};
 use imagen_ir::Dag;
-use imagen_mem::{Design, ImageGeometry, MemBackend, MemorySpec, StageMemConfig};
+use imagen_mem::{Design, DesignStyle, ImageGeometry, MemBackend, MemorySpec, StageMemConfig};
+use imagen_schedule::Plan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Per-stage memory choice explored by the DSE (Sec. 8.5).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -73,8 +94,8 @@ impl DsePoint {
 pub struct DseResult {
     /// Stage indices (into the DAG) that own line buffers.
     pub buffered_stages: Vec<usize>,
-    /// All evaluated points, in enumeration order (all-DP first, all-DPLC
-    /// last).
+    /// All evaluated points, in enumeration order (for
+    /// [`ExploreStrategy::Exhaustive`]: all-DP first, all-DPLC last).
     pub points: Vec<DsePoint>,
 }
 
@@ -91,50 +112,171 @@ impl DseResult {
     }
 }
 
-/// Sweeps every per-stage DP/DPLC combination for `dag`.
-///
-/// # Errors
-///
-/// Propagates the first [`CompileError`]; individual infeasible points
-/// cannot occur for DP/DPLC choices (both are dual-port).
-pub fn sweep(
-    dag: &Dag,
-    geom: &ImageGeometry,
-    backend: MemBackend,
-) -> Result<DseResult, CompileError> {
-    let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
-    let n = buffered.len();
-    assert!(n <= 20, "sweep of 2^{n} points is impractical");
-    let mut points = Vec::with_capacity(1 << n);
+/// How [`explore`] walks the per-stage DP/DPLC space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExploreStrategy {
+    /// Every configuration (`2^N` points; `N <= 20` enforced).
+    #[default]
+    Exhaustive,
+    /// Greedy "judicious coalescing" descent: start all-DPLC, revert any
+    /// stage whose coalescing does not reduce allocated SRAM, to a
+    /// fixpoint. Points are recorded in first-evaluation order.
+    Greedy,
+    /// Deterministically seeded random sampling, capped at `samples`
+    /// evaluated points. The all-DP and all-DPLC anchors are always
+    /// included. Usable when `N` is beyond exhaustive reach (up to the
+    /// 64-stage mask width).
+    Random {
+        /// Evaluation budget (number of distinct points).
+        samples: usize,
+        /// Seed for the deterministic mask stream.
+        seed: u64,
+    },
+}
 
-    for mask in 0u32..(1 << n) {
-        let mut spec = MemorySpec::new(backend, 2);
-        let mut choices = Vec::with_capacity(n);
-        for (bit, &stage) in buffered.iter().enumerate() {
-            let choice = if mask & (1 << bit) != 0 {
+/// Options for [`explore`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExploreOptions {
+    /// The walk strategy.
+    pub strategy: ExploreStrategy,
+    /// Worker threads for fan-out; `0` uses the machine's available
+    /// parallelism. Results do not depend on this value.
+    pub threads: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            strategy: ExploreStrategy::Exhaustive,
+            threads: 0,
+        }
+    }
+}
+
+/// Builds the spec selecting `choices` for the given buffered stages.
+fn spec_for(backend: MemBackend, buffered: &[usize], choices: &[StageChoice]) -> MemorySpec {
+    let mut spec = MemorySpec::new(backend, 2);
+    for (c, &stage) in choices.iter().zip(buffered) {
+        spec.set_stage(
+            stage,
+            StageMemConfig {
+                ports: 2,
+                coalesce: *c == StageChoice::Dplc,
+            },
+        );
+    }
+    spec
+}
+
+/// Decodes a bitmask into per-stage choices (bit `i` set = stage `i` on
+/// DPLC).
+fn choices_for(mask: u64, n: usize) -> Vec<StageChoice> {
+    (0..n)
+        .map(|bit| {
+            if mask & (1 << bit) != 0 {
                 StageChoice::Dplc
             } else {
                 StageChoice::Dp
-            };
-            choices.push(choice);
-            spec.set_stage(
-                stage,
-                StageMemConfig {
-                    ports: 2,
-                    coalesce: choice == StageChoice::Dplc,
-                },
-            );
-        }
-        let out = Compiler::new(*geom, spec).compile_dag(dag)?;
-        let design = out.plan.design;
-        points.push(DsePoint {
-            choices,
-            area_mm2: design.total_area_mm2(),
-            power_mw: design.total_power_mw(),
-            sram_kb: design.sram_kb(),
-            design,
-        });
+            }
+        })
+        .collect()
+}
+
+fn point_from(plan: &Plan, choices: Vec<StageChoice>) -> DsePoint {
+    let design = plan.design.clone();
+    DsePoint {
+        choices,
+        area_mm2: design.total_area_mm2(),
+        power_mw: design.total_power_mw(),
+        sram_kb: design.sram_kb(),
+        design,
     }
+}
+
+/// Evaluates `masks` against the session, fanning out over up to
+/// `threads` scoped workers. Output order and values are identical to a
+/// sequential evaluation; on error the first failure in `masks` order is
+/// returned.
+fn evaluate_masks(
+    session: &Session,
+    backend: MemBackend,
+    buffered: &[usize],
+    masks: &[u64],
+    threads: usize,
+) -> Result<Vec<DsePoint>, CompileError> {
+    let n = buffered.len();
+    // Exhaustive/random mask lists never repeat, so memoizing every plan
+    // would only grow the cache — price transiently.
+    let price = |mask: u64| -> Result<DsePoint, CompileError> {
+        let choices = choices_for(mask, n);
+        let spec = spec_for(backend, buffered, &choices);
+        let plan = session.price_transient(&spec, None)?;
+        Ok(point_from(&plan, choices))
+    };
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(masks.len().max(1));
+
+    if threads <= 1 {
+        return masks.iter().map(|&m| price(m)).collect();
+    }
+
+    let mut slots: Vec<Option<Result<DsePoint, CompileError>>> = Vec::new();
+    slots.resize_with(masks.len(), || None);
+    let chunk = masks.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slot_chunk, mask_chunk) in slots.chunks_mut(chunk).zip(masks.chunks(chunk)) {
+            scope.spawn(move || {
+                for (slot, &mask) in slot_chunk.iter_mut().zip(mask_chunk) {
+                    *slot = Some(price(mask));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Explores the per-stage DP/DPLC space of `dag` under `opts`.
+///
+/// # Errors
+///
+/// Propagates the first [`CompileError`] in enumeration order; individual
+/// infeasible points cannot occur for DP/DPLC choices (both are
+/// dual-port).
+pub fn explore(
+    dag: &Dag,
+    geom: &ImageGeometry,
+    backend: MemBackend,
+    opts: ExploreOptions,
+) -> Result<DseResult, CompileError> {
+    let session = Session::new(dag, *geom);
+    let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
+    let n = buffered.len();
+    // Configurations are u64 bitmasks throughout (choices_for, the greedy
+    // walk's dedup keys, sample_masks).
+    assert!(n <= 64, "{n} buffered stages exceed the u64 mask width");
+
+    let points = match opts.strategy {
+        ExploreStrategy::Exhaustive => {
+            assert!(n <= 20, "sweep of 2^{n} points is impractical");
+            let masks: Vec<u64> = (0..(1u64 << n)).collect();
+            evaluate_masks(&session, backend, &buffered, &masks, opts.threads)?
+        }
+        ExploreStrategy::Random { samples, seed } => {
+            let masks = sample_masks(n, samples, seed);
+            evaluate_masks(&session, backend, &buffered, &masks, opts.threads)?
+        }
+        ExploreStrategy::Greedy => greedy_walk(&session, backend, &buffered)?.points,
+    };
 
     Ok(DseResult {
         buffered_stages: buffered,
@@ -142,9 +284,115 @@ pub fn sweep(
     })
 }
 
+/// Budget-capped deterministic mask sample: the all-DP and all-DPLC
+/// anchors, then SplitMix64 draws (first occurrence kept) until `samples`
+/// distinct masks are collected or the space / attempt budget runs out.
+fn sample_masks(n: usize, samples: usize, seed: u64) -> Vec<u64> {
+    let space: Option<u64> = if n < 64 { Some(1u64 << n) } else { None };
+    if let Some(space) = space {
+        if samples as u64 >= space {
+            return (0..space).collect();
+        }
+    }
+    let all_dplc = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut masks: Vec<u64> = Vec::new();
+    for anchor in [0, all_dplc] {
+        if masks.len() < samples && seen.insert(anchor) {
+            masks.push(anchor);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attempts = 0usize;
+    while masks.len() < samples && attempts < samples.saturating_mul(64) {
+        attempts += 1;
+        let mask = rng.next_u64() & all_dplc;
+        if seen.insert(mask) {
+            masks.push(mask);
+        }
+    }
+    masks
+}
+
+/// Sweeps every per-stage DP/DPLC combination for `dag` —
+/// [`ExploreStrategy::Exhaustive`] with default fan-out.
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn sweep(
+    dag: &Dag,
+    geom: &ImageGeometry,
+    backend: MemBackend,
+) -> Result<DseResult, CompileError> {
+    explore(dag, geom, backend, ExploreOptions::default())
+}
+
+/// Outcome of the greedy descent. The winning plan itself stays in the
+/// session cache — callers re-request it (a hit) when they need it.
+struct GreedyOutcome {
+    choices: Vec<StageChoice>,
+    /// Distinct configurations in first-evaluation order.
+    points: Vec<DsePoint>,
+}
+
+/// The judicious-coalescing walk: start all-DPLC, revert any stage whose
+/// coalescing does not strictly reduce allocated SRAM, repeat to a
+/// fixpoint. Memoized through the session, so configurations revisited
+/// across passes cost a cache lookup, not a compile.
+fn greedy_walk(
+    session: &Session,
+    backend: MemBackend,
+    buffered: &[usize],
+) -> Result<GreedyOutcome, CompileError> {
+    let n = buffered.len();
+    assert!(n <= 64, "{n} buffered stages exceed the u64 mask width");
+    let mut recorded: HashSet<u64> = HashSet::new();
+    let mut points: Vec<DsePoint> = Vec::new();
+
+    let mask_of = |choices: &[StageChoice]| -> u64 {
+        choices
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == StageChoice::Dplc)
+            .fold(0u64, |m, (i, _)| m | (1 << i))
+    };
+
+    let mut price = |choices: &[StageChoice]| -> Result<Arc<Plan>, CompileError> {
+        let spec = spec_for(backend, buffered, choices);
+        let plan = session.price(&spec, Some(DesignStyle::OursLc))?;
+        if recorded.insert(mask_of(choices)) {
+            points.push(point_from(&plan, choices.to_vec()));
+        }
+        Ok(plan)
+    };
+
+    let mut choices: Vec<StageChoice> = vec![StageChoice::Dplc; n];
+    let mut best = price(&choices)?;
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n {
+            if choices[i] == StageChoice::Dp {
+                continue;
+            }
+            choices[i] = StageChoice::Dp;
+            let cand = price(&choices)?;
+            if cand.design.sram_kb() < best.design.sram_kb() {
+                best = cand;
+                improved = true;
+            } else {
+                choices[i] = StageChoice::Dplc;
+            }
+        }
+    }
+    Ok(GreedyOutcome { choices, points })
+}
+
 /// Chooses line coalescing *judiciously*, per buffer: starting from the
 /// all-coalesced configuration, greedily reverts any stage whose
-/// coalescing does not reduce the allocated SRAM, until a fixpoint.
+/// coalescing does not reduce the allocated SRAM, until a fixpoint
+/// ([`ExploreStrategy::Greedy`]).
 ///
 /// This implements the paper's framing that the compiler "judiciously
 /// coalesces multiple lines" (Sec. 1): coalescing is a per-buffer choice,
@@ -152,7 +400,9 @@ pub fn sweep(
 /// stronger coalesced-contention constraints cost more rows than the
 /// blocks save — exactly the trade-off Fig. 10 explores.
 ///
-/// Returns the chosen per-stage configs and the compiled design.
+/// Returns the chosen per-stage configs and the compiled design. Probe
+/// configurations are priced without RTL; Verilog is generated once, for
+/// the winner.
 ///
 /// # Errors
 ///
@@ -162,67 +412,108 @@ pub fn judicious_lc(
     geom: &ImageGeometry,
     backend: MemBackend,
 ) -> Result<(Vec<(usize, StageChoice)>, imagen_core::CompileOutput), CompileError> {
+    let session = Session::new(dag, *geom);
     let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
-    let mut choices: Vec<StageChoice> = vec![StageChoice::Dplc; buffered.len()];
+    let outcome = greedy_walk(&session, backend, &buffered)?;
+    // The winner's plan is a cache hit; this only adds codegen.
+    let out = session.compile(
+        &spec_for(backend, &buffered, &outcome.choices),
+        Some(DesignStyle::OursLc),
+    )?;
+    let cfg = buffered.into_iter().zip(outcome.choices).collect();
+    Ok((cfg, out))
+}
 
-    let compile = |choices: &[StageChoice]| -> Result<imagen_core::CompileOutput, CompileError> {
-        let mut spec = MemorySpec::new(backend, 2);
-        for (c, &stage) in choices.iter().zip(&buffered) {
-            spec.set_stage(
-                stage,
-                StageMemConfig {
-                    ports: 2,
-                    coalesce: *c == StageChoice::Dplc,
-                },
-            );
-        }
-        Compiler::new(*geom, spec)
-            .with_style(imagen_mem::DesignStyle::OursLc)
-            .compile_dag(dag)
-    };
+/// An incrementally maintained two-dimensional Pareto frontier
+/// (minimizing both axes).
+///
+/// Points stream in via [`ParetoFront::offer`]; the structure keeps only
+/// the currently non-dominated set, sorted by the first axis, so each
+/// offer costs a binary search plus a contiguous splice of the kept set —
+/// `O(n log n)` total when the frontier stays small (the typical DSE
+/// shape), degrading to the scan's quadratic bound only when nearly every
+/// point survives in adversarial order. Duplicate points are all kept
+/// (neither dominates the
+/// other); points with non-finite coordinates are rejected outright —
+/// a NaN compares false against everything, which under the quadratic
+/// definition would sneak it *onto* the frontier.
+#[derive(Clone, Debug, Default)]
+pub struct ParetoFront {
+    /// Non-dominated `(x, y, index)`, sorted by `x` ascending; across
+    /// distinct values `y` is strictly decreasing; equal `(x, y)`
+    /// duplicates are adjacent.
+    entries: Vec<(f64, f64, usize)>,
+}
 
-    let mut best = compile(&choices)?;
-    let mut improved = true;
-    while improved {
-        improved = false;
-        for i in 0..choices.len() {
-            if choices[i] == StageChoice::Dp {
-                continue;
-            }
-            choices[i] = StageChoice::Dp;
-            let cand = compile(&choices)?;
-            if cand.plan.design.sram_kb() < best.plan.design.sram_kb() {
-                best = cand;
-                improved = true;
-            } else {
-                choices[i] = StageChoice::Dplc;
-            }
-        }
+impl ParetoFront {
+    /// An empty frontier.
+    pub fn new() -> ParetoFront {
+        ParetoFront::default()
     }
-    let cfg = buffered.into_iter().zip(choices).collect();
-    Ok((cfg, best))
+
+    /// Offers point `index` at `(x, y)`. Returns `true` when the point is
+    /// currently on the frontier; `false` when it is dominated or has a
+    /// non-finite coordinate.
+    pub fn offer(&mut self, index: usize, x: f64, y: f64) -> bool {
+        if !x.is_finite() || !y.is_finite() {
+            return false;
+        }
+        // First entry with entry.x >= x.
+        let pos = self.entries.partition_point(|e| e.0 < x);
+        // Dominated by the best predecessor (strictly smaller x)?
+        if pos > 0 && self.entries[pos - 1].1 <= y {
+            return false;
+        }
+        // Dominated by an equal-x entry with smaller y?
+        if pos < self.entries.len() && self.entries[pos].0 == x && self.entries[pos].1 < y {
+            return false;
+        }
+        // Remove entries the new point dominates: x' >= x and y' >= y,
+        // excluding exact duplicates (kept). Given the sort, these are
+        // contiguous from `pos` (skipping duplicates of (x, y)).
+        let mut start = pos;
+        while start < self.entries.len() && self.entries[start].0 == x && self.entries[start].1 == y
+        {
+            start += 1;
+        }
+        let mut end = start;
+        while end < self.entries.len() && self.entries[end].1 >= y {
+            end += 1;
+        }
+        self.entries.drain(start..end);
+        self.entries.insert(pos, (x, y, index));
+        true
+    }
+
+    /// Indices currently on the frontier, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.entries.iter().map(|e| e.2).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of points currently on the frontier.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Returns the indices of non-dominated points (minimize both axes).
 ///
 /// A point dominates another when it is no worse on both axes and
-/// strictly better on at least one.
+/// strictly better on at least one. Points with non-finite coordinates
+/// (NaN, infinities) are never part of the frontier.
 pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
-    let mut front = Vec::new();
-    'outer: for (i, &(ai, pi)) in points.iter().enumerate() {
-        for (j, &(aj, pj)) in points.iter().enumerate() {
-            if i == j {
-                continue;
-            }
-            let no_worse = aj <= ai && pj <= pi;
-            let better = aj < ai || pj < pi;
-            if no_worse && better {
-                continue 'outer;
-            }
-        }
-        front.push(i);
+    let mut front = ParetoFront::new();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        front.offer(i, x, y);
     }
-    front
+    front.indices()
 }
 
 #[cfg(test)]
@@ -258,6 +549,46 @@ mod tests {
         let pts = [(1.0, 1.0), (1.0, 1.0)];
         // Identical points do not dominate each other (no strict better).
         assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn pareto_rejects_non_finite() {
+        // A NaN compares false against everything: the quadratic
+        // definition would put it on the frontier. It must not be.
+        let pts = [
+            (1.0, 5.0),
+            (f64::NAN, 2.0),
+            (2.0, f64::NAN),
+            (f64::INFINITY, 0.5),
+            (f64::NAN, f64::NAN),
+            (2.0, 3.0),
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 5]);
+        let only_bad = [(f64::NAN, 1.0)];
+        assert!(pareto_front(&only_bad).is_empty());
+    }
+
+    #[test]
+    fn pareto_streaming_matches_bruteforce() {
+        // Deterministic pseudo-random point clouds, including ties.
+        let mut rng = StdRng::seed_from_u64(0x1234_5678_9abc_def0);
+        for round in 0..50 {
+            let n = 1 + (round % 17);
+            let pts: Vec<(f64, f64)> = (0..n)
+                .map(|_| ((rng.next_u64() % 8) as f64, (rng.next_u64() % 8) as f64))
+                .collect();
+            let brute: Vec<usize> = (0..pts.len())
+                .filter(|&i| {
+                    !pts.iter().enumerate().any(|(j, q)| {
+                        j != i
+                            && q.0 <= pts[i].0
+                            && q.1 <= pts[i].1
+                            && (q.0 < pts[i].0 || q.1 < pts[i].1)
+                    })
+                })
+                .collect();
+            assert_eq!(pareto_front(&pts), brute, "points: {pts:?}");
+        }
     }
 
     #[test]
@@ -305,38 +636,97 @@ mod tests {
         );
     }
 
+    #[test]
+    fn random_strategy_is_deterministic_and_capped() {
+        let dag = Algorithm::CannyS.build(); // 8 buffered stages
+        let opts = ExploreOptions {
+            strategy: ExploreStrategy::Random {
+                samples: 20,
+                seed: 7,
+            },
+            threads: 1,
+        };
+        let a = explore(&dag, &geom(), backend(), opts).unwrap();
+        let b = explore(&dag, &geom(), backend(), opts).unwrap();
+        assert_eq!(a.points.len(), 20);
+        assert_eq!(a.points[0].dplc_count(), 0, "all-DP anchor first");
+        assert_eq!(
+            a.points[1].dplc_count(),
+            a.buffered_stages.len(),
+            "all-DPLC anchor second"
+        );
+        let masks = |r: &DseResult| -> Vec<Vec<StageChoice>> {
+            r.points.iter().map(|p| p.choices.clone()).collect()
+        };
+        assert_eq!(masks(&a), masks(&b), "seeded sampling is deterministic");
+        // Distinct masks only.
+        let set: HashSet<Vec<StageChoice>> = masks(&a).into_iter().collect();
+        assert_eq!(set.len(), 20);
+    }
+
+    #[test]
+    fn random_covers_small_spaces_exhaustively() {
+        let dag = Algorithm::XcorrM.build(); // 2 buffered stages -> 4 points
+        let opts = ExploreOptions {
+            strategy: ExploreStrategy::Random {
+                samples: 100,
+                seed: 3,
+            },
+            threads: 1,
+        };
+        let res = explore(&dag, &geom(), backend(), opts).unwrap();
+        assert_eq!(res.points.len(), 4, "budget beyond the space: enumerate");
+    }
+
+    #[test]
+    fn greedy_strategy_matches_judicious_lc() {
+        let dag = Algorithm::UnsharpM.build();
+        let (cfg, out) = judicious_lc(&dag, &geom(), backend()).unwrap();
+        let res = explore(
+            &dag,
+            &geom(),
+            backend(),
+            ExploreOptions {
+                strategy: ExploreStrategy::Greedy,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        // The walk starts at all-DPLC.
+        assert_eq!(
+            res.points[0].dplc_count(),
+            res.buffered_stages.len(),
+            "greedy starts all-DPLC"
+        );
+        // The chosen design's SRAM matches the best visited point.
+        let best_visited = res
+            .points
+            .iter()
+            .map(|p| p.sram_kb)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(out.plan.design.sram_kb(), best_visited);
+        assert_eq!(cfg.len(), res.buffered_stages.len());
+        assert!(out.verilog.contains("module"), "winner gets RTL");
+    }
+
     // Canny-s has 8 buffered stages -> 256 points; keep the test fast by
     // sweeping only the extremes.
     fn sweep_small(dag: &imagen_ir::Dag) -> DseResult {
         let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
+        let session = Session::new(dag, geom());
         let mut points = Vec::new();
         for &all_lc in &[false, true] {
-            let mut spec = MemorySpec::new(backend(), 2);
-            for &stage in &buffered {
-                spec.set_stage(
-                    stage,
-                    StageMemConfig {
-                        ports: 2,
-                        coalesce: all_lc,
-                    },
-                );
-            }
-            let out = Compiler::new(geom(), spec).compile_dag(dag).unwrap();
-            let design = out.plan.design;
-            points.push(DsePoint {
-                choices: vec![
-                    if all_lc {
-                        StageChoice::Dplc
-                    } else {
-                        StageChoice::Dp
-                    };
-                    buffered.len()
-                ],
-                area_mm2: design.total_area_mm2(),
-                power_mw: design.total_power_mw(),
-                sram_kb: design.sram_kb(),
-                design,
-            });
+            let choices = vec![
+                if all_lc {
+                    StageChoice::Dplc
+                } else {
+                    StageChoice::Dp
+                };
+                buffered.len()
+            ];
+            let spec = spec_for(backend(), &buffered, &choices);
+            let plan = session.price(&spec, None).unwrap();
+            points.push(point_from(&plan, choices));
         }
         DseResult {
             buffered_stages: buffered,

@@ -28,19 +28,20 @@ pub struct Rational {
     den: i128,
 }
 
-const fn gcd(mut a: i128, mut b: i128) -> i128 {
-    if a < 0 {
-        a = -a;
-    }
-    if b < 0 {
-        b = -b;
-    }
+const fn gcd(a: i128, b: i128) -> i128 {
+    // Work on unsigned magnitudes: negating `i128::MIN` in signed space
+    // overflows (silently wrapping in release builds), which used to make
+    // gcd(i128::MIN, k) garbage. The result only exceeds `i128::MAX` when
+    // both magnitudes are 2^127, which no reduced rational can produce.
+    let mut a = a.unsigned_abs();
+    let mut b = b.unsigned_abs();
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a
+    assert!(a <= i128::MAX as u128, "gcd magnitude overflows i128");
+    a as i128
 }
 
 impl Rational {
@@ -53,15 +54,30 @@ impl Rational {
     ///
     /// # Panics
     ///
-    /// Panics if `den == 0`.
+    /// Panics if `den == 0`, or if normalization overflows `i128` (only
+    /// possible when a magnitude-`2^127` numerator or denominator must be
+    /// negated, e.g. `new(1, i128::MIN)`).
     #[track_caller]
     pub fn new(num: i128, den: i128) -> Rational {
         assert!(den != 0, "rational with zero denominator");
+        if num == 0 {
+            return Rational::ZERO;
+        }
+        if num == den {
+            return Rational::ONE;
+        }
+        // Both operands are nonzero and distinct, so at least one
+        // magnitude is below 2^127 and the gcd (≤ the smaller magnitude)
+        // always fits an i128.
         let g = gcd(num, den);
-        let (mut n, mut d) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        let (mut n, mut d) = (num / g, den / g);
         if d < 0 {
-            n = -n;
-            d = -d;
+            n = n
+                .checked_neg()
+                .unwrap_or_else(|| panic!("rational overflow normalizing {num}/{den}"));
+            d = d
+                .checked_neg()
+                .unwrap_or_else(|| panic!("rational overflow normalizing {num}/{den}"));
         }
         Rational { num: n, den: d }
     }
@@ -103,7 +119,14 @@ impl Rational {
 
     /// The smallest integer greater than or equal to this value.
     pub fn ceil(&self) -> i128 {
-        -((-self.num).div_euclid(self.den))
+        // Remainder form rather than `-((-num).div_euclid(den))`: negating
+        // an `i128::MIN` numerator overflows.
+        let q = self.num.div_euclid(self.den);
+        if self.num.rem_euclid(self.den) == 0 {
+            q
+        } else {
+            q + 1
+        }
     }
 
     /// The fractional part `self - self.floor()`, in `[0, 1)`.
@@ -112,11 +135,21 @@ impl Rational {
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numerator is `i128::MIN` (its magnitude is not
+    /// representable).
+    #[track_caller]
     pub fn abs(&self) -> Rational {
-        Rational {
-            num: self.num.abs(),
-            den: self.den,
-        }
+        let num = if self.num < 0 {
+            self.num
+                .checked_neg()
+                .unwrap_or_else(|| panic!("rational abs overflow on {self}"))
+        } else {
+            self.num
+        };
+        Rational { num, den: self.den }
     }
 
     /// Multiplicative inverse.
@@ -146,6 +179,13 @@ impl Rational {
 
     /// Checked addition; `None` on `i128` overflow.
     pub fn checked_add(&self, rhs: &Rational) -> Option<Rational> {
+        if self.den == 1 && rhs.den == 1 {
+            // Integer fast path: no gcd normalization needed.
+            return Some(Rational {
+                num: self.num.checked_add(rhs.num)?,
+                den: 1,
+            });
+        }
         let g = gcd(self.den, rhs.den);
         let lcm_l = self.den / g;
         let n = self
@@ -156,8 +196,36 @@ impl Rational {
         Some(Rational::new(n, d))
     }
 
+    /// Checked subtraction; `None` on `i128` overflow.
+    ///
+    /// Computed directly (not as `a + (-b)`) so that subtracting a
+    /// magnitude-`2^127` value works wherever the result is representable.
+    pub fn checked_sub(&self, rhs: &Rational) -> Option<Rational> {
+        if self.den == 1 && rhs.den == 1 {
+            return Some(Rational {
+                num: self.num.checked_sub(rhs.num)?,
+                den: 1,
+            });
+        }
+        let g = gcd(self.den, rhs.den);
+        let lcm_l = self.den / g;
+        let n = self
+            .num
+            .checked_mul(rhs.den / g)?
+            .checked_sub(rhs.num.checked_mul(lcm_l)?)?;
+        let d = lcm_l.checked_mul(rhs.den)?;
+        Some(Rational::new(n, d))
+    }
+
     /// Checked multiplication; `None` on `i128` overflow.
     pub fn checked_mul(&self, rhs: &Rational) -> Option<Rational> {
+        if self.den == 1 && rhs.den == 1 {
+            // Integer fast path: no cross-reduction needed.
+            return Some(Rational {
+                num: self.num.checked_mul(rhs.num)?,
+                den: 1,
+            });
+        }
         // Cross-reduce before multiplying to minimize overflow risk.
         let g1 = gcd(self.num, rhs.den);
         let g2 = gcd(rhs.num, self.den);
@@ -209,7 +277,7 @@ impl Sub for Rational {
     type Output = Rational;
     #[track_caller]
     fn sub(self, rhs: Rational) -> Rational {
-        self.checked_add(&(-rhs))
+        self.checked_sub(&rhs)
             .expect("rational subtraction overflow")
     }
 }
@@ -234,9 +302,13 @@ impl Div for Rational {
 
 impl Neg for Rational {
     type Output = Rational;
+    #[track_caller]
     fn neg(self) -> Rational {
         Rational {
-            num: -self.num,
+            num: self
+                .num
+                .checked_neg()
+                .unwrap_or_else(|| panic!("rational negation overflow on {self}")),
             den: self.den,
         }
     }
@@ -262,12 +334,55 @@ impl PartialOrd for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Rational) -> Ordering {
-        // a/b vs c/d with b,d > 0  <=>  a*d vs c*b. Cross-reduce first.
-        let g1 = gcd(self.num, other.num);
-        let g2 = gcd(self.den, other.den);
-        let l = (self.num / if g1 == 0 { 1 } else { g1 }) * (other.den / g2);
-        let r = (other.num / if g1 == 0 { 1 } else { g1 }) * (self.den / g2);
-        l.cmp(&r)
+        // Signs first; magnitudes by continued-fraction descent, which is
+        // exact at any magnitude (the previous cross-multiplication could
+        // overflow an i128 for values near the representation limits).
+        let (sa, sb) = (self.num.signum(), other.num.signum());
+        if sa != sb {
+            return sa.cmp(&sb);
+        }
+        if sa == 0 {
+            return Ordering::Equal;
+        }
+        let mag = cmp_frac(
+            self.num.unsigned_abs(),
+            self.den.unsigned_abs(),
+            other.num.unsigned_abs(),
+            other.den.unsigned_abs(),
+        );
+        if sa > 0 {
+            mag
+        } else {
+            mag.reverse()
+        }
+    }
+}
+
+/// Compares `an/ad` against `bn/bd` (all strictly positive) by comparing
+/// integer parts and recursing on reciprocals of the fractional parts —
+/// Euclid's algorithm run on both numbers in lockstep. Exact and
+/// overflow-free for any `u128` operands.
+fn cmp_frac(mut an: u128, mut ad: u128, mut bn: u128, mut bd: u128) -> Ordering {
+    let mut flipped = false;
+    loop {
+        let (qa, ra) = (an / ad, an % ad);
+        let (qb, rb) = (bn / bd, bn % bd);
+        let ord = if qa != qb {
+            qa.cmp(&qb)
+        } else {
+            match (ra == 0, rb == 0) {
+                (true, true) => return Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => {
+                    // ra/ad vs rb/bd flips under reciprocal: ad/ra vs bd/rb.
+                    (an, ad, bn, bd) = (ad, ra, bd, rb);
+                    flipped = !flipped;
+                    continue;
+                }
+            }
+        };
+        return if flipped { ord.reverse() } else { ord };
     }
 }
 
@@ -352,6 +467,44 @@ mod tests {
     fn display() {
         assert_eq!(Rational::new(3, 6).to_string(), "1/2");
         assert_eq!(Rational::from(5).to_string(), "5");
+    }
+
+    #[test]
+    fn i128_min_constructs_and_compares() {
+        let min = Rational::new(i128::MIN, 1);
+        assert_eq!(min.numer(), i128::MIN);
+        assert_eq!(min.denom(), 1);
+        assert_eq!(Rational::new(0, i128::MIN), Rational::ZERO);
+        assert_eq!(Rational::new(i128::MIN, i128::MIN), Rational::ONE);
+        assert!(min < Rational::ZERO);
+        assert!(min < Rational::new(i128::MIN, 2));
+        assert_eq!(min.cmp(&min), Ordering::Equal);
+        // Even halves reduce without negating the raw i128::MIN.
+        let half = Rational::new(i128::MIN, 2);
+        assert_eq!(half.numer(), i128::MIN / 2);
+        assert_eq!(half.denom(), 1);
+        assert_eq!(min.floor(), i128::MIN);
+        assert_eq!(min.ceil(), i128::MIN);
+        assert_eq!(min.fract(), Rational::ZERO);
+        assert_eq!(min - min, Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "negation overflow")]
+    fn i128_min_negation_panics() {
+        let _ = -Rational::new(i128::MIN, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "abs overflow")]
+    fn i128_min_abs_panics() {
+        let _ = Rational::new(i128::MIN, 1).abs();
+    }
+
+    #[test]
+    #[should_panic(expected = "rational overflow normalizing")]
+    fn i128_min_denominator_panics() {
+        let _ = Rational::new(1, i128::MIN);
     }
 
     #[test]

@@ -52,12 +52,16 @@ impl Solution {
     /// # Panics
     ///
     /// Panics if the value is not integral (cannot happen for solutions
-    /// returned by [`Model::solve`] on integer variables).
+    /// returned by [`Model::solve`] on integer variables) or does not fit
+    /// in an `i64` — a silent wrapping cast here would hand the scheduler
+    /// garbage start cycles.
     #[track_caller]
     pub fn int_value(&self, v: crate::VarId) -> i64 {
-        self.values[v.index()]
+        let value = self.values[v.index()]
             .to_integer()
-            .expect("variable value is not integral") as i64
+            .expect("variable value is not integral");
+        i64::try_from(value)
+            .unwrap_or_else(|_| panic!("variable value {value} does not fit in an i64"))
     }
 
     /// The optimal objective value.
@@ -100,7 +104,9 @@ impl Tableau {
         debug_assert!(!piv.is_zero());
         let inv = piv.recip();
         for x in self.rows[r].iter_mut() {
-            *x = *x * inv;
+            if !x.is_zero() {
+                *x = *x * inv;
+            }
         }
         self.rhs[r] = self.rhs[r] * inv;
         let m = self.rows.len();
@@ -113,6 +119,9 @@ impl Tableau {
                 continue;
             }
             for j in 0..self.rows[i].len() {
+                if self.rows[r][j].is_zero() {
+                    continue;
+                }
                 let delta = self.rows[r][j] * f;
                 self.rows[i][j] -= delta;
             }
@@ -122,6 +131,9 @@ impl Tableau {
         let f = self.obj[c];
         if !f.is_zero() {
             for j in 0..self.obj.len() {
+                if self.rows[r][j].is_zero() {
+                    continue;
+                }
                 let delta = self.rows[r][j] * f;
                 self.obj[j] -= delta;
             }
@@ -143,6 +155,9 @@ impl Tableau {
                 continue;
             }
             for j in 0..self.obj.len() {
+                if self.rows[i][j].is_zero() {
+                    continue;
+                }
                 let delta = self.rows[i][j] * cb;
                 self.obj[j] -= delta;
             }

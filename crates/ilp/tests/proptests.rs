@@ -128,6 +128,54 @@ proptest! {
         prop_assert_eq!(a < b, a.to_f64() < b.to_f64());
     }
 
+    /// Rational arithmetic near the `i128` extremes: operations either
+    /// produce the exact value or refuse (checked `None`) — never a
+    /// silently wrapped result.
+    #[test]
+    fn rational_extreme_magnitudes(pick_a in 0usize..8, pick_b in 0usize..8, d in 1i128..5) {
+        const EDGES: [i128; 8] = [
+            i128::MIN,
+            i128::MIN + 1,
+            i128::MIN / 2,
+            -1,
+            0,
+            1,
+            i128::MAX / 2,
+            i128::MAX,
+        ];
+        let a = Rational::new(EDGES[pick_a], d);
+        let b = Rational::new(EDGES[pick_b], d);
+
+        // Construction invariants: reduced, positive denominator.
+        prop_assert!(a.denom() > 0);
+        prop_assert!(b.denom() > 0);
+
+        // Self-subtraction is exact even at magnitude 2^127.
+        prop_assert_eq!(a.checked_sub(&a), Some(Rational::ZERO));
+
+        // Checked ops round-trip when they succeed.
+        if let Some(s) = a.checked_add(&b) {
+            prop_assert_eq!(s.checked_sub(&b), Some(a));
+        }
+        if let Some(p) = a.checked_mul(&b) {
+            if !b.is_zero() && b.numer() != i128::MIN {
+                prop_assert_eq!(p / b, a);
+            }
+        }
+
+        // Ordering is total and consistent with sign at the extremes.
+        prop_assert_eq!(a < b, b > a);
+        prop_assert_eq!(a == b, EDGES[pick_a] == EDGES[pick_b]);
+        if a.is_negative() {
+            prop_assert!(a < Rational::ZERO);
+        }
+
+        // floor/ceil stay in range and bracket the value.
+        prop_assert!(Rational::from(a.floor()) <= a);
+        prop_assert!(Rational::from(a.ceil()) >= a);
+        prop_assert!(a.ceil() - a.floor() <= 1);
+    }
+
     /// floor/ceil/fract are consistent.
     #[test]
     fn rational_floor_ceil(n in -500i128..500, d in 1i128..40) {

@@ -680,6 +680,70 @@ impl Dag {
         Reachability { words, bits: reach }
     }
 
+    /// A stable structural fingerprint of the pipeline: name, stages
+    /// (kind, kernel, producers, outputs, sync groups), and edges
+    /// (endpoints, windows, read ports).
+    ///
+    /// Two DAGs with equal fingerprints compile identically for any given
+    /// geometry and memory specification, which is what compile caches key
+    /// on. The hash is FNV-1a over the structural fields, so it is stable
+    /// across processes of the same build target (unlike `DefaultHasher`,
+    /// whose output is unspecified); it is *not* defined to be portable
+    /// across architectures, since the `Hash` impls feed native-endian
+    /// bytes.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+
+        /// FNV-1a, deliberately not `DefaultHasher` (whose output is
+        /// unspecified across std versions).
+        struct Fnv(u64);
+        impl Hasher for Fnv {
+            fn finish(&self) -> u64 {
+                self.0
+            }
+            fn write(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        self.name.hash(&mut h);
+        self.stages.len().hash(&mut h);
+        for s in &self.stages {
+            s.name.hash(&mut h);
+            match &s.kind {
+                StageKind::Input => 0u8.hash(&mut h),
+                StageKind::Compute { kernel } => {
+                    1u8.hash(&mut h);
+                    kernel.hash(&mut h);
+                }
+            }
+            s.producers.len().hash(&mut h);
+            for p in &s.producers {
+                p.0.hash(&mut h);
+            }
+            s.is_output.hash(&mut h);
+            s.norm_shift.hash(&mut h);
+            s.sync_group.hash(&mut h);
+        }
+        self.edges.len().hash(&mut h);
+        for e in &self.edges {
+            e.producer.0.hash(&mut h);
+            e.consumer.0.hash(&mut h);
+            e.slot.hash(&mut h);
+            let w = &e.window;
+            (w.lag, w.height, w.dx_min, w.dx_max).hash(&mut h);
+            e.ports.len().hash(&mut h);
+            for p in &e.ports {
+                (p.row_offset, p.height).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Structural validation (see [`IrError`]).
     ///
     /// # Errors
@@ -988,6 +1052,39 @@ mod tests {
                 height: 2,
             }],
         );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure() {
+        let (a, ..) = chain3();
+        let (b, ..) = chain3();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "deterministic");
+        let (mut c, k0, _, _) = chain3();
+        let (eid, _) = c.consumer_edges(k0).next().unwrap();
+        c.set_edge_ports(
+            eid,
+            vec![
+                ReadPort {
+                    row_offset: 0,
+                    height: 2,
+                },
+                ReadPort {
+                    row_offset: 2,
+                    height: 1,
+                },
+            ],
+        );
+        assert_ne!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "port rewrite changes the fingerprint"
+        );
+        let mut d = Dag::new("other-name");
+        let k0 = d.add_input("K0");
+        let k1 = d.add_stage("K1", &[k0], box3(0)).unwrap();
+        let k2 = d.add_stage("K2", &[k1], box3(0)).unwrap();
+        d.mark_output(k2);
+        assert_ne!(a.fingerprint(), d.fingerprint(), "name is part of the key");
     }
 
     #[test]

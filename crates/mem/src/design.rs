@@ -280,6 +280,7 @@ impl Design {
 /// Handles both fragmentation regimes: rows that fit a block (possibly
 /// several per block when coalescing) and rows that must split across
 /// multiple blocks (1080p rows on small macros).
+#[allow(clippy::too_many_arguments)] // a parameter struct would obscure the call sites
 pub fn allocate_buffer(
     stage: usize,
     phys_rows: u32,

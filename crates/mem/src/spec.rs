@@ -125,6 +125,22 @@ impl MemorySpec {
         (self.backend.block_bits() / geom.row_bits()) as u32
     }
 
+    /// Whether any stage's buffer actually coalesces at this geometry —
+    /// the rule labeling a design `Ours+LC` rather than `Ours`. Scans the
+    /// per-stage overrides plus the default configuration.
+    pub fn ever_coalesces(&self, geom: &ImageGeometry) -> bool {
+        let default_factor = if self.default_coalesce {
+            self.default_ports.min(self.rows_fitting(geom)).max(1)
+        } else {
+            1
+        };
+        default_factor > 1
+            || self
+                .overrides
+                .keys()
+                .any(|&stage| self.coalesce_factor(stage, geom) > 1)
+    }
+
     /// The effective coalescing factor `g` for a stage: `min(P, rows that
     /// fit)` when enabled (Algo. 1's bound), otherwise 1.
     ///

@@ -87,14 +87,55 @@ pub fn check_accesses(
     ports: u32,
     layout: Option<&BufferLayout>,
 ) -> Result<(), PortViolation> {
+    // Candidate row advances per entity. The naive set is `k in 0..h`,
+    // but between the boundary regions the pattern is periodic: once
+    // every entity is active and no window clamps at the bottom edge,
+    // advancing every entity's raster row by one leaves the absolute
+    // collision pattern unchanged (keys are rows; coincidences depend
+    // only on row differences) and rotates physical keys, whose pattern
+    // repeats exactly every `phys_rows` advances. So it suffices to scan
+    // a head range covering all activations plus one full period, and a
+    // tail range covering deactivations and bottom-edge clamping.
+    let h = height as i64;
+    let w = width as i64;
+    let steady_period = layout.map(|l| l.phys_rows as i64).unwrap_or(1);
+    let min_start = entities.iter().map(|e| e.start).min().unwrap_or(0);
+    let max_start = entities.iter().map(|e| e.start).max().unwrap_or(0);
+    let span_rows = (max_start - min_start) / w + 1;
+    let hmax = entities
+        .iter()
+        .map(|e| (e.row_offset + e.height) as i64)
+        .max()
+        .unwrap_or(1);
+    let margin = span_rows + hmax + steady_period + 2;
+    let ks: Vec<i64> = if 2 * margin >= h {
+        (0..h).collect()
+    } else {
+        (0..margin).chain(h - margin..h).collect()
+    };
+    check_accesses_at(width, height, pixel_bits, entities, ports, layout, &ks)
+}
+
+/// [`check_accesses`] over an explicit set of row advances `ks` (the
+/// pruned or, in tests, exhaustive transition set).
+fn check_accesses_at(
+    width: u32,
+    height: u32,
+    pixel_bits: u32,
+    entities: &[ResolvedEntity],
+    ports: u32,
+    layout: Option<&BufferLayout>,
+    ks: &[i64],
+) -> Result<(), PortViolation> {
     let w = width as i64;
     let frame = w * height as i64;
 
-    // Candidate transition cycles: entity activation plus every row
-    // advance; plus column-segment crossings when rows split over blocks.
+    // Candidate transition cycles: entity activation plus the selected
+    // row advances; plus column-segment crossings when rows split over
+    // blocks.
     let mut cycles: Vec<i64> = Vec::new();
     for e in entities {
-        for k in 0..height as i64 {
+        for &k in ks {
             cycles.push(e.start + k * w);
         }
         if let Some(l) = layout {
@@ -102,7 +143,7 @@ pub fn check_accesses(
                 let seg_px = (l.block_bits / pixel_bits as u64) as i64;
                 let mut x = seg_px;
                 while x < w {
-                    for k in 0..height as i64 {
+                    for &k in ks {
                         cycles.push(e.start + k * w + x);
                     }
                     x += seg_px;
@@ -183,6 +224,7 @@ pub fn check_accesses(
 /// Returns the stubborn violation if no slack in range fixes it — which
 /// indicates a schedule-level (absolute-row) conflict, not an aliasing
 /// artifact.
+#[allow(clippy::too_many_arguments)] // mirrors allocate_buffer's flat layout
 pub fn required_phys_rows(
     width: u32,
     height: u32,
@@ -351,6 +393,47 @@ mod tests {
         // may be reported from re-reading the clamped row.
         let ents = [writer(), reader(2 * W as i64 + 1, 3)];
         check_accesses(W, H, PX, &ents, 2, None).unwrap();
+    }
+
+    /// The pruned transition set must agree with the exhaustive per-row
+    /// scan: deterministic pseudo-random entity sets on a frame tall
+    /// enough that pruning actually drops the middle region.
+    #[test]
+    fn pruned_scan_matches_exhaustive() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x00c0_ffee_1234_5678);
+        let mut next = move || rng.next_u64();
+        let (w, h, px) = (32u32, 240u32, 16u32);
+        for round in 0..60 {
+            let n_ent = 2 + (round % 3);
+            let entities: Vec<ResolvedEntity> = (0..n_ent)
+                .map(|i| ResolvedEntity {
+                    start: (next() % 6) as i64 * w as i64 + (next() % 3) as i64,
+                    row_offset: (next() % 3) as u32,
+                    height: 1 + (next() % 3) as u32,
+                    is_writer: i == 0,
+                })
+                .collect();
+            let ports = 1 + (next() % 2) as u32;
+            let layouts = [
+                None,
+                Some(BufferLayout {
+                    phys_rows: 2 + (next() % 6) as u32,
+                    rows_per_block: 1 + (next() % 2) as u32,
+                    blocks_per_row: 1,
+                    block_bits: 2 * (w * px) as u64,
+                }),
+            ];
+            for layout in &layouts {
+                let pruned = check_accesses(w, h, px, &entities, ports, layout.as_ref());
+                let all: Vec<i64> = (0..h as i64).collect();
+                let full = check_accesses_at(w, h, px, &entities, ports, layout.as_ref(), &all);
+                assert_eq!(
+                    pruned, full,
+                    "pruning changed the verdict for {entities:?} ports={ports} layout={layout:?}"
+                );
+            }
+        }
     }
 
     #[test]

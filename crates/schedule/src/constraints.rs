@@ -123,16 +123,30 @@ pub fn dependency_gap(window: &imagen_ir::Window, width: u32) -> i64 {
     window.newest_row() as i64 * width as i64 + 1
 }
 
-/// Builds the full constraint system for `dag` at image width `width`.
-pub fn formulate(
-    dag: &Dag,
-    width: u32,
-    params: &impl BufferParams,
-    opts: FormulationOptions,
-) -> ConstraintSet {
-    let w = width as i64;
+/// The memory-spec-independent part of a formulation: data dependencies
+/// (Equ. 1b), sync-group equalities, and the longest-path bounds they
+/// imply.
+///
+/// Edge *windows* and sync groups are invariant under the line-coalescing
+/// rewrite (which only re-partitions read ports), so a skeleton built from
+/// the base DAG is valid for every per-stage DP/DPLC memory configuration
+/// of that DAG. Design-space exploration builds it once per DAG and
+/// re-runs only [`formulate_with`] per design point.
+#[derive(Clone, Debug)]
+pub struct ConstraintSkeleton {
+    /// Dependency + sync-equality constraints (always hard).
+    pub hard: Vec<DiffGe>,
+    /// Longest-path bounds implied by `hard`.
+    pub bounds: DiffBounds,
+    /// How many of `hard` are data dependencies (for statistics).
+    dependencies: usize,
+}
+
+/// Builds the spec-independent constraint skeleton for `dag` at image
+/// width `width` (the cacheable front half of [`formulate`]).
+pub fn formulate_skeleton(dag: &Dag, width: u32) -> ConstraintSkeleton {
     let mut hard: Vec<DiffGe> = Vec::new();
-    let mut stats = FormulationStats::default();
+    let mut dependencies = 0usize;
 
     // --- Data dependencies (Equ. 1b) --------------------------------
     for (_, e) in dag.edges() {
@@ -141,7 +155,7 @@ pub fn formulate(
             b: e.producer(),
             k: dependency_gap(e.window(), width),
         });
-        stats.dependencies += 1;
+        dependencies += 1;
     }
 
     // --- Sync-group equalities (linearization relays) ---------------
@@ -168,6 +182,43 @@ pub fn formulate(
     // Longest-path lower bounds on start-cycle differences implied by the
     // hard constraints; used by both pruning rules.
     let bounds = DiffBounds::new(dag.num_stages(), &hard);
+    ConstraintSkeleton {
+        hard,
+        bounds,
+        dependencies,
+    }
+}
+
+/// Builds the full constraint system for `dag` at image width `width`.
+pub fn formulate(
+    dag: &Dag,
+    width: u32,
+    params: &impl BufferParams,
+    opts: FormulationOptions,
+) -> ConstraintSet {
+    formulate_with(dag, width, &formulate_skeleton(dag, width), params, opts)
+}
+
+/// Completes a [`ConstraintSkeleton`] with the memory-config-dependent
+/// contention constraints (Equ. 1c) for `dag`.
+///
+/// `dag` may be the coalesced working copy of the DAG the skeleton was
+/// built from: the rewrite changes read ports but neither windows nor
+/// sync groups, so the skeleton stays exact.
+pub fn formulate_with(
+    dag: &Dag,
+    width: u32,
+    skeleton: &ConstraintSkeleton,
+    params: &impl BufferParams,
+    opts: FormulationOptions,
+) -> ConstraintSet {
+    let w = width as i64;
+    let mut hard = skeleton.hard.clone();
+    let bounds = &skeleton.bounds;
+    let mut stats = FormulationStats {
+        dependencies: skeleton.dependencies,
+        ..FormulationStats::default()
+    };
 
     // --- Contention (Equ. 1c) ----------------------------------------
     let mut groups: Vec<OrGroup> = Vec::new();
@@ -184,7 +235,7 @@ pub fn formulate(
             let block_gap = if 2 * (g - 1) > ports { g as i64 } else { 1 };
             for (i, a) in entities.iter().enumerate() {
                 for b in entities.iter().skip(i + 1) {
-                    push_coalesced_pair(&mut hard, a, b, w, block_gap, &bounds);
+                    push_coalesced_pair(&mut hard, a, b, w, block_gap, bounds);
                 }
             }
             continue;
@@ -242,7 +293,7 @@ pub fn formulate(
             }
             if opts.pruning {
                 let before = alternatives.len();
-                alternatives = prune_dominated(alternatives, &bounds);
+                alternatives = prune_dominated(alternatives, bounds);
                 stats.pruned_dominated += before - alternatives.len();
             }
             match alternatives.len() {
@@ -325,6 +376,7 @@ fn push_coalesced_pair(
 
 /// Longest-path lower bounds `S_a - S_b >= gap(a, b)` implied by a set of
 /// hard difference constraints.
+#[derive(Clone, Debug)]
 pub struct DiffBounds {
     n: usize,
     /// `gap[a * n + b]`; `i64::MIN` when unconstrained.

@@ -9,7 +9,9 @@
 //! throughput, port discipline and functional correctness.
 
 use crate::checker::{check_accesses, required_phys_rows, PortViolation, ResolvedEntity};
-use crate::constraints::{formulate, BufferParams, FormulationOptions};
+use crate::constraints::{
+    formulate_skeleton, formulate_with, BufferParams, ConstraintSkeleton, FormulationOptions,
+};
 use crate::entity::buffer_entities;
 use crate::solve::{solve_schedule, Schedule, ScheduleError, ScheduleOptions};
 use imagen_ir::{apply_line_coalescing, CoalesceFactor, Dag, StageId, StageKind};
@@ -108,6 +110,35 @@ pub fn plan_design(
     opts: ScheduleOptions,
     style: DesignStyle,
 ) -> Result<Plan, PlanError> {
+    plan_design_with(
+        dag,
+        &formulate_skeleton(dag, geom.width),
+        geom,
+        spec,
+        opts,
+        style,
+    )
+}
+
+/// [`plan_design`] with a prebuilt [`ConstraintSkeleton`].
+///
+/// The skeleton must come from [`formulate_skeleton`] on this `dag` (the
+/// *base*, un-coalesced DAG) at this geometry's width. Compile sessions
+/// and the design-space explorer build the skeleton once per DAG and call
+/// this per memory configuration, skipping the spec-independent half of
+/// the formulation.
+///
+/// # Errors
+///
+/// See [`PlanError`].
+pub fn plan_design_with(
+    dag: &Dag,
+    skeleton: &ConstraintSkeleton,
+    geom: &ImageGeometry,
+    spec: &MemorySpec,
+    opts: ScheduleOptions,
+    style: DesignStyle,
+) -> Result<Plan, PlanError> {
     let mut working = dag.clone();
 
     // Line coalescing rewrite (Sec. 6) where the spec enables it.
@@ -119,9 +150,10 @@ pub fn plan_design(
     }
 
     let params = SpecParams { spec, geom };
-    let set = formulate(
+    let set = formulate_with(
         &working,
         geom.width,
+        skeleton,
         &params,
         FormulationOptions {
             pruning: opts.pruning,

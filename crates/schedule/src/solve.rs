@@ -21,7 +21,7 @@ use imagen_ir::{Dag, StageId};
 use std::fmt;
 
 /// Which buffer-size objective to minimize.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum SizeObjective {
     /// The paper's linear objective: total delay `Σ (T_p - S_p)`
     /// (ceilings dropped per footnote 7).
@@ -32,7 +32,7 @@ pub enum SizeObjective {
 }
 
 /// Scheduling options.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ScheduleOptions {
     /// Apply Sec. 5.4 constraint pruning.
     pub pruning: bool,
@@ -176,7 +176,7 @@ pub fn solve_schedule(
             }
             match solve_leaf(dag, w, &set.hard, &chosen, opts.objective, &mut report) {
                 Ok((obj, starts)) => {
-                    if best.as_ref().map_or(true, |(b, _)| obj < *b) {
+                    if best.as_ref().is_none_or(|(b, _)| obj < *b) {
                         best = Some((obj, starts));
                     }
                 }
@@ -197,10 +197,9 @@ pub fn solve_schedule(
         if to_diff_system(n, &set.hard, &chosen)
             .minimal_solution()
             .is_err()
+            && !advance(&mut stack, &mut chosen, &groups)
         {
-            if !advance(&mut stack, &mut chosen, &groups) {
-                break;
-            }
+            break;
         }
     }
 
@@ -484,8 +483,8 @@ mod tests {
         let asap = asap_schedule(dag.num_stages(), &set.hard, &[]).unwrap();
         let opt = solve(&dag, 2, 1, ScheduleOptions::default());
         // ASAP is feasible and no later than the optimum stage-wise.
-        for i in 0..3 {
-            assert!(asap[i] <= opt.starts[i]);
+        for (a, s) in asap.iter().zip(&opt.starts) {
+            assert!(a <= s);
         }
     }
 

@@ -79,10 +79,14 @@ pub struct SimReport {
     pub total_accesses: u64,
     /// Exact per-block access totals, write totals and peaks, one entry
     /// per design buffer: `(stage, totals, write totals, peaks)`.
-    pub buffer_access_stats: Vec<(usize, Vec<u64>, Vec<u64>, Vec<u32>)>,
+    pub buffer_access_stats: Vec<BufferAccessStats>,
     /// The streams produced by every output stage, as images.
     pub output_images: Vec<(usize, Image)>,
 }
+
+/// Per-buffer access accounting: `(stage, per-block access totals,
+/// per-block write totals, per-block peaks)`.
+pub type BufferAccessStats = (usize, Vec<u64>, Vec<u64>, Vec<u32>);
 
 impl SimReport {
     /// `true` when the design met all three no-stall requirements and
@@ -311,16 +315,16 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
                     } else {
                         i64::MAX
                     };
-                    if produced >= t || overwritten < t {
-                        if residency_violations.len() < MAX_RECORDED {
-                            residency_violations.push(ResidencyViolation {
-                                buffer_stage: p,
-                                reader: sid.index(),
-                                cycle: t,
-                                row,
-                                not_yet_produced: produced >= t,
-                            });
-                        }
+                    if (produced >= t || overwritten < t)
+                        && residency_violations.len() < MAX_RECORDED
+                    {
+                        residency_violations.push(ResidencyViolation {
+                            buffer_stage: p,
+                            reader: sid.index(),
+                            cycle: t,
+                            row,
+                            not_yet_produced: produced >= t,
+                        });
                     }
                     let slot = (row.rem_euclid(pb.phys_rows as i64) * w + x) as usize;
                     let v = pb.data[slot];
@@ -464,7 +468,7 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
 
     let total_accesses: u64 = buffers.iter().map(|b| b.totals.iter().sum::<u64>()).sum();
 
-    let buffer_access_stats: Vec<(usize, Vec<u64>, Vec<u64>, Vec<u32>)> = design
+    let buffer_access_stats: Vec<BufferAccessStats> = design
         .buffers
         .iter()
         .map(|bp| {

@@ -136,7 +136,7 @@ mod tests {
     fn identity_stage_copies() {
         let dag = compile("id", "input A; output B = im(x,y) A(x,y) end").unwrap();
         let input = ramp(8, 6);
-        let run = execute(&dag, &[input.clone()]).unwrap();
+        let run = execute(&dag, std::slice::from_ref(&input)).unwrap();
         let (_, out) = run.outputs(&dag).next().unwrap();
         assert_eq!(out, &input);
     }
@@ -145,7 +145,7 @@ mod tests {
     fn shift_uses_clamping() {
         let dag = compile("sh", "input A; output B = im(x,y) A(x-1,y-1) end").unwrap();
         let input = ramp(4, 4);
-        let run = execute(&dag, &[input.clone()]).unwrap();
+        let run = execute(&dag, std::slice::from_ref(&input)).unwrap();
         let (_, out) = run.outputs(&dag).next().unwrap();
         // Interior: shifted by the normalized window; corners clamp.
         // Normalization makes the stored tap (0,0) with the stage anchored
@@ -196,7 +196,7 @@ mod tests {
         )
         .unwrap();
         let input = ramp(5, 5);
-        let run = execute(&dag, &[input.clone()]).unwrap();
+        let run = execute(&dag, std::slice::from_ref(&input)).unwrap();
         let (_, out) = run.outputs(&dag).next().unwrap();
         for y in 0..5 {
             for x in 0..5 {

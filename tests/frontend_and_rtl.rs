@@ -65,7 +65,7 @@ fn golden_unsharp_increases_contrast() {
     let w = 32;
     let h = 24;
     let input = Image::from_fn(w, h, |x, _| if x < w / 2 { 80 } else { 160 });
-    let run = execute(&dag, &[input.clone()]).unwrap();
+    let run = execute(&dag, std::slice::from_ref(&input)).unwrap();
     let (_, out) = run.outputs(&dag).next().unwrap();
     // Overshoot near the step: output range exceeds input range.
     let max_out = (0..w).map(|x| out.get(x, h / 2)).max().unwrap();

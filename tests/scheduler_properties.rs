@@ -34,6 +34,7 @@ fn brute_force_rows(dag: &Dag, width: u32, ports: u32, bound: i64) -> Option<u64
     let n = dag.num_stages();
     let mut starts = vec![0i64; n];
     let mut best: Option<u64> = None;
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         i: usize,
         n: usize,
@@ -47,7 +48,7 @@ fn brute_force_rows(dag: &Dag, width: u32, ports: u32, bound: i64) -> Option<u64
         if i == n {
             if schedule_satisfies(set, starts) {
                 let (_, total) = size_buffers(dag, width, starts);
-                if best.map_or(true, |b| total < b) {
+                if best.is_none_or(|b| total < b) {
                     *best = Some(total);
                 }
             }

@@ -54,7 +54,7 @@ fn linearization_preserves_output_semantics() {
         let dag = alg.build();
         let lin = linearize(&dag).unwrap();
         let input = frame(11);
-        let orig = execute(&dag, &[input.clone()]).unwrap();
+        let orig = execute(&dag, std::slice::from_ref(&input)).unwrap();
         let rewritten = execute(&lin.dag, &[input]).unwrap();
 
         // Cumulative window reach bounds how far border effects travel.
@@ -92,7 +92,7 @@ fn coalescing_preserves_output_semantics() {
         let mut coalesced = dag.clone();
         apply_line_coalescing(&mut coalesced, |_| CoalesceFactor::new(2));
         let input = frame(13);
-        let a = execute(&dag, &[input.clone()]).unwrap();
+        let a = execute(&dag, std::slice::from_ref(&input)).unwrap();
         let b = execute(&coalesced, &[input]).unwrap();
         for ((_, ia), (_, ib)) in a.outputs(&dag).zip(b.outputs(&coalesced)) {
             assert_eq!(ia.diff_count(ib), 0, "{}", alg.name());
@@ -118,7 +118,12 @@ fn linearized_designs_simulate_bit_exact() {
         .compile_dag(&lin.dag)
         .unwrap();
     let input = frame(17);
-    let report = simulate(&out.plan.dag, &out.plan.design, &[input.clone()]).unwrap();
+    let report = simulate(
+        &out.plan.dag,
+        &out.plan.design,
+        std::slice::from_ref(&input),
+    )
+    .unwrap();
     assert!(report.is_clean());
 
     // The simulated output equals the ORIGINAL pipeline's golden output
