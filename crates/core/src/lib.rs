@@ -105,6 +105,10 @@ impl CompileTiming {
 pub struct CompileOutput {
     /// The plan: working DAG, schedule, priced design.
     pub plan: Plan,
+    /// The elaborated netlist the Verilog is printed from (shared with
+    /// the session cache; also the input to `imagen_rtl::interpret` and
+    /// `imagen_rtl::verify_structure`).
+    pub netlist: std::sync::Arc<imagen_rtl::Netlist>,
     /// Synthesizable Verilog for the design.
     pub verilog: String,
     /// Per-phase timing.
@@ -184,11 +188,14 @@ impl Compiler {
         let optimize_us = t1.elapsed().as_micros();
 
         let t2 = Instant::now();
-        let verilog = imagen_rtl::generate_verilog(&plan.dag, &plan.design);
+        let netlist =
+            imagen_rtl::build_netlist(&plan.dag, &plan.design, &imagen_rtl::BitWidths::default());
+        let verilog = imagen_rtl::emit_verilog(&netlist);
         let codegen_us = t2.elapsed().as_micros();
 
         Ok(CompileOutput {
             plan,
+            netlist: std::sync::Arc::new(netlist),
             verilog,
             timing: CompileTiming {
                 frontend_us: 0,
@@ -229,7 +236,7 @@ mod tests {
                 .compile_dag(&alg.build())
                 .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
             assert!(out.plan.design.sram_kb() > 0.0, "{}", alg.name());
-            imagen_rtl::verify_structure(&out.verilog)
+            imagen_rtl::verify_structure(&out.netlist)
                 .unwrap_or_else(|e| panic!("{} RTL: {e}", alg.name()));
         }
     }

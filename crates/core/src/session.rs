@@ -45,11 +45,12 @@ struct PointKey {
     style: DesignStyle,
 }
 
-/// One memoized compile: the plan always, the Verilog once someone asked
-/// for it.
+/// One memoized compile: the plan always, the netlist and its Verilog
+/// once someone asked for them.
 #[derive(Clone)]
 struct CacheEntry {
     plan: Arc<Plan>,
+    netlist: Option<Arc<imagen_rtl::Netlist>>,
     verilog: Option<Arc<String>>,
     timing: CompileTiming,
 }
@@ -283,14 +284,24 @@ impl Session {
             Some(e) => e,
             None => self.compute(spec, style)?,
         };
-        if entry.verilog.is_none() {
+        if entry.netlist.is_none() || entry.verilog.is_none() {
             let t = Instant::now();
-            let verilog = imagen_rtl::generate_verilog(&entry.plan.dag, &entry.plan.design);
+            let netlist = match entry.netlist.clone() {
+                Some(n) => n,
+                None => Arc::new(imagen_rtl::build_netlist(
+                    &entry.plan.dag,
+                    &entry.plan.design,
+                    &imagen_rtl::BitWidths::default(),
+                )),
+            };
+            let verilog = imagen_rtl::emit_verilog(&netlist);
             entry.timing.codegen_us = t.elapsed().as_micros();
+            entry.netlist = Some(netlist);
             entry.verilog = Some(Arc::new(verilog));
         }
-        // Re-insert so later calls see plan + RTL (or_insert keeps the
-        // richer existing entry only if one raced in; replace instead).
+        // Re-insert so later calls see plan + netlist + RTL (or_insert
+        // keeps the richer existing entry only if one raced in; replace
+        // instead).
         self.cache
             .entries
             .lock()
@@ -298,6 +309,7 @@ impl Session {
             .insert(key, entry.clone());
         Ok(CompileOutput {
             plan: (*entry.plan).clone(),
+            netlist: entry.netlist.expect("just generated"),
             verilog: (*entry.verilog.expect("just generated")).clone(),
             timing: entry.timing,
         })
@@ -322,6 +334,7 @@ impl Session {
         };
         Ok(CacheEntry {
             plan: Arc::new(plan),
+            netlist: None,
             verilog: None,
             timing,
         })
@@ -381,7 +394,7 @@ mod tests {
         assert_eq!(plan.design, full.plan.design);
         let (hits, _) = session.cache().stats();
         assert_eq!(hits, 1);
-        imagen_rtl::verify_structure(&full.verilog).unwrap();
+        imagen_rtl::verify_structure(&full.netlist).unwrap();
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //! memoized [`Session`]: the constraint skeleton is built once per DAG,
 //! repeated configurations (the greedy walk revisits many) are cache
 //! hits, and points are *priced* (area from the SRAM model, power from
-//! the access statistics) without generating RTL nobody reads. Results
+//! the access statistics) without generating RTL text nobody reads. Each
+//! point additionally carries a [`ResourceReport`] (instantiated SRAM
+//! macro bits, flip-flops, datapath operators) as a structural costing
+//! axis, computed by `imagen_rtl`'s fast path — the same numbers a full
+//! netlist elaboration yields (pinned equal by test), with none of its
+//! per-point allocation cost. Results
 //! are byte-identical to a sequential walk regardless of thread count.
 //!
 //! [`pareto_front`] / [`ParetoFront`] extract the non-dominated designs —
@@ -38,6 +43,7 @@
 use imagen_core::{CompileError, Session};
 use imagen_ir::Dag;
 use imagen_mem::{Design, DesignStyle, ImageGeometry, MemBackend, MemorySpec, StageMemConfig};
+use imagen_rtl::{report_resources_for, BitWidths, ResourceReport};
 use imagen_schedule::Plan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -74,6 +80,11 @@ pub struct DsePoint {
     pub power_mw: f64,
     /// Allocated SRAM, KB.
     pub sram_kb: f64,
+    /// Netlist-derived hardware inventory (instantiated SRAM macro bits,
+    /// flip-flops, datapath operators) — the structural costing axis next
+    /// to the analytic area/power models. Derived from the same netlist
+    /// the RTL is printed from, without generating any Verilog text.
+    pub resources: ResourceReport,
     /// The priced design.
     pub design: Design,
 }
@@ -184,11 +195,15 @@ fn choices_for(mask: u64, n: usize) -> Vec<StageChoice> {
 
 fn point_from(plan: &Plan, choices: Vec<StageChoice>) -> DsePoint {
     let design = plan.design.clone();
+    // The fast path: same numbers as walking the full netlist (pinned by
+    // test in imagen-rtl), no per-point elaboration in the pricing loop.
+    let resources = report_resources_for(&plan.dag, &design, &BitWidths::default());
     DsePoint {
         choices,
         area_mm2: design.total_area_mm2(),
         power_mw: design.total_power_mw(),
         sram_kb: design.sram_kb(),
+        resources,
         design,
     }
 }
@@ -618,6 +633,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn resources_expose_the_netlist_inventory() {
+        let dag = Algorithm::CannyS.build();
+        let res = sweep_small(&dag);
+        let all_dp = &res.points[0];
+        let all_dplc = res.points.last().unwrap();
+        // Coalescing packs rows into fewer macros; the datapath (kernel
+        // operators, window registers) is choice-invariant.
+        assert!(
+            all_dplc.resources.sram_blocks < all_dp.resources.sram_blocks,
+            "DPLC {} blocks vs DP {} blocks",
+            all_dplc.resources.sram_blocks,
+            all_dp.resources.sram_blocks
+        );
+        assert_eq!(all_dp.resources.multipliers, all_dplc.resources.multipliers);
+        assert_eq!(all_dp.resources.adders, all_dplc.resources.adders);
+        assert!(all_dp.resources.flipflop_bits > 0);
+        assert!(all_dp.resources.sram_kb() > 0.0);
+        // The structural axis supports its own Pareto sweep.
+        let front = pareto_front(
+            &res.points
+                .iter()
+                .map(|p| (p.resources.sram_bits as f64, p.power_mw))
+                .collect::<Vec<_>>(),
+        );
+        assert!(!front.is_empty());
     }
 
     #[test]

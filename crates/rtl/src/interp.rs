@@ -1,0 +1,564 @@
+//! The executable-netlist interpreter.
+//!
+//! [`interpret`] runs a [`Netlist`] clock edge by clock edge: the cycle
+//! counter advances, per-stage enables fire at the ILP start cycles, the
+//! window-load paths shift the SRA register arrays and read the rotating
+//! line-buffer SRAMs, the stage compute modules evaluate their kernels at
+//! the declared accumulator width, and the output registers truncate to
+//! the pixel width — exactly the hardware the netlist describes.
+//!
+//! This closes the verification loop the repository previously lacked
+//! (no synthesis or Verilog simulation tool exists in this environment):
+//! the structure the Verilog is printed from is itself executed and
+//! cross-checked bit-exactly against the golden executor
+//! (`imagen_sim::execute`) and the cycle-level simulator
+//! (`imagen_sim::simulate`). At [`BitWidths::wide`](crate::BitWidths::wide)
+//! the datapath arithmetic coincides with the software model's `i64`
+//! semantics, so equality is exact on full-range inputs; at the default
+//! 16/32-bit widths the interpreter reproduces the real truncating
+//! hardware, which matches the software model whenever values stay in
+//! range (the differential suite checks both regimes).
+//!
+//! Timing note: values are sampled *after* each clock edge, so output
+//! pixel `k` of a stage with start cycle `s` is observed after edge
+//! `s + k` — the cycle-level simulator's convention.
+
+use crate::netlist::{ModuleKind, Netlist};
+use imagen_ir::Expr;
+use imagen_sim::Image;
+use std::fmt;
+
+/// Interpretation failure (structural, before any cycles run).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InterpError {
+    /// The number of provided input images does not match the netlist's
+    /// input streams.
+    InputCount {
+        /// Streams expected.
+        expected: usize,
+        /// Images provided.
+        provided: usize,
+    },
+    /// An input image does not match the netlist geometry.
+    GeometryMismatch,
+    /// A stage is read through a window but owns no line buffer in the
+    /// netlist, so the load path has nothing to read from.
+    MissingBuffer {
+        /// The buffer-less producer stage.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::InputCount { expected, provided } => write!(
+                f,
+                "netlist has {expected} input stream(s) but {provided} image(s) were provided"
+            ),
+            InterpError::GeometryMismatch => {
+                write!(
+                    f,
+                    "input image dimensions do not match the netlist geometry"
+                )
+            }
+            InterpError::MissingBuffer { stage } => {
+                write!(f, "stage {stage} is windowed but owns no line buffer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Result of interpreting a netlist over one frame.
+#[derive(Clone, Debug)]
+pub struct InterpReport {
+    /// Clock edges executed.
+    pub cycles: u64,
+    /// Cycle after the last output pixel (end-to-end frame latency).
+    pub latency: u64,
+    /// The frames streamed out, one per output stage: `(stage index,
+    /// image)`.
+    pub output_images: Vec<(usize, Image)>,
+    /// SRAM words read through the window-load paths.
+    pub sram_reads: u64,
+    /// SRAM words written through the line-buffer write ports.
+    pub sram_writes: u64,
+}
+
+/// Sign-truncates `v` to `bits` bits (identity for `bits >= 64`).
+fn trunc(v: i64, bits: u32) -> i64 {
+    if bits >= 64 {
+        v
+    } else {
+        let sh = 64 - bits;
+        (v << sh) >> sh
+    }
+}
+
+/// Evaluates a kernel at accumulator width `acc`: every operation result
+/// is truncated to `acc` bits, mirroring the fixed-width datapath of the
+/// generated hardware. At `acc = 64` this coincides exactly with
+/// [`Expr::eval`]'s wrapping-`i64` semantics.
+fn eval_acc(e: &Expr, acc: u32, fetch: &mut impl FnMut(usize, i32, i32) -> i64) -> i64 {
+    use imagen_ir::BinOp;
+    let v = match e {
+        Expr::Const(c) => *c,
+        Expr::Tap { slot, dx, dy } => fetch(*slot, *dx, *dy),
+        Expr::Neg(a) => eval_acc(a, acc, fetch).wrapping_neg(),
+        Expr::Abs(a) => eval_acc(a, acc, fetch).wrapping_abs(),
+        Expr::Bin(op, a, b) => {
+            let a = eval_acc(a, acc, fetch);
+            let b = eval_acc(b, acc, fetch);
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        0
+                    } else {
+                        a.wrapping_div(b)
+                    }
+                }
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+                BinOp::Shl => a.wrapping_shl(b.clamp(0, 62) as u32),
+                BinOp::Shr => a.wrapping_shr(b.clamp(0, 62) as u32),
+            }
+        }
+        Expr::Cmp(op, a, b) => {
+            let a = eval_acc(a, acc, fetch);
+            let b = eval_acc(b, acc, fetch);
+            i64::from(op.apply(a, b))
+        }
+        Expr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            if eval_acc(cond, acc, fetch) != 0 {
+                eval_acc(then, acc, fetch)
+            } else {
+                eval_acc(otherwise, acc, fetch)
+            }
+        }
+        Expr::Clamp { value, lo, hi } => {
+            let v = eval_acc(value, acc, fetch);
+            let lo = eval_acc(lo, acc, fetch);
+            let hi = eval_acc(hi, acc, fetch);
+            if lo > hi {
+                lo
+            } else {
+                v.clamp(lo, hi)
+            }
+        }
+    };
+    trunc(v, acc)
+}
+
+/// Rotating line-buffer storage for one producer stage.
+struct BufState {
+    rows: u32,
+    data: Vec<i64>,
+}
+
+/// One shift-register array (window registers of one edge).
+struct SraState {
+    height: u32,
+    width: u32,
+    lag: u32,
+    data: Vec<i64>,
+}
+
+/// Executes `net` on `inputs` (one image per input stream, in stream
+/// order), returning the streamed output frames and netlist-level memory
+/// access totals.
+///
+/// # Errors
+///
+/// [`InterpError`] for structural problems; the interpretation itself
+/// cannot fail (the netlist is a closed system once inputs are bound).
+pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, InterpError> {
+    let geom = net.geometry;
+    let (w, h) = (geom.width as i64, geom.height as i64);
+    let frame = net.frame as i64;
+    let pixel = net.widths.pixel_bits;
+    let acc = net.widths.acc_bits;
+
+    let streams = net.input_streams();
+    if streams.len() != inputs.len() {
+        return Err(InterpError::InputCount {
+            expected: streams.len(),
+            provided: inputs.len(),
+        });
+    }
+    if inputs
+        .iter()
+        .any(|i| i.width() != geom.width || i.height() != geom.height)
+    {
+        return Err(InterpError::GeometryMismatch);
+    }
+
+    // Per-stage rotating buffers (from the netlist's line-buffer roster).
+    let mut buffers: Vec<Option<BufState>> = (0..net.stages.len()).map(|_| None).collect();
+    for buf in &net.buffers {
+        buffers[buf.stage] = Some(BufState {
+            rows: buf.storage_rows,
+            data: vec![0; buf.storage_rows as usize * w as usize],
+        });
+    }
+    // Every windowed producer must own a buffer for the load path to read.
+    for e in &net.edges {
+        if buffers[e.producer].is_none() {
+            return Err(InterpError::MissingBuffer { stage: e.producer });
+        }
+    }
+
+    // Shift-register arrays, one per edge — exactly the register arrays
+    // the netlist declares (`sra_cells` sizes both).
+    let mut sras: Vec<SraState> = net
+        .edges
+        .iter()
+        .map(|e| {
+            let width = crate::netlist::sra_columns(&e.window);
+            SraState {
+                height: e.window.height,
+                width,
+                lag: e.window.lag,
+                data: vec![0; (e.window.height * width) as usize],
+            }
+        })
+        .collect();
+
+    // Input-stream binding and kernel lookup per stage.
+    let mut input_of: Vec<Option<usize>> = vec![None; net.stages.len()];
+    for (k, stage, _) in &streams {
+        input_of[*stage] = Some(*k);
+    }
+    let kernels: Vec<Option<&Expr>> = net
+        .stages
+        .iter()
+        .map(|s| {
+            s.module.map(|m| match &net.modules[m].kind {
+                ModuleKind::Stage(p) => &p.kernel,
+                other => unreachable!("stage module of wrong kind: {other:?}"),
+            })
+        })
+        .collect();
+    // Per-stage slot -> edge index lookup for kernel taps.
+    let slot_edge: Vec<Vec<usize>> = net
+        .stages
+        .iter()
+        .map(|s| {
+            let mut v: Vec<usize> = Vec::new();
+            for (i, e) in net.edges.iter().enumerate() {
+                if e.consumer == s.index {
+                    if v.len() <= e.slot {
+                        v.resize(e.slot + 1, usize::MAX);
+                    }
+                    v[e.slot] = i;
+                }
+            }
+            v
+        })
+        .collect();
+
+    let starts: Vec<i64> = net.stages.iter().map(|s| s.start_cycle as i64).collect();
+    let end = starts.iter().map(|s| s + frame).max().unwrap_or(frame);
+
+    let mut outputs: Vec<(usize, Image)> = net
+        .stages
+        .iter()
+        .filter(|s| s.is_output)
+        .map(|s| (s.index, Image::new(geom.width, geom.height)))
+        .collect();
+    let mut computed: Vec<i64> = vec![0; net.stages.len()];
+    let mut sram_reads = 0u64;
+    let mut sram_writes = 0u64;
+
+    for t in 0..end {
+        // ---- Read phase: window-load paths fill the SRAs, stage
+        // modules evaluate. SRAMs are read-first: reads see the data
+        // written on previous edges.
+        for s in &net.stages {
+            let start = starts[s.index];
+            if t < start || t >= start + frame {
+                continue;
+            }
+            let k = t - start;
+            let y = k.div_euclid(w);
+            let x = k.rem_euclid(w);
+
+            for (eidx, e) in net.edges.iter().enumerate() {
+                if e.consumer != s.index {
+                    continue;
+                }
+                let sra = &mut sras[eidx];
+                // Shift left one column.
+                for r in 0..sra.height as usize {
+                    let base = r * sra.width as usize;
+                    for c in 0..sra.width as usize - 1 {
+                        sra.data[base + c] = sra.data[base + c + 1];
+                    }
+                }
+                let pb = buffers[e.producer].as_ref().expect("checked above");
+                for j in 0..sra.height {
+                    // Clamp-to-edge on the bottom rows: rows past the
+                    // frame hold their last written value.
+                    let row = (y + sra.lag as i64 + j as i64).min(h - 1);
+                    let slot = (row.rem_euclid(pb.rows as i64) * w + x) as usize;
+                    sra.data[(j * sra.width + sra.width - 1) as usize] = pb.data[slot];
+                    sram_reads += 1;
+                }
+            }
+
+            computed[s.index] = match input_of[s.index] {
+                Some(idx) => trunc(inputs[idx].get(x as u32, y as u32), pixel),
+                None => {
+                    let kernel = kernels[s.index].expect("compute stage has a kernel");
+                    let slots = &slot_edge[s.index];
+                    let wide = eval_acc(kernel, acc, &mut |slot, dx, dy| {
+                        let sra = &sras[slots[slot]];
+                        let j = (dy as u32).saturating_sub(sra.lag);
+                        let col = (x + dx as i64).max(0);
+                        let c = (sra.width as i64 - 1 - (x - col)).max(0) as u32;
+                        sra.data[(j * sra.width + c) as usize]
+                    });
+                    // The stage output register truncates the wide result
+                    // to the pixel datapath.
+                    trunc(wide, pixel)
+                }
+            };
+        }
+
+        // ---- Write phase: line-buffer write ports and output streams
+        // commit at the clock edge.
+        for s in &net.stages {
+            let start = starts[s.index];
+            if t < start || t >= start + frame {
+                continue;
+            }
+            let k = t - start;
+            let y = k.div_euclid(w);
+            let x = k.rem_euclid(w);
+            let value = computed[s.index];
+
+            if let Some(sb) = buffers[s.index].as_mut() {
+                let slot = (y.rem_euclid(sb.rows as i64) * w + x) as usize;
+                sb.data[slot] = value;
+                sram_writes += 1;
+            }
+
+            if s.is_output {
+                if let Some((_, img)) = outputs.iter_mut().find(|(i, _)| *i == s.index) {
+                    img.set(x as u32, y as u32, value);
+                }
+            }
+        }
+    }
+
+    Ok(InterpReport {
+        cycles: end as u64,
+        // The cycle after the last output pixel is the netlist's own
+        // done-cycle (the `frame_done` comparator), derived once by the
+        // builder.
+        latency: net.done_cycle,
+        output_images: outputs,
+        sram_reads,
+        sram_writes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{build_netlist, BitWidths};
+    use imagen_ir::Dag;
+    use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+    use imagen_schedule::{plan_design, ScheduleOptions};
+    use imagen_sim::{execute, simulate};
+
+    fn blur_plan() -> (Dag, imagen_mem::Design, ImageGeometry) {
+        let mut dag = Dag::new("ip");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage(
+                "K1",
+                &[k0],
+                Expr::sum((0..9).map(|i| Expr::tap(0, i % 3 - 1, i / 3 - 1))),
+            )
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 20,
+            height: 14,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(
+            MemBackend::Asic {
+                block_bits: 2 * geom.row_bits(),
+            },
+            2,
+        );
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        (p.dag, p.design, geom)
+    }
+
+    #[test]
+    fn interpreter_matches_golden_and_cycle_sim() {
+        let (dag, design, geom) = blur_plan();
+        let input = Image::from_fn(geom.width, geom.height, |x, y| {
+            ((x * 7 + y * 13) % 97) as i64
+        });
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        let report = interpret(&net, std::slice::from_ref(&input)).unwrap();
+
+        let golden = execute(&dag, std::slice::from_ref(&input)).unwrap();
+        let sim = simulate(&dag, &design, std::slice::from_ref(&input)).unwrap();
+        assert!(sim.is_clean());
+        for (stage, img) in &report.output_images {
+            let gold = golden.stage(imagen_ir::StageId::from_index(*stage));
+            assert_eq!(img, gold, "netlist vs golden");
+            let (_, simg) = sim
+                .output_images
+                .iter()
+                .find(|(i, _)| i == stage)
+                .expect("sim produced the stream");
+            assert_eq!(img, simg, "netlist vs cycle model");
+        }
+        assert_eq!(report.latency, sim.latency as u64);
+        assert!(report.sram_reads > 0 && report.sram_writes > 0);
+    }
+
+    #[test]
+    fn default_widths_truncate_like_hardware() {
+        // A kernel that overflows 16 bits: the netlist at default widths
+        // wraps on the output register (real hardware); at wide widths it
+        // matches the untruncated software model.
+        let mut dag = Dag::new("ovf");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage(
+                "K1",
+                &[k0],
+                Expr::bin(
+                    imagen_ir::BinOp::Mul,
+                    Expr::tap(0, 0, 0),
+                    Expr::tap(0, 0, 0),
+                ),
+            )
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 8,
+            height: 6,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 256 }, 2);
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        let input = Image::from_fn(geom.width, geom.height, |_, _| 300);
+        let golden = execute(&p.dag, std::slice::from_ref(&input)).unwrap();
+        let gold_v = golden.stage(imagen_ir::StageId::from_index(1)).get(4, 3);
+        assert_eq!(gold_v, 90_000, "software model does not truncate");
+
+        let narrow = build_netlist(&p.dag, &p.design, &BitWidths::default());
+        let r = interpret(&narrow, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(
+            r.output_images[0].1.get(4, 3),
+            super::trunc(90_000, 16),
+            "16-bit register wraps"
+        );
+
+        let wide = build_netlist(&p.dag, &p.design, &BitWidths::wide());
+        let r = interpret(&wide, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(r.output_images[0].1.get(4, 3), 90_000);
+    }
+
+    #[test]
+    fn negative_only_horizontal_taps_execute_correctly() {
+        // A kernel tapping only dx = -1 keeps dx_max = -1 after
+        // normalization (the shift clamps at zero), so the window spans
+        // one column but the executed SRA must still reach the current
+        // raster column to supply the previous pixel. The netlist
+        // declares that storage (`sra_cells`), the interpreter executes
+        // it, and verification sees consistent shapes.
+        let mut dag = Dag::new("negdx");
+        let k0 = dag.add_input("K0");
+        let k1 = dag.add_stage("K1", &[k0], Expr::tap(0, -1, 0)).unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 10,
+            height: 6,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 512 }, 2);
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        let e = p.dag.edges().next().unwrap().1;
+        assert_eq!(e.window().dx_max, -1, "normalization keeps dx_max < 0");
+
+        let net = build_netlist(&p.dag, &p.design, &BitWidths::default());
+        crate::verify_structure(&net).unwrap();
+        let sra = net
+            .top_module()
+            .net("sra_K1_0")
+            .expect("window register array declared");
+        assert_eq!(sra.array, Some(2), "two columns: tap dx=-1 plus dx=0");
+
+        let input = Image::from_fn(geom.width, geom.height, |x, y| (x * 10 + y) as i64);
+        let run = interpret(&net, std::slice::from_ref(&input)).unwrap();
+        let golden = execute(&p.dag, std::slice::from_ref(&input)).unwrap();
+        assert_eq!(
+            &run.output_images[0].1,
+            golden.stage(imagen_ir::StageId::from_index(1)),
+            "previous-column semantics, clamped at the left edge"
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let (dag, design, geom) = blur_plan();
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        assert!(matches!(
+            interpret(&net, &[]),
+            Err(InterpError::InputCount { .. })
+        ));
+        let wrong = Image::new(3, 3);
+        assert!(matches!(
+            interpret(&net, &[wrong]),
+            Err(InterpError::GeometryMismatch)
+        ));
+        let _ = geom;
+    }
+
+    #[test]
+    fn trunc_behaves() {
+        assert_eq!(trunc(90_000, 16), 90_000 - 65_536);
+        assert_eq!(trunc(-5, 16), -5);
+        assert_eq!(trunc(i64::MAX, 64), i64::MAX);
+        assert_eq!(trunc(32_767, 16), 32_767);
+        assert_eq!(trunc(32_768, 16), -32_768);
+    }
+}

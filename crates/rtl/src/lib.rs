@@ -1,28 +1,65 @@
 //! # imagen-rtl
 //!
-//! Verilog code generation for [ImaGen] accelerators (the "RTL Code Gen"
-//! box of the paper's Fig. 5).
+//! The RTL backend of [ImaGen] (the "RTL Code Gen" box of the paper's
+//! Fig. 5), built around a typed structural netlist IR:
 //!
-//! [`generate_verilog`] mechanically translates a scheduled
-//! [`imagen_mem::Design`] into a self-contained (System)Verilog netlist:
-//! per-stage compute modules from the DSL kernels, rotating line-buffer
-//! modules over behavioral SRAM primitives, shift-register arrays, and a
-//! top-level module whose control logic sequences the ILP-derived start
-//! cycles. [`verify_structure`] checks the emitted netlist structurally
-//! (no synthesis tool exists in this environment; see DESIGN.md §5).
+//! ```text
+//! Design ──build_netlist()──▶ Netlist ──┬─ emit_verilog()     → .v text
+//!                                       ├─ interpret()        → executed frames
+//!                                       ├─ verify_structure() → arity/width/driver checks
+//!                                       └─ report_resources() → SRAM/FF/operator inventory
+//! ```
+//!
+//! * [`build_netlist`] elaborates a scheduled [`imagen_mem::Design`] into
+//!   a [`Netlist`]: modules, typed ports and nets, instances, registers,
+//!   SRAM primitives and kernel expression nets, at configurable
+//!   [`BitWidths`];
+//! * [`emit_verilog`] prints the netlist as self-contained synthesizable
+//!   Verilog (byte-identical to the original string emitter at default
+//!   widths, pinned by golden files);
+//! * [`interpret`] **executes** the netlist cycle by cycle — the
+//!   verification loop no synthesis tool in this environment could close:
+//!   the emitted design itself is run and checked bit-exact against the
+//!   golden executor and the cycle-level simulator;
+//! * [`verify_structure`] checks the netlist structurally (port
+//!   arity/width of every instantiation, driver/undriven-net analysis);
+//! * [`report_resources`] inventories the instantiated hardware for
+//!   design-space exploration;
+//! * [`generate_testbench`] emits a self-checking testbench wired to the
+//!   netlist's stream interface, with [`TestVectors::from_golden`]
+//!   deriving stimulus/expectations from the golden executor.
 //!
 //! [ImaGen]: https://arxiv.org/abs/2304.03352
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod gen;
+mod emit;
+mod interp;
+mod netlist;
+mod resources;
 mod testbench;
 mod verify;
 
-pub use gen::{generate_verilog, ACC_BITS, PIXEL_BITS};
+pub use emit::emit_verilog;
+pub use interp::{interpret, InterpError, InterpReport};
+pub use netlist::{
+    build_netlist, BitWidths, Conn, Dir, Instance, Item, LineBufPayload, Module, ModuleKind, Net,
+    NetBuffer, NetEdge, NetStage, Netlist, StagePayload,
+};
+pub use resources::{report_resources, report_resources_for, ResourceReport};
 pub use testbench::{generate_testbench, TestVectors};
 pub use verify::{verify_structure, RtlError, RtlSummary};
+
+use imagen_ir::Dag;
+use imagen_mem::Design;
+
+/// Generates the complete Verilog source for a planned design at the
+/// default [`BitWidths`] — shorthand for
+/// `emit_verilog(&build_netlist(dag, design, &BitWidths::default()))`.
+pub fn generate_verilog(dag: &Dag, design: &Design) -> String {
+    emit_verilog(&build_netlist(dag, design, &BitWidths::default()))
+}
 
 #[cfg(test)]
 mod tests {
@@ -72,14 +109,18 @@ mod tests {
     }
 
     #[test]
-    fn generated_verilog_verifies() {
+    fn generated_netlist_verifies() {
         let (dag, design) = plan();
-        let v = generate_verilog(&dag, &design);
-        let summary = verify_structure(&v).unwrap();
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        let summary = verify_structure(&net).unwrap();
         // 2 SRAM primitives + 2 stage modules + 2 linebuf modules + top.
-        assert_eq!(summary.modules, 7, "{v}");
+        assert_eq!(summary.modules, 7);
         assert!(summary.sram_instances > 0);
-        assert!(summary.lines > 50);
+        assert!(summary.instances > summary.sram_instances);
+        assert!(summary.nets > 20);
+        let v = emit_verilog(&net);
+        assert!(v.lines().count() > 50);
+        assert_eq!(v, generate_verilog(&dag, &design), "wrapper is the same");
     }
 
     #[test]
@@ -129,8 +170,28 @@ mod tests {
             DesignStyle::FixyNn,
         )
         .unwrap();
-        let v = generate_verilog(&p.dag, &p.design);
+        let net = build_netlist(&p.dag, &p.design, &BitWidths::default());
+        verify_structure(&net).unwrap();
+        let v = emit_verilog(&net);
         assert!(v.contains("imagen_sram_1p"));
-        verify_structure(&v).unwrap();
+    }
+
+    #[test]
+    fn widths_flow_into_emission() {
+        let (dag, design) = plan();
+        let wide = emit_verilog(&build_netlist(&dag, &design, &BitWidths::wide()));
+        assert!(wide.contains("signed [63:0] pixel_out"));
+        assert!(wide.contains("parameter WIDTH = 64"));
+        assert!(!wide.contains("signed [15:0]"));
+        let custom = emit_verilog(&build_netlist(
+            &dag,
+            &design,
+            &BitWidths {
+                pixel_bits: 12,
+                acc_bits: 24,
+            },
+        ));
+        assert!(custom.contains("signed [11:0] pixel_out"));
+        assert!(custom.contains("wire signed [23:0] result"));
     }
 }

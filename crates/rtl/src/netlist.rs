@@ -1,0 +1,921 @@
+//! The typed structural netlist IR.
+//!
+//! [`build_netlist`] elaborates a scheduled [`Design`] into a [`Netlist`]:
+//! modules with typed ports and nets, instances with named connections,
+//! registers, SRAM primitives, and combinational expression nets. The
+//! netlist is the single artifact every backend consumer works from:
+//!
+//! * [`emit_verilog`](crate::emit_verilog) prints it as the synthesizable
+//!   Verilog the seed emitter produced (byte-identical at default widths);
+//! * [`interpret`](crate::interpret) executes it cycle by cycle, closing
+//!   the verification loop against the golden executor and the
+//!   cycle-level simulator;
+//! * [`verify_structure`](crate::verify_structure) checks it structurally
+//!   (port arity/width of every instantiation, driver analysis);
+//! * [`report_resources`](crate::report_resources) derives SRAM/flip-flop
+//!   and operator inventories for design-space exploration.
+//!
+//! Alongside the generic module/net/instance structure, the domain nodes
+//! ([`StagePayload`], [`LineBufPayload`], [`NetStage`], [`NetEdge`],
+//! [`NetBuffer`]) retain the semantic payloads — kernels, stencil
+//! windows, buffer geometry, the ILP start cycles — that make the netlist
+//! executable and analyzable without re-deriving anything from the DAG.
+
+use imagen_ir::{Dag, Expr, StageId, StageKind, Window};
+use imagen_mem::{Design, DesignStyle, ImageGeometry};
+
+/// Datapath bit widths of the generated hardware, set in exactly one
+/// place and threaded through the netlist builder.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BitWidths {
+    /// Pixel datapath width (stage outputs, line-buffer words, stream
+    /// ports). Values wider than this wrap on the stage output register.
+    pub pixel_bits: u32,
+    /// Intermediate arithmetic width: kernels are evaluated wide, then
+    /// truncated on the stage output register (the simulator's
+    /// wide-then-store semantics).
+    pub acc_bits: u32,
+}
+
+impl Default for BitWidths {
+    fn default() -> Self {
+        BitWidths {
+            pixel_bits: 16,
+            acc_bits: 32,
+        }
+    }
+}
+
+impl BitWidths {
+    /// Widths at which hardware arithmetic coincides exactly with the
+    /// software model's `i64` semantics (no truncation anywhere) — the
+    /// configuration the differential suite uses to prove the netlist
+    /// bit-exact against the golden executor on full-range inputs.
+    pub fn wide() -> BitWidths {
+        BitWidths {
+            pixel_bits: 64,
+            acc_bits: 64,
+        }
+    }
+}
+
+/// Port/net direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dir {
+    /// Driven from outside the module.
+    Input,
+    /// Driven inside the module.
+    Output,
+}
+
+/// A named signal of a module: a wire or register, possibly an unpacked
+/// array (`array` is the element count), possibly a port (`port` is its
+/// direction at the module boundary).
+#[derive(Clone, Debug)]
+pub struct Net {
+    /// Identifier within the module.
+    pub name: String,
+    /// Bit width of one element.
+    pub width: u32,
+    /// Whether the signal is signed.
+    pub signed: bool,
+    /// Unpacked-array element count (`None` for scalars).
+    pub array: Option<u32>,
+    /// Whether the signal is a register (clocked state).
+    pub is_reg: bool,
+    /// Port direction when the net crosses the module boundary.
+    pub port: Option<Dir>,
+}
+
+/// How an instance port is connected.
+#[derive(Clone, Debug)]
+pub enum Conn {
+    /// Connected to a whole local net.
+    Net(String),
+    /// Connected to one element of a local array net.
+    NetIndex(String, u32),
+    /// Connected to a sized constant.
+    Const(u64, u32),
+    /// Connected to an anonymous combinational expression of local nets
+    /// (bank-select decode and similar glue).
+    Expr(String),
+    /// Left unconnected (legal for outputs only).
+    Open,
+}
+
+/// A module instantiation.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Name of the instantiated module.
+    pub module: String,
+    /// Instance identifier.
+    pub name: String,
+    /// Named port connections.
+    pub conns: Vec<(String, Conn)>,
+}
+
+/// A structural item of a module: every item names the net(s) it drives,
+/// which is what the driver analysis in
+/// [`verify_structure`](crate::verify_structure) walks.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// A continuous assignment driving `net` from a combinational
+    /// expression of other nets.
+    Assign {
+        /// The driven net.
+        net: String,
+    },
+    /// A clocked register driving `net`.
+    Register {
+        /// The driven net.
+        net: String,
+    },
+    /// A module instantiation (drives the nets its output ports connect).
+    Inst(Instance),
+    /// The window-load path of one consumer edge: each active cycle it
+    /// shifts the `sra` register array left and loads one column read
+    /// from the producer's line buffer (clamp-to-edge on the bottom
+    /// rows). This is the full elaboration of the read fan-out that the
+    /// pinned Verilog renderer still abbreviates (see `emit`'s module
+    /// docs); the interpreter executes it.
+    WindowLoad {
+        /// The driven shift-register-array net.
+        sra: String,
+        /// Index into [`Netlist::edges`].
+        edge: usize,
+    },
+}
+
+/// Semantic payload of a stage compute module.
+#[derive(Clone, Debug)]
+pub struct StagePayload {
+    /// Index of the stage in the DAG.
+    pub stage: usize,
+    /// Stencil windows in producer-slot order.
+    pub windows: Vec<Window>,
+    /// The kernel expression evaluated once per output pixel.
+    pub kernel: Expr,
+}
+
+/// Semantic payload of a line-buffer module (rotating SRAM banks).
+#[derive(Clone, Debug)]
+pub struct LineBufPayload {
+    /// Index into [`Netlist::buffers`].
+    pub buffer: usize,
+}
+
+/// What a module is.
+#[derive(Clone, Debug)]
+pub enum ModuleKind {
+    /// A behavioral SRAM primitive with `rw_ports` ports.
+    SramPrimitive {
+        /// Number of access ports (1 or 2).
+        rw_ports: u32,
+    },
+    /// A per-stage combinational compute module with a registered output.
+    Stage(StagePayload),
+    /// A rotating line buffer over SRAM blocks.
+    LineBuffer(LineBufPayload),
+    /// The top-level module: cycle counter, per-stage control, stage and
+    /// line-buffer instances, stream ports.
+    Top,
+}
+
+/// One module of the netlist.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Module name (unique within the netlist).
+    pub name: String,
+    /// What the module is.
+    pub kind: ModuleKind,
+    /// All signals, ports included, in declaration order.
+    pub nets: Vec<Net>,
+    /// Structural contents in elaboration order.
+    pub items: Vec<Item>,
+}
+
+impl Module {
+    /// Ports in declaration order.
+    pub fn ports(&self) -> impl Iterator<Item = &Net> {
+        self.nets.iter().filter(|n| n.port.is_some())
+    }
+
+    /// Looks up a net (or port) by name.
+    pub fn net(&self, name: &str) -> Option<&Net> {
+        self.nets.iter().find(|n| n.name == name)
+    }
+}
+
+/// Per-stage control/schedule information mirrored into the netlist.
+#[derive(Clone, Debug)]
+pub struct NetStage {
+    /// Stage index in the DAG (= topological position).
+    pub index: usize,
+    /// Stage name as authored.
+    pub name: String,
+    /// Identifier-safe stage name used for nets and module names.
+    pub sanitized: String,
+    /// `Some(k)` when this is the `k`-th input stream; `None` for compute
+    /// stages.
+    pub input_stream: Option<usize>,
+    /// Index into [`Netlist::modules`] of the stage compute module
+    /// (`None` for input stages).
+    pub module: Option<usize>,
+    /// Whether the stage drives an output stream.
+    pub is_output: bool,
+    /// ILP start cycle.
+    pub start_cycle: u64,
+}
+
+/// One producer→consumer stencil edge mirrored into the netlist.
+#[derive(Clone, Debug)]
+pub struct NetEdge {
+    /// Producer stage index.
+    pub producer: usize,
+    /// Consumer stage index.
+    pub consumer: usize,
+    /// Tap slot in the consumer's kernel.
+    pub slot: usize,
+    /// The stencil window (normalized coordinates).
+    pub window: Window,
+}
+
+/// One planned line buffer mirrored into the netlist.
+#[derive(Clone, Debug)]
+pub struct NetBuffer {
+    /// Producer stage index owning the buffer.
+    pub stage: usize,
+    /// Index into [`Netlist::modules`] of the line-buffer module.
+    pub module: usize,
+    /// Rows physically allocated by the plan.
+    pub phys_rows: u32,
+    /// Rows required by the schedule.
+    pub logical_rows: u32,
+    /// Rows of rotating storage the hardware holds
+    /// (`phys_rows.max(logical_rows).max(1)` — the cycle simulator's
+    /// storage model).
+    pub storage_rows: u32,
+    /// Number of SRAM blocks instantiated.
+    pub blocks: usize,
+    /// Ports per block.
+    pub ports: u32,
+    /// Rows sharing one block (the coalescing factor `g`).
+    pub rows_per_block: u32,
+    /// Words per SRAM macro (power of two).
+    pub depth: u64,
+    /// Address width of the macros.
+    pub aw: u32,
+}
+
+/// A fully elaborated accelerator netlist.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    /// Pipeline name as authored.
+    pub name: String,
+    /// Identifier-safe pipeline name.
+    pub sanitized: String,
+    /// Generator style label (carried into the header comment).
+    pub style: DesignStyle,
+    /// Frame geometry the design was compiled for.
+    pub geometry: ImageGeometry,
+    /// Datapath widths the netlist was elaborated at.
+    pub widths: BitWidths,
+    /// Per-stage control information, in topological order.
+    pub stages: Vec<NetStage>,
+    /// Stencil edges in DAG edge order (slot order per consumer).
+    pub edges: Vec<NetEdge>,
+    /// Line buffers in design order.
+    pub buffers: Vec<NetBuffer>,
+    /// All modules: SRAM primitives, stage modules, line-buffer modules,
+    /// then the top module.
+    pub modules: Vec<Module>,
+    /// Index of the top module in [`Netlist::modules`].
+    pub top: usize,
+    /// Pixels per frame (`width * height`).
+    pub frame: u64,
+    /// Cycle at which the last output pixel has streamed out.
+    pub done_cycle: u64,
+}
+
+impl Netlist {
+    /// The top-level module.
+    pub fn top_module(&self) -> &Module {
+        &self.modules[self.top]
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Input streams: `(stream index, stage index, start cycle)`.
+    pub fn input_streams(&self) -> Vec<(usize, usize, u64)> {
+        self.stages
+            .iter()
+            .filter_map(|s| s.input_stream.map(|k| (k, s.index, s.start_cycle)))
+            .collect()
+    }
+
+    /// Output streams: `(stream index, stage index, start cycle)`, in
+    /// stage order (the order the `stream_out_*` ports are declared).
+    pub fn output_streams(&self) -> Vec<(usize, usize, u64)> {
+        self.stages
+            .iter()
+            .filter(|s| s.is_output)
+            .enumerate()
+            .map(|(k, s)| (k, s.index, s.start_cycle))
+            .collect()
+    }
+}
+
+/// Replaces non-alphanumeric characters so names are Verilog identifiers.
+pub(crate) fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Columns of the shift-register array serving one window: the span from
+/// the oldest tap to the *current* raster column (`dx = 0`), even when
+/// `dx_max < 0`, because the load path always shifts the just-read pixel
+/// in at the right edge — the same storage the cycle-level simulator
+/// models. For the common `dx_max = 0` window this equals `width()`.
+pub(crate) fn sra_columns(w: &Window) -> u32 {
+    (-w.dx_min + 1).max(1) as u32
+}
+
+/// Cells of the shift-register array serving one window
+/// (`height × sra_columns`).
+pub(crate) fn sra_cells(w: &Window) -> u32 {
+    w.height * sra_columns(w)
+}
+
+/// Words per SRAM macro of a line buffer coalescing `rows_per_block`
+/// rows at frame width `width` (power of two, as the macros are sized).
+pub(crate) fn macro_depth(rows_per_block: u32, width: u32) -> u64 {
+    (rows_per_block as u64 * width as u64).next_power_of_two()
+}
+
+fn scalar(name: &str, width: u32) -> Net {
+    Net {
+        name: name.to_string(),
+        width,
+        signed: false,
+        array: None,
+        is_reg: false,
+        port: None,
+    }
+}
+
+fn port(name: &str, dir: Dir, width: u32, signed: bool) -> Net {
+    Net {
+        name: name.to_string(),
+        width,
+        signed,
+        array: None,
+        is_reg: false,
+        port: Some(dir),
+    }
+}
+
+/// Builds the behavioral SRAM primitive modules (single- and dual-port).
+fn sram_primitive(rw_ports: u32) -> Module {
+    let (name, mut nets) = if rw_ports >= 2 {
+        (
+            "imagen_sram_2p",
+            vec![
+                port("clk", Dir::Input, 1, false),
+                port("en_a", Dir::Input, 1, false),
+                port("we_a", Dir::Input, 1, false),
+                port("addr_a", Dir::Input, 9, false),
+                port("wdata_a", Dir::Input, 16, false),
+                port("rdata_a", Dir::Output, 16, false),
+                port("en_b", Dir::Input, 1, false),
+                port("addr_b", Dir::Input, 9, false),
+                port("rdata_b", Dir::Output, 16, false),
+            ],
+        )
+    } else {
+        (
+            "imagen_sram_1p",
+            vec![
+                port("clk", Dir::Input, 1, false),
+                port("en", Dir::Input, 1, false),
+                port("we", Dir::Input, 1, false),
+                port("addr", Dir::Input, 9, false),
+                port("wdata", Dir::Input, 16, false),
+                port("rdata", Dir::Output, 16, false),
+            ],
+        )
+    };
+    for n in nets.iter_mut() {
+        if matches!(n.port, Some(Dir::Output)) {
+            n.is_reg = true;
+        }
+    }
+    let mem = Net {
+        name: "mem".to_string(),
+        width: 16,
+        signed: false,
+        array: Some(512),
+        is_reg: true,
+        port: None,
+    };
+    nets.push(mem);
+    let mut items = vec![Item::Register {
+        net: "mem".to_string(),
+    }];
+    if rw_ports >= 2 {
+        items.push(Item::Register {
+            net: "rdata_a".to_string(),
+        });
+        items.push(Item::Register {
+            net: "rdata_b".to_string(),
+        });
+    } else {
+        items.push(Item::Register {
+            net: "rdata".to_string(),
+        });
+    }
+    Module {
+        name: name.to_string(),
+        kind: ModuleKind::SramPrimitive { rw_ports },
+        nets,
+        items,
+    }
+}
+
+/// Builds one stage compute module.
+fn stage_module(widths: &BitWidths, name: &str, payload: StagePayload) -> Module {
+    let p = widths.pixel_bits;
+    let mut nets = vec![
+        port("clk", Dir::Input, 1, false),
+        port("en", Dir::Input, 1, false),
+    ];
+    for (slot, w) in payload.windows.iter().enumerate() {
+        nets.push(Net {
+            name: format!("win{slot}"),
+            width: p,
+            signed: true,
+            array: Some(sra_cells(w)),
+            is_reg: false,
+            port: Some(Dir::Input),
+        });
+    }
+    nets.push(Net {
+        name: "pixel_out".to_string(),
+        width: p,
+        signed: true,
+        array: None,
+        is_reg: true,
+        port: Some(Dir::Output),
+    });
+    nets.push(Net {
+        name: "result".to_string(),
+        width: widths.acc_bits,
+        signed: true,
+        array: None,
+        is_reg: false,
+        port: None,
+    });
+    Module {
+        name: format!("stage_{}", sanitize(name)),
+        kind: ModuleKind::Stage(payload),
+        nets,
+        items: vec![
+            Item::Assign {
+                net: "result".to_string(),
+            },
+            Item::Register {
+                net: "pixel_out".to_string(),
+            },
+        ],
+    }
+}
+
+/// Builds one line-buffer module (rotating banks of SRAM blocks plus the
+/// bank-select logic).
+fn linebuf_module(widths: &BitWidths, stage_name: &str, buf: &NetBuffer, buffer: usize) -> Module {
+    let p = widths.pixel_bits;
+    let mut nets = vec![
+        port("clk", Dir::Input, 1, false),
+        port("wen", Dir::Input, 1, false),
+        port("wrow", Dir::Input, 32, false),
+        port("wcol", Dir::Input, 32, false),
+        port("wdata", Dir::Input, p, true),
+        port("ren", Dir::Input, 1, false),
+        port("rrow", Dir::Input, 32, false),
+        port("rcol", Dir::Input, 32, false),
+        port("rdata", Dir::Output, p, true),
+    ];
+    nets.push(scalar("wphys", 32));
+    nets.push(scalar("rphys", 32));
+    nets.push(scalar("wblk", 32));
+    nets.push(scalar("rblk", 32));
+    nets.push(scalar("waddr", buf.aw));
+    nets.push(scalar("raddr", buf.aw));
+    nets.push(Net {
+        name: "rdata_blk".to_string(),
+        width: p,
+        signed: true,
+        array: Some(buf.blocks as u32),
+        is_reg: false,
+        port: None,
+    });
+    nets.push(Net {
+        name: "rblk_q".to_string(),
+        width: 32,
+        signed: false,
+        array: None,
+        is_reg: true,
+        port: None,
+    });
+    let mut items: Vec<Item> = ["wphys", "rphys", "wblk", "rblk", "waddr", "raddr"]
+        .iter()
+        .map(|n| Item::Assign {
+            net: (*n).to_string(),
+        })
+        .collect();
+    let prim = if buf.ports >= 2 {
+        "imagen_sram_2p"
+    } else {
+        "imagen_sram_1p"
+    };
+    for b in 0..buf.blocks as u32 {
+        let conns = if buf.ports >= 2 {
+            vec![
+                ("clk".to_string(), Conn::Net("clk".to_string())),
+                (
+                    "en_a".to_string(),
+                    Conn::Expr(format!("wen && wblk == {b}")),
+                ),
+                (
+                    "we_a".to_string(),
+                    Conn::Expr(format!("wen && wblk == {b}")),
+                ),
+                ("addr_a".to_string(), Conn::Net("waddr".to_string())),
+                ("wdata_a".to_string(), Conn::Net("wdata".to_string())),
+                ("rdata_a".to_string(), Conn::Open),
+                (
+                    "en_b".to_string(),
+                    Conn::Expr(format!("ren && rblk == {b}")),
+                ),
+                ("addr_b".to_string(), Conn::Net("raddr".to_string())),
+                (
+                    "rdata_b".to_string(),
+                    Conn::NetIndex("rdata_blk".to_string(), b),
+                ),
+            ]
+        } else {
+            vec![
+                ("clk".to_string(), Conn::Net("clk".to_string())),
+                (
+                    "en".to_string(),
+                    Conn::Expr(format!("(wen && wblk == {b}) || (ren && rblk == {b})")),
+                ),
+                ("we".to_string(), Conn::Expr(format!("wen && wblk == {b}"))),
+                (
+                    "addr".to_string(),
+                    Conn::Expr(format!("(wen && wblk == {b}) ? waddr : raddr")),
+                ),
+                ("wdata".to_string(), Conn::Net("wdata".to_string())),
+                (
+                    "rdata".to_string(),
+                    Conn::NetIndex("rdata_blk".to_string(), b),
+                ),
+            ]
+        };
+        items.push(Item::Inst(Instance {
+            module: prim.to_string(),
+            name: format!("u_blk{b}"),
+            conns,
+        }));
+    }
+    items.push(Item::Register {
+        net: "rblk_q".to_string(),
+    });
+    items.push(Item::Assign {
+        net: "rdata".to_string(),
+    });
+    Module {
+        name: format!("linebuf_{}", sanitize(stage_name)),
+        kind: ModuleKind::LineBuffer(LineBufPayload { buffer }),
+        nets,
+        items,
+    }
+}
+
+/// Elaborates a scheduled design into a typed netlist.
+///
+/// The returned netlist is self-contained: it carries the schedule, the
+/// buffer geometry and the kernels, so every downstream consumer
+/// (emission, interpretation, verification, resource reporting) works
+/// from the netlist alone.
+pub fn build_netlist(dag: &Dag, design: &Design, widths: &BitWidths) -> Netlist {
+    let geom = design.geometry;
+    let p = widths.pixel_bits;
+    let frame = geom.pixels();
+
+    // Stage roster with stream assignments.
+    let mut stages: Vec<NetStage> = Vec::with_capacity(dag.num_stages());
+    let mut in_idx = 0usize;
+    for (id, stage) in dag.stages() {
+        let input_stream = if stage.is_input() {
+            let k = in_idx;
+            in_idx += 1;
+            Some(k)
+        } else {
+            None
+        };
+        stages.push(NetStage {
+            index: id.index(),
+            name: stage.name().to_string(),
+            sanitized: sanitize(stage.name()),
+            input_stream,
+            module: None,
+            is_output: stage.is_output(),
+            start_cycle: *design.start_cycles.get(id.index()).unwrap_or(&0),
+        });
+    }
+
+    let edges: Vec<NetEdge> = dag
+        .edges()
+        .map(|(_, e)| NetEdge {
+            producer: e.producer().index(),
+            consumer: e.consumer().index(),
+            slot: e.slot(),
+            window: *e.window(),
+        })
+        .collect();
+
+    let mut modules = vec![sram_primitive(1), sram_primitive(2)];
+
+    // Stage compute modules, in stage order.
+    for (id, stage) in dag.stages() {
+        if let StageKind::Compute { kernel } = stage.kind() {
+            let mut windows = Vec::new();
+            for slot in 0..stage.producers().len() {
+                let w = dag
+                    .producer_edges(id)
+                    .find(|(_, e)| e.slot() == slot)
+                    .map(|(_, e)| *e.window())
+                    .expect("edge per slot");
+                windows.push(w);
+            }
+            stages[id.index()].module = Some(modules.len());
+            modules.push(stage_module(
+                widths,
+                stage.name(),
+                StagePayload {
+                    stage: id.index(),
+                    windows,
+                    kernel: kernel.clone(),
+                },
+            ));
+        }
+    }
+
+    // Line-buffer modules, in design order.
+    let mut buffers: Vec<NetBuffer> = Vec::with_capacity(design.buffers.len());
+    for plan in &design.buffers {
+        let stage_name = dag
+            .stage(StageId::from_index(plan.stage))
+            .name()
+            .to_string();
+        let depth = macro_depth(plan.rows_per_block, geom.width);
+        let buf = NetBuffer {
+            stage: plan.stage,
+            module: modules.len(),
+            phys_rows: plan.phys_rows,
+            logical_rows: plan.logical_rows,
+            storage_rows: plan.phys_rows.max(plan.logical_rows).max(1),
+            blocks: plan.blocks.len().max(1),
+            ports: plan.blocks.first().map(|b| b.ports).unwrap_or(2),
+            rows_per_block: plan.rows_per_block,
+            depth,
+            aw: depth.trailing_zeros().max(1),
+        };
+        let m = linebuf_module(widths, &stage_name, &buf, buffers.len());
+        buffers.push(buf);
+        modules.push(m);
+    }
+
+    let done_cycle = stages
+        .iter()
+        .filter(|s| s.is_output)
+        .map(|s| s.start_cycle + frame)
+        .max()
+        .unwrap_or(frame);
+
+    // Top module.
+    let mut nets = vec![
+        port("clk", Dir::Input, 1, false),
+        port("rst", Dir::Input, 1, false),
+    ];
+    let n_inputs = stages.iter().filter(|s| s.input_stream.is_some()).count();
+    let n_outputs = stages.iter().filter(|s| s.is_output).count();
+    for i in 0..n_inputs {
+        nets.push(port(&format!("stream_in_{i}"), Dir::Input, p, true));
+    }
+    for i in 0..n_outputs {
+        nets.push(port(&format!("stream_out_{i}"), Dir::Output, p, true));
+    }
+    nets.push(port("frame_done", Dir::Output, 1, false));
+    nets.push(Net {
+        name: "cycle".to_string(),
+        width: 64,
+        signed: false,
+        array: None,
+        is_reg: true,
+        port: None,
+    });
+    let mut items = vec![Item::Register {
+        net: "cycle".to_string(),
+    }];
+    for s in &stages {
+        let n = &s.sanitized;
+        for (name, width) in [
+            (format!("en_{n}"), 1),
+            (format!("k_{n}"), 64),
+            (format!("y_{n}"), 32),
+            (format!("x_{n}"), 32),
+        ] {
+            nets.push(scalar(&name, width));
+            items.push(Item::Assign { net: name });
+        }
+        nets.push(Net {
+            name: format!("out_{n}"),
+            width: p,
+            signed: true,
+            array: None,
+            is_reg: false,
+            port: None,
+        });
+        if s.input_stream.is_some() {
+            items.push(Item::Assign {
+                net: format!("out_{n}"),
+            });
+        }
+    }
+    for buf in &buffers {
+        let pname = &stages[buf.stage].sanitized;
+        items.push(Item::Inst(Instance {
+            module: format!("linebuf_{pname}"),
+            name: format!("u_lb_{pname}"),
+            conns: vec![
+                ("clk".to_string(), Conn::Net("clk".to_string())),
+                ("wen".to_string(), Conn::Net(format!("en_{pname}"))),
+                ("wrow".to_string(), Conn::Net(format!("y_{pname}"))),
+                ("wcol".to_string(), Conn::Net(format!("x_{pname}"))),
+                ("wdata".to_string(), Conn::Net(format!("out_{pname}"))),
+                ("ren".to_string(), Conn::Const(1, 1)),
+                ("rrow".to_string(), Conn::Net(format!("y_{pname}"))),
+                ("rcol".to_string(), Conn::Net(format!("x_{pname}"))),
+                ("rdata".to_string(), Conn::Open),
+            ],
+        }));
+    }
+    // Shift-register arrays and stage instances.
+    for s in &stages {
+        let Some(module) = s.module else { continue };
+        let n = &s.sanitized;
+        let mut conns = vec![
+            ("clk".to_string(), Conn::Net("clk".to_string())),
+            ("en".to_string(), Conn::Net(format!("en_{n}"))),
+        ];
+        for (eidx, e) in edges.iter().enumerate() {
+            if e.consumer != s.index {
+                continue;
+            }
+            let sra = format!("sra_{n}_{}", e.slot);
+            nets.push(Net {
+                name: sra.clone(),
+                width: p,
+                signed: true,
+                array: Some(sra_cells(&e.window)),
+                is_reg: true,
+                port: None,
+            });
+            items.push(Item::WindowLoad {
+                sra: sra.clone(),
+                edge: eidx,
+            });
+            conns.push((format!("win{}", e.slot), Conn::Net(sra)));
+        }
+        conns.push(("pixel_out".to_string(), Conn::Net(format!("out_{n}"))));
+        items.push(Item::Inst(Instance {
+            module: modules[module].name.clone(),
+            name: format!("u_{n}"),
+            conns,
+        }));
+    }
+    for (k, s) in stages.iter().filter(|s| s.is_output).enumerate() {
+        let _ = s;
+        items.push(Item::Assign {
+            net: format!("stream_out_{k}"),
+        });
+    }
+    items.push(Item::Assign {
+        net: "frame_done".to_string(),
+    });
+    let top = modules.len();
+    modules.push(Module {
+        name: format!("imagen_top_{}", sanitize(dag.name())),
+        kind: ModuleKind::Top,
+        nets,
+        items,
+    });
+
+    Netlist {
+        name: dag.name().to_string(),
+        sanitized: sanitize(dag.name()),
+        style: design.style,
+        geometry: geom,
+        widths: *widths,
+        stages,
+        edges,
+        buffers,
+        modules,
+        top,
+        frame,
+        done_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+    use imagen_schedule::{plan_design, ScheduleOptions};
+
+    fn plan() -> (Dag, Design) {
+        let mut dag = Dag::new("nl");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage(
+                "K1",
+                &[k0],
+                Expr::sum((0..9).map(|i| Expr::tap(0, i % 3 - 1, i / 3 - 1))),
+            )
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 16,
+            height: 12,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 512 }, 2);
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        (p.dag, p.design)
+    }
+
+    #[test]
+    fn builder_shapes_modules() {
+        let (dag, design) = plan();
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        // 2 primitives + 1 stage module + 1 linebuf + top.
+        assert_eq!(net.modules.len(), 5);
+        assert_eq!(net.top, 4);
+        assert!(matches!(net.top_module().kind, ModuleKind::Top));
+        assert_eq!(net.stages.len(), 2);
+        assert_eq!(net.edges.len(), 1);
+        assert_eq!(net.buffers.len(), 1);
+        assert_eq!(net.input_streams(), vec![(0, 0, net.stages[0].start_cycle)]);
+        assert_eq!(net.output_streams().len(), 1);
+        // The stage module carries its kernel and window.
+        let sm = net.module("stage_K1").unwrap();
+        match &sm.kind {
+            ModuleKind::Stage(p) => {
+                assert_eq!(p.windows.len(), 1);
+                assert_eq!(p.windows[0].height, 3);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Every window edge in the top module has a load path.
+        let loads = net
+            .top_module()
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::WindowLoad { .. }))
+            .count();
+        assert_eq!(loads, net.edges.len());
+    }
+
+    #[test]
+    fn widths_are_threaded() {
+        let (dag, design) = plan();
+        let net = build_netlist(&dag, &design, &BitWidths::wide());
+        let sm = net.module("stage_K1").unwrap();
+        assert_eq!(sm.net("pixel_out").unwrap().width, 64);
+        assert_eq!(sm.net("result").unwrap().width, 64);
+        let top = net.top_module();
+        assert_eq!(top.net("stream_in_0").unwrap().width, 64);
+    }
+}

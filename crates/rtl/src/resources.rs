@@ -1,0 +1,245 @@
+//! Netlist-derived resource accounting.
+//!
+//! [`report_resources`] walks a [`Netlist`] and inventories what the
+//! described hardware is made of: instantiated SRAM macro bits, flip-flop
+//! bits (window shift-register arrays, output registers, control
+//! counters), and datapath operators from the stage kernels. Unlike the
+//! analytic cost models in `imagen-mem` (which price the *allocation*,
+//! block-quantum included), this report counts exactly what the netlist
+//! instantiates — `imagen-dse` exposes it as an additional costing axis
+//! next to the area/power models.
+
+use crate::netlist::{macro_depth, sra_cells, BitWidths, Item, ModuleKind, Netlist};
+use imagen_ir::{Dag, StageKind};
+use imagen_mem::Design;
+
+/// Inventory of one netlist's hardware resources.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResourceReport {
+    /// Bits of SRAM macro capacity instantiated (`blocks × depth ×
+    /// pixel_bits` over all line buffers).
+    pub sram_bits: u64,
+    /// SRAM macro instances.
+    pub sram_blocks: usize,
+    /// Flip-flop bits: every register net of every instantiated module
+    /// (shift-register arrays, stage output registers, the cycle counter,
+    /// bank-select pipeline registers). SRAM primitive contents are
+    /// excluded — they are counted in [`ResourceReport::sram_bits`].
+    pub flipflop_bits: u64,
+    /// Adders/subtractors (incl. neg/abs/min/max/shift units).
+    pub adders: usize,
+    /// Multipliers.
+    pub multipliers: usize,
+    /// Dividers.
+    pub dividers: usize,
+    /// Comparators.
+    pub comparators: usize,
+    /// Multiplexers.
+    pub muxes: usize,
+}
+
+impl ResourceReport {
+    /// SRAM capacity in KB (convenience for reports).
+    pub fn sram_kb(&self) -> f64 {
+        self.sram_bits as f64 / 8.0 / 1024.0
+    }
+}
+
+/// Derives the resource inventory of a netlist.
+pub fn report_resources(net: &Netlist) -> ResourceReport {
+    let mut r = ResourceReport::default();
+
+    // SRAM: every line buffer instantiates `blocks` macros of
+    // depth × pixel words.
+    for buf in &net.buffers {
+        r.sram_blocks += buf.blocks;
+        r.sram_bits += buf.blocks as u64 * buf.depth * net.widths.pixel_bits as u64;
+    }
+
+    // Flip-flops and operators: walk each non-primitive module once per
+    // instantiation (every stage/linebuf module is instantiated exactly
+    // once from the top, and the top itself once).
+    for m in &net.modules {
+        if matches!(m.kind, ModuleKind::SramPrimitive { .. }) {
+            continue;
+        }
+        for item in &m.items {
+            let (Item::Register { net: name } | Item::WindowLoad { sra: name, .. }) = item else {
+                continue;
+            };
+            // WindowLoad drives the same reg net it names; count the net
+            // once (Register items and WindowLoad items never alias).
+            let n = m.net(name).expect("items drive declared nets");
+            r.flipflop_bits += n.width as u64 * n.array.unwrap_or(1) as u64;
+        }
+        if let ModuleKind::Stage(p) = &m.kind {
+            let census = p.kernel.op_census();
+            r.adders += census.adds;
+            r.multipliers += census.muls;
+            r.dividers += census.divs;
+            r.comparators += census.cmps;
+            r.muxes += census.muxes;
+        }
+    }
+    r
+}
+
+/// Derives the same inventory as [`report_resources`] straight from the
+/// design, without elaborating a netlist.
+///
+/// This is the design-space-exploration fast path: a priced DSE point
+/// needs the structural costing axis but no modules, nets or name
+/// strings, and sweeps evaluate hundreds of points. The two derivations
+/// share the sizing helpers (`sra_cells`, `macro_depth`) and are pinned
+/// equal by test for every evaluation pipeline in both port
+/// configurations.
+pub fn report_resources_for(dag: &Dag, design: &Design, widths: &BitWidths) -> ResourceReport {
+    let pixel = widths.pixel_bits as u64;
+    let mut r = ResourceReport::default();
+
+    for plan in &design.buffers {
+        let blocks = plan.blocks.len().max(1);
+        let depth = macro_depth(plan.rows_per_block, design.geometry.width);
+        r.sram_blocks += blocks;
+        r.sram_bits += blocks as u64 * depth * pixel;
+        // Each line-buffer module pipelines its bank select (rblk_q).
+        r.flipflop_bits += 32;
+    }
+    // The top module's cycle counter.
+    r.flipflop_bits += 64;
+    for (_, stage) in dag.stages() {
+        if let StageKind::Compute { kernel } = stage.kind() {
+            // The stage output register.
+            r.flipflop_bits += pixel;
+            let census = kernel.op_census();
+            r.adders += census.adds;
+            r.multipliers += census.muls;
+            r.dividers += census.divs;
+            r.comparators += census.cmps;
+            r.muxes += census.muxes;
+        }
+    }
+    for (_, e) in dag.edges() {
+        // One window shift-register array per edge.
+        r.flipflop_bits += sra_cells(e.window()) as u64 * pixel;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{build_netlist, BitWidths};
+    use imagen_ir::{BinOp, Dag, Expr};
+    use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+    use imagen_schedule::{plan_design, ScheduleOptions};
+
+    #[test]
+    fn counts_srams_ffs_and_ops() {
+        let mut dag = Dag::new("res");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage(
+                "K1",
+                &[k0],
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::sum((0..3).map(|i| Expr::tap(0, 0, i))),
+                    Expr::Const(3),
+                ),
+            )
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 16,
+            height: 12,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 512 }, 2);
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        let net = build_netlist(&p.dag, &p.design, &BitWidths::default());
+        let r = report_resources(&net);
+        assert_eq!(r.sram_blocks, net.buffers.iter().map(|b| b.blocks).sum());
+        assert!(r.sram_bits > 0);
+        assert!(r.sram_kb() > 0.0);
+        // 3x1 window SRA (3 cells x 16b) + pixel_out (16) + cycle (64) +
+        // rblk_q per linebuf (32 each) at minimum.
+        assert!(r.flipflop_bits >= 3 * 16 + 16 + 64 + 32);
+        assert_eq!(r.multipliers, 1);
+        assert_eq!(r.adders, 2);
+        assert_eq!(r.dividers, 0);
+    }
+
+    #[test]
+    fn fast_path_matches_netlist_derivation() {
+        // The DSE fast path and the netlist walk must agree bit for bit,
+        // for every evaluation pipeline, both port styles, both width
+        // regimes.
+        let geom = ImageGeometry {
+            width: 40,
+            height: 30,
+            pixel_bits: 16,
+        };
+        for alg in imagen_algos::Algorithm::all() {
+            for coalesce in [false, true] {
+                let mut spec = MemorySpec::new(
+                    MemBackend::Asic {
+                        block_bits: 2 * geom.row_bits(),
+                    },
+                    2,
+                );
+                if coalesce {
+                    spec = spec.with_coalescing();
+                }
+                let p = plan_design(
+                    &alg.build(),
+                    &geom,
+                    &spec,
+                    ScheduleOptions::default(),
+                    DesignStyle::Ours,
+                )
+                .unwrap();
+                for widths in [BitWidths::default(), BitWidths::wide()] {
+                    let fast = report_resources_for(&p.dag, &p.design, &widths);
+                    let full = report_resources(&build_netlist(&p.dag, &p.design, &widths));
+                    assert_eq!(fast, full, "{} coalesce={coalesce}", alg.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ffs_scale_with_widths() {
+        let mut dag = Dag::new("res2");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage("K1", &[k0], Expr::sum((0..3).map(|i| Expr::tap(0, 0, i))))
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 16,
+            height: 12,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 512 }, 2);
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        let narrow = report_resources(&build_netlist(&p.dag, &p.design, &BitWidths::default()));
+        let wide = report_resources(&build_netlist(&p.dag, &p.design, &BitWidths::wide()));
+        assert!(wide.flipflop_bits > narrow.flipflop_bits);
+        assert!(wide.sram_bits > narrow.sram_bits);
+    }
+}

@@ -1,17 +1,25 @@
 //! Self-checking Verilog testbench generation.
 //!
-//! For hand-off to a real simulation/synthesis flow, [`generate_testbench`]
-//! emits a testbench that streams a frame into the generated top module,
-//! captures the output stream at the scheduled cycles, and compares it
-//! against golden values computed by `imagen-sim`'s executor — the same
-//! bit-exact reference the Rust cycle simulator checks against, so a
-//! Verilog simulator run closes the loop on the actual RTL.
+//! For hand-off to a real simulation/synthesis flow,
+//! [`generate_testbench`] emits a testbench that streams a frame into the
+//! generated top module, captures the output stream at the scheduled
+//! cycles, and compares it against golden values computed by
+//! `imagen-sim`'s executor — the same bit-exact reference the netlist
+//! interpreter and the cycle simulator check against.
+//!
+//! The generator is wired to the [`Netlist`]: stream names, start cycles
+//! and widths come from the netlist's interface, and emission fails
+//! rather than referencing a port the top module does not declare.
+//! [`TestVectors::from_golden`] derives the stimulus/expectation pair
+//! from the golden executor on a seeded pseudo-random frame, so the
+//! testbench always embeds a semantically meaningful check.
 
-use imagen_ir::{Dag, StageKind};
-use imagen_mem::Design;
+use crate::netlist::Netlist;
+use crate::verify::RtlError;
+use imagen_ir::Dag;
+use imagen_mem::ImageGeometry;
+use imagen_sim::{execute, GoldenError, Image};
 use std::fmt::Write as _;
-
-use crate::gen::PIXEL_BITS;
 
 /// Inputs to testbench generation: one flattened pixel stream per input
 /// stage and the expected output stream per output stage (raster order),
@@ -25,36 +33,112 @@ pub struct TestVectors {
     pub outputs: Vec<Vec<i64>>,
 }
 
-/// Emits a self-checking testbench module `imagen_tb` for the design.
+/// SplitMix64 step (deterministic stimulus without external crates).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestVectors {
+    /// Derives test vectors from the golden executor: every input stream
+    /// is a seeded pseudo-random 8-bit frame, every output stream the
+    /// executor's bit-exact result.
+    ///
+    /// # Errors
+    ///
+    /// [`GoldenError`] when the DAG rejects the generated inputs (cannot
+    /// happen for validated DAGs).
+    pub fn from_golden(
+        dag: &Dag,
+        geom: &ImageGeometry,
+        seed: u64,
+    ) -> Result<TestVectors, GoldenError> {
+        let frames: Vec<Image> = dag
+            .stages()
+            .filter(|(_, s)| s.is_input())
+            .enumerate()
+            .map(|(i, _)| {
+                let mut state = seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                Image::from_fn(geom.width, geom.height, |_, _| {
+                    (splitmix(&mut state) & 0xFF) as i64
+                })
+            })
+            .collect();
+        let run = execute(dag, &frames)?;
+        Ok(TestVectors {
+            inputs: frames.iter().map(|img| img.raster().collect()).collect(),
+            outputs: run
+                .outputs(dag)
+                .map(|(_, img)| img.raster().collect())
+                .collect(),
+        })
+    }
+}
+
+/// Emits a self-checking testbench module `imagen_tb` for the netlist.
 ///
 /// The testbench feeds each input stream starting at its stage's start
 /// cycle, samples each output stream over its scheduled window, compares
 /// against the expected vectors, and finishes with a pass/fail banner
 /// (`IMAGEN TB PASS` / `IMAGEN TB FAIL`).
-pub fn generate_testbench(dag: &Dag, design: &Design, vectors: &TestVectors) -> String {
-    let geom = design.geometry;
-    let frame = geom.pixels();
+///
+/// # Errors
+///
+/// [`RtlError::VectorShape`] when the vectors do not match the netlist's
+/// stream interface, [`RtlError::UnknownPort`] if the netlist's top
+/// module is missing a stream port the testbench would reference.
+pub fn generate_testbench(net: &Netlist, vectors: &TestVectors) -> Result<String, RtlError> {
+    let frame = net.frame;
+    let pixel = net.widths.pixel_bits;
+    let inputs = net.input_streams();
+    let outputs = net.output_streams();
+
+    if vectors.inputs.len() != inputs.len() {
+        return Err(RtlError::VectorShape {
+            what: "inputs",
+            expected: inputs.len(),
+            found: vectors.inputs.len(),
+        });
+    }
+    if vectors.outputs.len() != outputs.len() {
+        return Err(RtlError::VectorShape {
+            what: "outputs",
+            expected: outputs.len(),
+            found: vectors.outputs.len(),
+        });
+    }
+    for data in vectors.inputs.iter().chain(&vectors.outputs) {
+        if data.len() != frame as usize {
+            return Err(RtlError::VectorShape {
+                what: "frame",
+                expected: frame as usize,
+                found: data.len(),
+            });
+        }
+    }
+    // The testbench may only reference ports the top module declares.
+    let top = net.top_module();
+    for name in inputs
+        .iter()
+        .map(|(i, _, _)| format!("stream_in_{i}"))
+        .chain(outputs.iter().map(|(i, _, _)| format!("stream_out_{i}")))
+        .chain(["frame_done".to_string()])
+    {
+        if top.net(&name).map(|n| n.port.is_none()).unwrap_or(true) {
+            return Err(RtlError::UnknownPort {
+                instance: "dut".to_string(),
+                module: top.name.clone(),
+                port: name,
+            });
+        }
+    }
+
     let mut v = String::new();
-    let top = format!(
-        "imagen_top_{}",
-        dag.name()
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect::<String>()
-    );
-
-    let inputs: Vec<usize> = dag
-        .stages()
-        .filter(|(_, s)| s.is_input())
-        .map(|(id, _)| id.index())
-        .collect();
-    let outputs: Vec<usize> = dag
-        .stages()
-        .filter(|(_, s)| matches!(s.kind(), StageKind::Compute { .. }) && s.is_output())
-        .map(|(id, _)| id.index())
-        .collect();
-
-    let _ = writeln!(v, "// Self-checking testbench for `{top}`.");
+    let top_name = &top.name;
+    let _ = writeln!(v, "// Self-checking testbench for `{top_name}`.");
     let _ = writeln!(v, "`timescale 1ns/1ps");
     let _ = writeln!(v, "module imagen_tb;");
     let _ = writeln!(v, "    reg clk = 1'b0;");
@@ -63,45 +147,43 @@ pub fn generate_testbench(dag: &Dag, design: &Design, vectors: &TestVectors) -> 
     let _ = writeln!(v, "    reg [63:0] cycle = 64'd0;");
     let _ = writeln!(v, "    integer errors = 0;");
 
-    for (i, stage) in inputs.iter().enumerate() {
-        let s = design.start_cycles[*stage];
+    for (i, _, s) in &inputs {
         let _ = writeln!(
             v,
             "    reg signed [{w}:0] in_mem_{i} [0:{n}];",
-            w = PIXEL_BITS - 1,
+            w = pixel - 1,
             n = frame - 1
         );
-        let _ = writeln!(v, "    wire signed [{}:0] stream_in_{i} =", PIXEL_BITS - 1);
+        let _ = writeln!(v, "    wire signed [{}:0] stream_in_{i} =", pixel - 1);
         let _ = writeln!(
             v,
             "        (cycle >= 64'd{s} && cycle < 64'd{e}) ? in_mem_{i}[cycle - 64'd{s}] : {p}'sd0;",
             e = s + frame,
-            p = PIXEL_BITS
+            p = pixel
         );
     }
-    for (i, stage) in outputs.iter().enumerate() {
+    for (i, _, _) in &outputs {
         let _ = writeln!(
             v,
             "    reg signed [{w}:0] exp_mem_{i} [0:{n}];",
-            w = PIXEL_BITS - 1,
+            w = pixel - 1,
             n = frame - 1
         );
-        let _ = writeln!(v, "    wire signed [{}:0] stream_out_{i};", PIXEL_BITS - 1);
-        let _ = stage;
+        let _ = writeln!(v, "    wire signed [{}:0] stream_out_{i};", pixel - 1);
     }
 
     // DUT instance.
     let mut conns = String::new();
-    for i in 0..inputs.len() {
+    for (i, _, _) in &inputs {
         let _ = write!(conns, ".stream_in_{i}(stream_in_{i}), ");
     }
-    for i in 0..outputs.len() {
+    for (i, _, _) in &outputs {
         let _ = write!(conns, ".stream_out_{i}(stream_out_{i}), ");
     }
     let _ = writeln!(v, "    wire frame_done;");
     let _ = writeln!(
         v,
-        "    {top} dut (.clk(clk), .rst(rst), {conns}.frame_done(frame_done));"
+        "    {top_name} dut (.clk(clk), .rst(rst), {conns}.frame_done(frame_done));"
     );
 
     // Memories initialized from literals (self-contained, no $readmemh
@@ -125,8 +207,7 @@ pub fn generate_testbench(dag: &Dag, design: &Design, vectors: &TestVectors) -> 
     // (one extra cycle of pipeline latency through the stage register).
     let _ = writeln!(v, "    always @(posedge clk) begin");
     let _ = writeln!(v, "        if (!rst) cycle <= cycle + 64'd1;");
-    for (i, stage) in outputs.iter().enumerate() {
-        let s = design.start_cycles[*stage];
+    for (i, _, s) in &outputs {
         let _ = writeln!(
             v,
             "        if (cycle >= 64'd{s} && cycle < 64'd{e}) begin",
@@ -143,15 +224,7 @@ pub fn generate_testbench(dag: &Dag, design: &Design, vectors: &TestVectors) -> 
         let _ = writeln!(v, "            end");
         let _ = writeln!(v, "        end");
     }
-    let done = design
-        .start_cycles
-        .iter()
-        .zip(dag.stages())
-        .filter(|(_, (_, s))| s.is_output())
-        .map(|(&s, _)| s + frame)
-        .max()
-        .unwrap_or(frame);
-    let _ = writeln!(v, "        if (cycle > 64'd{}) begin", done + 4);
+    let _ = writeln!(v, "        if (cycle > 64'd{}) begin", net.done_cycle + 4);
     let _ = writeln!(
         v,
         "            if (errors == 0) $display(\"IMAGEN TB PASS\");\n            else $display(\"IMAGEN TB FAIL (%0d mismatches)\", errors);"
@@ -160,17 +233,17 @@ pub fn generate_testbench(dag: &Dag, design: &Design, vectors: &TestVectors) -> 
     let _ = writeln!(v, "        end");
     let _ = writeln!(v, "    end");
     let _ = writeln!(v, "endmodule");
-    v
+    Ok(v)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify_structure;
-    use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+    use crate::netlist::{build_netlist, BitWidths};
+    use imagen_mem::{DesignStyle, MemBackend, MemorySpec};
     use imagen_schedule::{plan_design, ScheduleOptions};
 
-    fn tiny_plan() -> (imagen_ir::Dag, imagen_mem::Design) {
+    fn tiny_plan() -> (imagen_ir::Dag, imagen_mem::Design, ImageGeometry) {
         let mut dag = imagen_ir::Dag::new("tb");
         let k0 = dag.add_input("K0");
         let k1 = dag
@@ -195,41 +268,56 @@ mod tests {
             DesignStyle::Ours,
         )
         .unwrap();
-        (p.dag, p.design)
+        (p.dag, p.design, geom)
     }
 
     #[test]
     fn testbench_is_well_formed() {
-        let (dag, design) = tiny_plan();
-        let frame = design.geometry.pixels() as usize;
-        let vectors = TestVectors {
-            inputs: vec![(0..frame as i64).collect()],
-            outputs: vec![vec![0; frame]],
-        };
-        let tb = generate_testbench(&dag, &design, &vectors);
+        let (dag, design, geom) = tiny_plan();
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        let vectors = TestVectors::from_golden(&dag, &geom, 42).unwrap();
+        let tb = generate_testbench(&net, &vectors).unwrap();
         assert!(tb.contains("module imagen_tb"));
         assert!(tb.contains("imagen_top_tb dut"));
         assert!(tb.contains("IMAGEN TB PASS"));
         assert!(tb.contains("$finish"));
-        // Structurally verifiable together with the DUT netlist.
-        let full = format!("{}\n{}", crate::generate_verilog(&dag, &design), tb);
-        // The tb module instantiates the top; extend the verifier's view
-        // by checking balanced structure of the combined file.
-        let summary = verify_structure(&full).unwrap();
-        assert!(summary.modules >= 4);
+        // Every referenced stream port exists in the netlist's top module.
+        let top = net.top_module();
+        for name in ["stream_in_0", "stream_out_0", "frame_done"] {
+            assert!(tb.contains(name));
+            assert!(top.net(name).is_some_and(|n| n.port.is_some()));
+        }
     }
 
     #[test]
-    fn vectors_embedded_per_stream() {
-        let (dag, design) = tiny_plan();
-        let frame = design.geometry.pixels() as usize;
-        let vectors = TestVectors {
-            inputs: vec![(100..100 + frame as i64).collect()],
-            outputs: vec![vec![7; frame]],
-        };
-        let tb = generate_testbench(&dag, &design, &vectors);
-        assert!(tb.contains("in_mem_0[0] = 100;"));
-        assert!(tb.contains(&format!("in_mem_0[{}] = {};", frame - 1, 99 + frame)));
-        assert!(tb.contains("exp_mem_0[0] = 7;"));
+    fn vectors_come_from_the_golden_executor() {
+        let (dag, design, geom) = tiny_plan();
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        let vectors = TestVectors::from_golden(&dag, &geom, 7).unwrap();
+        assert_eq!(vectors.inputs.len(), 1);
+        assert_eq!(vectors.outputs.len(), 1);
+        assert_eq!(vectors.inputs[0].len(), geom.pixels() as usize);
+        // Deterministic in the seed.
+        let again = TestVectors::from_golden(&dag, &geom, 7).unwrap();
+        assert_eq!(vectors.inputs, again.inputs);
+        assert_eq!(vectors.outputs, again.outputs);
+        let other = TestVectors::from_golden(&dag, &geom, 8).unwrap();
+        assert_ne!(vectors.inputs, other.inputs);
+        // The expectation embedded in the testbench is the golden value.
+        let tb = generate_testbench(&net, &vectors).unwrap();
+        assert!(tb.contains(&format!("in_mem_0[0] = {};", vectors.inputs[0][0])));
+        assert!(tb.contains(&format!("exp_mem_0[0] = {};", vectors.outputs[0][0])));
+    }
+
+    #[test]
+    fn vector_shape_is_enforced() {
+        let (dag, design, geom) = tiny_plan();
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        let err = generate_testbench(&net, &TestVectors::default()).unwrap_err();
+        assert!(matches!(err, RtlError::VectorShape { what: "inputs", .. }));
+        let mut vectors = TestVectors::from_golden(&dag, &geom, 1).unwrap();
+        vectors.inputs[0].pop();
+        let err = generate_testbench(&net, &vectors).unwrap_err();
+        assert!(matches!(err, RtlError::VectorShape { what: "frame", .. }));
     }
 }

@@ -1,30 +1,32 @@
-//! Structural verification of emitted Verilog.
+//! Structural verification of the netlist.
 //!
-//! No commercial synthesis tool is available in this environment
-//! (DESIGN.md §5), so the generator's output is checked structurally: a
-//! small Verilog-aware scanner verifies that the netlist is well-formed
-//! enough that a real tool would elaborate it — balanced constructs,
-//! unique module names, every instantiated module defined, and no
-//! duplicate wire/reg declarations within a module.
+//! No synthesis or Verilog-simulation tool exists in this environment, so
+//! the backend is checked at the netlist level — stronger than the
+//! textual scan the seed repository used, because the typed structure
+//! makes real checks possible:
+//!
+//! * every instantiated module is defined, and module names are unique;
+//! * every instance connection names a real port of the target module,
+//!   no port is connected twice, and no *input* port is left open;
+//! * connection widths match the port declaration (whole-net and
+//!   array-element connections; parameterized SRAM primitives size their
+//!   ports at instantiation and are exempt from the width check);
+//! * driver analysis: every net is driven exactly once — by an assign, a
+//!   register, a window-load path, an instance output, or (for input
+//!   ports) the enclosing module's instantiation — and never more than
+//!   once per array element.
+//!
+//! Functional verification is the interpreter's job
+//! ([`interpret`](crate::interpret)); this pass guarantees the structure
+//! a real elaborator would reject is never emitted.
 
+use crate::netlist::{Conn, Dir, Item, Module, ModuleKind, Netlist};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-/// Structural problems found in generated Verilog.
+/// Structural problems found in a netlist.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum RtlError {
-    /// `module` / `endmodule` do not balance.
-    UnbalancedModules {
-        /// `module` keywords seen.
-        opens: usize,
-        /// `endmodule` keywords seen.
-        closes: usize,
-    },
-    /// Parentheses or brackets do not balance.
-    UnbalancedDelimiters {
-        /// The offending character class.
-        what: char,
-    },
     /// Two modules share a name.
     DuplicateModule {
         /// The repeated name.
@@ -37,24 +39,78 @@ pub enum RtlError {
         /// Module doing the instantiation.
         within: String,
     },
-    /// A wire/reg identifier is declared twice in one module.
+    /// A net (or port) identifier is declared twice in one module.
     DuplicateSignal {
         /// The repeated signal.
         name: String,
         /// Module containing it.
         within: String,
     },
+    /// An instance connects a port the target module does not declare, or
+    /// connects it twice.
+    UnknownPort {
+        /// The instance name.
+        instance: String,
+        /// The target module.
+        module: String,
+        /// The offending port.
+        port: String,
+    },
+    /// An instance leaves an input port of the target module unconnected.
+    UnconnectedInput {
+        /// The instance name.
+        instance: String,
+        /// The target module.
+        module: String,
+        /// The open input port.
+        port: String,
+    },
+    /// A connection's net does not match the port's declared shape.
+    WidthMismatch {
+        /// The instance name.
+        instance: String,
+        /// The port being connected.
+        port: String,
+        /// Bits the port declares.
+        expected: u32,
+        /// Bits the connected net carries.
+        found: u32,
+    },
+    /// A net has no driver.
+    UndrivenNet {
+        /// The undriven net.
+        net: String,
+        /// Module containing it.
+        within: String,
+    },
+    /// A net (or one of its array elements) has more than one driver.
+    MultipleDrivers {
+        /// The multiply-driven net.
+        net: String,
+        /// Module containing it.
+        within: String,
+    },
+    /// An item or connection references a net the module does not declare.
+    UnknownNet {
+        /// The missing net.
+        net: String,
+        /// Module referencing it.
+        within: String,
+    },
+    /// Testbench vectors do not match the netlist's stream interface.
+    VectorShape {
+        /// What was mis-shaped (`"inputs"`, `"outputs"`, `"frame"`).
+        what: &'static str,
+        /// Expected count/length.
+        expected: usize,
+        /// Provided count/length.
+        found: usize,
+    },
 }
 
 impl fmt::Display for RtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RtlError::UnbalancedModules { opens, closes } => {
-                write!(f, "{opens} `module` vs {closes} `endmodule`")
-            }
-            RtlError::UnbalancedDelimiters { what } => {
-                write!(f, "unbalanced `{what}` delimiters")
-            }
             RtlError::DuplicateModule { name } => {
                 write!(f, "module `{name}` defined more than once")
             }
@@ -67,6 +123,48 @@ impl fmt::Display for RtlError {
             RtlError::DuplicateSignal { name, within } => {
                 write!(f, "signal `{name}` declared twice in module `{within}`")
             }
+            RtlError::UnknownPort {
+                instance,
+                module,
+                port,
+            } => write!(
+                f,
+                "instance `{instance}` connects `{port}`, which module `{module}` does not declare (or connects it twice)"
+            ),
+            RtlError::UnconnectedInput {
+                instance,
+                module,
+                port,
+            } => write!(
+                f,
+                "instance `{instance}` of `{module}` leaves input port `{port}` unconnected"
+            ),
+            RtlError::WidthMismatch {
+                instance,
+                port,
+                expected,
+                found,
+            } => write!(
+                f,
+                "instance `{instance}` port `{port}`: expected {expected} bit(s), connected {found}"
+            ),
+            RtlError::UndrivenNet { net, within } => {
+                write!(f, "net `{net}` in module `{within}` has no driver")
+            }
+            RtlError::MultipleDrivers { net, within } => {
+                write!(f, "net `{net}` in module `{within}` has multiple drivers")
+            }
+            RtlError::UnknownNet { net, within } => {
+                write!(f, "module `{within}` references undeclared net `{net}`")
+            }
+            RtlError::VectorShape {
+                what,
+                expected,
+                found,
+            } => write!(
+                f,
+                "testbench {what} do not match the netlist: expected {expected}, got {found}"
+            ),
         }
     }
 }
@@ -82,198 +180,420 @@ pub struct RtlSummary {
     pub instances: usize,
     /// SRAM primitive instances.
     pub sram_instances: usize,
-    /// Total source lines.
-    pub lines: usize,
+    /// Nets declared across all modules (ports included).
+    pub nets: usize,
+    /// Register (flip-flop) driver sites across all modules.
+    pub registers: usize,
 }
 
-fn strip_comments(src: &str) -> String {
-    let mut out = String::with_capacity(src.len());
-    let mut chars = src.chars().peekable();
-    while let Some(c) = chars.next() {
-        if c == '/' {
-            match chars.peek() {
-                Some('/') => {
-                    for d in chars.by_ref() {
-                        if d == '\n' {
-                            out.push('\n');
-                            break;
-                        }
-                    }
-                    continue;
-                }
-                Some('*') => {
-                    chars.next();
-                    let mut prev = ' ';
-                    for d in chars.by_ref() {
-                        if prev == '*' && d == '/' {
-                            break;
-                        }
-                        prev = d;
-                    }
-                    continue;
-                }
-                _ => {}
-            }
-        }
-        out.push(c);
+/// Driver bookkeeping key: whole net, or one element of an array net.
+type DriveKey = (String, Option<u32>);
+
+fn record_drive(
+    drives: &mut HashMap<DriveKey, u32>,
+    module: &Module,
+    net: &str,
+    index: Option<u32>,
+) -> Result<(), RtlError> {
+    if module.net(net).is_none() {
+        return Err(RtlError::UnknownNet {
+            net: net.to_string(),
+            within: module.name.clone(),
+        });
     }
-    out
+    *drives.entry((net.to_string(), index)).or_insert(0) += 1;
+    Ok(())
 }
 
-/// Verifies the structure of a Verilog source string.
+/// Verifies the structure of a netlist.
 ///
 /// # Errors
 ///
 /// The first [`RtlError`] found.
-pub fn verify_structure(src: &str) -> Result<RtlSummary, RtlError> {
-    let clean = strip_comments(src);
-
-    // Delimiter balance.
-    for (open, close, what) in [('(', ')', '('), ('[', ']', '[')] {
-        let o = clean.chars().filter(|&c| c == open).count();
-        let c = clean.chars().filter(|&c| c == close).count();
-        if o != c {
-            return Err(RtlError::UnbalancedDelimiters { what });
-        }
-    }
-
-    let tokens: Vec<&str> = clean
-        .split(|c: char| c.is_whitespace() || "();,.".contains(c))
-        .filter(|t| !t.is_empty())
-        .collect();
-
-    let opens = tokens.iter().filter(|&&t| t == "module").count();
-    let closes = tokens.iter().filter(|&&t| t == "endmodule").count();
-    if opens != closes {
-        return Err(RtlError::UnbalancedModules { opens, closes });
-    }
-
-    // Per-module scan: names, declarations, instantiations.
-    let mut defined: Vec<String> = Vec::new();
-    let mut instantiated: Vec<(String, String)> = Vec::new();
-    let mut current = String::new();
-    let mut signals: HashMap<String, HashSet<String>> = HashMap::new();
-    let mut i = 0;
-    let mut instances = 0usize;
-    while i < tokens.len() {
-        match tokens[i] {
-            "module" => {
-                let name = tokens
-                    .get(i + 1)
-                    .map(|s| s.trim_end_matches('#'))
-                    .unwrap_or("")
-                    .to_string();
-                if defined.contains(&name) {
-                    return Err(RtlError::DuplicateModule { name });
-                }
-                defined.push(name.clone());
-                current = name;
-                i += 2;
-                continue;
-            }
-            "endmodule" => {
-                current.clear();
-            }
-            "wire" | "reg" => {
-                // Skip qualifiers and width specs to the identifier.
-                let mut j = i + 1;
-                while j < tokens.len()
-                    && (tokens[j] == "signed"
-                        || tokens[j].starts_with('[')
-                        || tokens[j].contains(':'))
-                {
-                    j += 1;
-                }
-                if let Some(name) = tokens.get(j) {
-                    // Memory declarations `reg ... mem [0:N]` reuse ident.
-                    let entry = signals.entry(current.clone()).or_default();
-                    if !entry.insert((*name).to_string()) && !current.is_empty() && *name != "mem" {
-                        return Err(RtlError::DuplicateSignal {
-                            name: (*name).to_string(),
-                            within: current.clone(),
-                        });
-                    }
-                }
-            }
-            t if (t.starts_with("imagen_sram")
-                || t.starts_with("stage_")
-                || t.starts_with("linebuf_"))
-                && !current.is_empty()
-                && tokens.get(i.wrapping_sub(1)) != Some(&"module") =>
-            {
-                instantiated.push((t.to_string(), current.clone()));
-                instances += 1;
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-
-    for (name, within) in &instantiated {
-        if !defined.iter().any(|d| d == name) {
-            return Err(RtlError::UndefinedModule {
-                name: name.clone(),
-                within: within.clone(),
+pub fn verify_structure(net: &Netlist) -> Result<RtlSummary, RtlError> {
+    // Unique module names.
+    let mut by_name: HashMap<&str, &Module> = HashMap::new();
+    for m in &net.modules {
+        if by_name.insert(m.name.as_str(), m).is_some() {
+            return Err(RtlError::DuplicateModule {
+                name: m.name.clone(),
             });
         }
     }
 
+    let mut instances = 0usize;
+    let mut sram_instances = 0usize;
+    let mut nets = 0usize;
+    let mut registers = 0usize;
+
+    for m in &net.modules {
+        // Unique net names.
+        let mut seen: HashSet<&str> = HashSet::new();
+        for n in &m.nets {
+            nets += 1;
+            if !seen.insert(n.name.as_str()) {
+                return Err(RtlError::DuplicateSignal {
+                    name: n.name.clone(),
+                    within: m.name.clone(),
+                });
+            }
+        }
+
+        // Driver analysis: input ports are driven by the environment.
+        let mut drives: HashMap<DriveKey, u32> = HashMap::new();
+        for n in &m.nets {
+            if matches!(n.port, Some(Dir::Input)) {
+                drives.insert((n.name.clone(), None), 1);
+            }
+        }
+
+        for item in &m.items {
+            match item {
+                Item::Assign { net } => record_drive(&mut drives, m, net, None)?,
+                Item::Register { net } => {
+                    registers += 1;
+                    record_drive(&mut drives, m, net, None)?;
+                }
+                Item::WindowLoad { sra, edge } => {
+                    registers += 1;
+                    debug_assert!(*edge < net.edges.len(), "window load names a real edge");
+                    record_drive(&mut drives, m, sra, None)?;
+                }
+                Item::Inst(inst) => {
+                    instances += 1;
+                    let Some(target) = by_name.get(inst.module.as_str()) else {
+                        return Err(RtlError::UndefinedModule {
+                            name: inst.module.clone(),
+                            within: m.name.clone(),
+                        });
+                    };
+                    if matches!(target.kind, ModuleKind::SramPrimitive { .. }) {
+                        sram_instances += 1;
+                    }
+                    verify_instance(m, inst, target, &mut drives)?;
+                }
+            }
+        }
+
+        // Every non-input net must be driven exactly once (array nets:
+        // exactly once per element, with no whole-array/element overlap).
+        for n in &m.nets {
+            if matches!(n.port, Some(Dir::Input)) {
+                continue;
+            }
+            let whole = drives.get(&(n.name.clone(), None)).copied().unwrap_or(0);
+            let elems: Vec<u32> = (0..n.array.unwrap_or(0))
+                .map(|i| drives.get(&(n.name.clone(), Some(i))).copied().unwrap_or(0))
+                .collect();
+            let elem_total: u32 = elems.iter().sum();
+            if whole == 0 && elem_total == 0 {
+                return Err(RtlError::UndrivenNet {
+                    net: n.name.clone(),
+                    within: m.name.clone(),
+                });
+            }
+            let conflict =
+                whole > 1 || (whole >= 1 && elem_total > 0) || elems.iter().any(|&c| c > 1);
+            if conflict {
+                return Err(RtlError::MultipleDrivers {
+                    net: n.name.clone(),
+                    within: m.name.clone(),
+                });
+            }
+        }
+    }
+
     Ok(RtlSummary {
-        modules: defined.len(),
+        modules: net.modules.len(),
         instances,
-        sram_instances: instantiated
-            .iter()
-            .filter(|(n, _)| n.starts_with("imagen_sram"))
-            .count(),
-        lines: src.lines().count(),
+        sram_instances,
+        nets,
+        registers,
     })
+}
+
+fn verify_instance(
+    m: &Module,
+    inst: &crate::netlist::Instance,
+    target: &Module,
+    drives: &mut HashMap<DriveKey, u32>,
+) -> Result<(), RtlError> {
+    // SRAM primitives are parameterized (DEPTH/WIDTH/AW set per
+    // instance), so their port widths are checked only for shape, not
+    // bit count.
+    let parameterized = matches!(target.kind, ModuleKind::SramPrimitive { .. });
+
+    let mut connected: HashSet<&str> = HashSet::new();
+    for (port_name, conn) in &inst.conns {
+        let Some(port) = target.net(port_name).filter(|n| n.port.is_some()) else {
+            return Err(RtlError::UnknownPort {
+                instance: inst.name.clone(),
+                module: target.name.clone(),
+                port: port_name.clone(),
+            });
+        };
+        if !connected.insert(port_name.as_str()) {
+            return Err(RtlError::UnknownPort {
+                instance: inst.name.clone(),
+                module: target.name.clone(),
+                port: port_name.clone(),
+            });
+        }
+        let dir = port.port.expect("filtered to ports");
+        match conn {
+            Conn::Open => {
+                if dir == Dir::Input {
+                    return Err(RtlError::UnconnectedInput {
+                        instance: inst.name.clone(),
+                        module: target.name.clone(),
+                        port: port_name.clone(),
+                    });
+                }
+            }
+            Conn::Net(local) => {
+                let Some(n) = m.net(local) else {
+                    return Err(RtlError::UnknownNet {
+                        net: local.clone(),
+                        within: m.name.clone(),
+                    });
+                };
+                if !parameterized && (n.width != port.width || n.array != port.array) {
+                    return Err(RtlError::WidthMismatch {
+                        instance: inst.name.clone(),
+                        port: port_name.clone(),
+                        expected: port.width * port.array.unwrap_or(1),
+                        found: n.width * n.array.unwrap_or(1),
+                    });
+                }
+                if dir == Dir::Output {
+                    record_drive(drives, m, local, None)?;
+                }
+            }
+            Conn::NetIndex(local, idx) => {
+                let Some(n) = m.net(local) else {
+                    return Err(RtlError::UnknownNet {
+                        net: local.clone(),
+                        within: m.name.clone(),
+                    });
+                };
+                // An element connection requires an array net and a
+                // scalar port.
+                let in_range = n.array.is_some_and(|len| *idx < len);
+                if !in_range || port.array.is_some() {
+                    return Err(RtlError::WidthMismatch {
+                        instance: inst.name.clone(),
+                        port: port_name.clone(),
+                        expected: port.width,
+                        found: if in_range { n.width } else { 0 },
+                    });
+                }
+                if !parameterized && n.width != port.width {
+                    return Err(RtlError::WidthMismatch {
+                        instance: inst.name.clone(),
+                        port: port_name.clone(),
+                        expected: port.width,
+                        found: n.width,
+                    });
+                }
+                if dir == Dir::Output {
+                    record_drive(drives, m, local, Some(*idx))?;
+                }
+            }
+            Conn::Const(_, width) => {
+                if !parameterized && *width != port.width {
+                    return Err(RtlError::WidthMismatch {
+                        instance: inst.name.clone(),
+                        port: port_name.clone(),
+                        expected: port.width,
+                        found: *width,
+                    });
+                }
+            }
+            // Anonymous glue expressions are sized by context; nothing to
+            // check beyond the port existing (drivers: expressions never
+            // connect to outputs in generated netlists).
+            Conn::Expr(_) => {}
+        }
+    }
+
+    // Every input port of the target must be connected.
+    for p in target.ports() {
+        if matches!(p.port, Some(Dir::Input)) && !connected.contains(p.name.as_str()) {
+            return Err(RtlError::UnconnectedInput {
+                instance: inst.name.clone(),
+                module: target.name.clone(),
+                port: p.name.clone(),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::netlist::{build_netlist, BitWidths, Conn, Instance, Item};
+    use imagen_ir::{Dag, Expr};
+    use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+    use imagen_schedule::{plan_design, ScheduleOptions};
 
-    #[test]
-    fn accepts_well_formed() {
-        let src = "module a (input wire clk); wire x; endmodule\nmodule b (); stage_x u(); endmodule\nmodule stage_x (); endmodule";
-        let s = verify_structure(src).unwrap();
-        assert_eq!(s.modules, 3);
-        assert_eq!(s.instances, 1);
+    fn netlist() -> Netlist {
+        let mut dag = Dag::new("v");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage("K1", &[k0], Expr::sum((0..3).map(|i| Expr::tap(0, 0, i))))
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 16,
+            height: 12,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 512 }, 2);
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        build_netlist(&p.dag, &p.design, &BitWidths::default())
     }
 
     #[test]
-    fn rejects_unbalanced_modules() {
-        let err = verify_structure("module a (); wire x;").unwrap_err();
-        assert!(matches!(err, RtlError::UnbalancedModules { .. }));
+    fn accepts_generated_netlists() {
+        let net = netlist();
+        let s = verify_structure(&net).unwrap();
+        assert_eq!(s.modules, net.modules.len());
+        assert!(s.instances > 0);
+        assert!(s.sram_instances > 0);
+        assert!(s.nets > 10);
+        assert!(s.registers > 0);
     }
 
     #[test]
     fn rejects_duplicate_modules() {
-        let err = verify_structure("module a (); endmodule module a (); endmodule").unwrap_err();
-        assert!(matches!(err, RtlError::DuplicateModule { .. }));
+        let mut net = netlist();
+        let dup = net.modules[2].clone();
+        net.modules.push(dup);
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::DuplicateModule { .. })
+        ));
     }
 
     #[test]
     fn rejects_undefined_instances() {
-        let err = verify_structure("module a (); stage_missing u (); endmodule").unwrap_err();
-        assert!(matches!(err, RtlError::UndefinedModule { .. }));
+        let mut net = netlist();
+        let top = net.top;
+        net.modules[top].items.push(Item::Inst(Instance {
+            module: "stage_ghost".to_string(),
+            name: "u_ghost".to_string(),
+            conns: vec![],
+        }));
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::UndefinedModule { .. })
+        ));
     }
 
     #[test]
     fn rejects_duplicate_signals() {
-        let err = verify_structure("module a (); wire x; wire x; endmodule").unwrap_err();
-        assert!(matches!(err, RtlError::DuplicateSignal { name, .. } if name == "x"));
+        let mut net = netlist();
+        let top = net.top;
+        let dup = net.modules[top].nets[5].clone();
+        net.modules[top].nets.push(dup);
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::DuplicateSignal { .. })
+        ));
     }
 
     #[test]
-    fn comments_ignored() {
-        verify_structure("// module ghost (\nmodule a (); /* wire x; wire x; */ endmodule")
-            .unwrap();
+    fn rejects_unknown_ports() {
+        let mut net = netlist();
+        let top = net.top;
+        for item in net.modules[top].items.iter_mut() {
+            if let Item::Inst(inst) = item {
+                if inst.module.starts_with("stage_") {
+                    inst.conns
+                        .push(("bogus".to_string(), Conn::Net("cycle".to_string())));
+                    break;
+                }
+            }
+        }
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::UnknownPort { .. })
+        ));
     }
 
     #[test]
-    fn rejects_unbalanced_parens() {
-        let err = verify_structure("module a ((); endmodule").unwrap_err();
-        assert!(matches!(err, RtlError::UnbalancedDelimiters { .. }));
+    fn rejects_open_inputs() {
+        let mut net = netlist();
+        let top = net.top;
+        for item in net.modules[top].items.iter_mut() {
+            if let Item::Inst(inst) = item {
+                if inst.module.starts_with("stage_") {
+                    inst.conns.retain(|(p, _)| p != "en");
+                    break;
+                }
+            }
+        }
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::UnconnectedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_width_mismatches() {
+        let mut net = netlist();
+        let top = net.top;
+        for item in net.modules[top].items.iter_mut() {
+            if let Item::Inst(inst) = item {
+                if inst.module.starts_with("stage_") {
+                    for (p, c) in inst.conns.iter_mut() {
+                        if p == "en" {
+                            // 64-bit counter into a 1-bit enable.
+                            *c = Conn::Net("cycle".to_string());
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_undriven_nets() {
+        let mut net = netlist();
+        let top = net.top;
+        // Drop the frame_done assign: the output port loses its driver.
+        net.modules[top]
+            .items
+            .retain(|i| !matches!(i, Item::Assign { net } if net == "frame_done"));
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::UndrivenNet { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut net = netlist();
+        let top = net.top;
+        net.modules[top].items.push(Item::Assign {
+            net: "frame_done".to_string(),
+        });
+        assert!(matches!(
+            verify_structure(&net),
+            Err(RtlError::MultipleDrivers { .. })
+        ));
     }
 }

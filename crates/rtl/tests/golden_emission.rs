@@ -1,0 +1,65 @@
+//! Golden-file pin for the emitter refactor: the netlist-based renderer
+//! must reproduce the pre-refactor string emitter's output byte for byte
+//! at default bit widths. The `.v` files under `crates/rtl/golden/` were
+//! written by the seed emitter (before the netlist IR existed) for two
+//! seed pipelines at a fixed geometry/memory configuration; regenerating
+//! them is a deliberate act, not a test-suite side effect.
+
+use imagen_algos::Algorithm;
+use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+use imagen_rtl::{build_netlist, emit_verilog, verify_structure, BitWidths};
+use imagen_schedule::{plan_design, ScheduleOptions};
+
+fn golden_config() -> (ImageGeometry, MemorySpec) {
+    let geom = ImageGeometry {
+        width: 40,
+        height: 30,
+        pixel_bits: 16,
+    };
+    let spec = MemorySpec::new(
+        MemBackend::Asic {
+            block_bits: 2 * geom.row_bits(),
+        },
+        2,
+    );
+    (geom, spec)
+}
+
+fn check(alg: Algorithm, golden: &str) {
+    let (geom, spec) = golden_config();
+    let plan = plan_design(
+        &alg.build(),
+        &geom,
+        &spec,
+        ScheduleOptions::default(),
+        DesignStyle::Ours,
+    )
+    .unwrap();
+    let net = build_netlist(&plan.dag, &plan.design, &BitWidths::default());
+    verify_structure(&net).unwrap();
+    let emitted = emit_verilog(&net);
+    assert!(
+        emitted == golden,
+        "{} emission diverged from the pre-refactor golden (first differing line: {:?})",
+        alg.name(),
+        emitted
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}: {a:?} vs golden {b:?}", i + 1))
+    );
+}
+
+#[test]
+fn unsharp_m_emission_is_byte_identical() {
+    check(
+        Algorithm::UnsharpM,
+        include_str!("../golden/unsharp_m_40x30.v"),
+    );
+}
+
+#[test]
+fn canny_s_emission_is_byte_identical() {
+    check(Algorithm::CannyS, include_str!("../golden/canny_s_40x30.v"));
+}

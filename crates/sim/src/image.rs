@@ -79,6 +79,33 @@ impl Image {
         &self.data
     }
 
+    /// Pixels in raster order (row-major, the order the generated
+    /// hardware streams a frame) — what testbench vectors and stream
+    /// comparisons consume.
+    pub fn raster(&self) -> impl Iterator<Item = i64> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// Builds an image from a raster-order pixel stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream length is not `width * height`.
+    #[track_caller]
+    pub fn from_raster(width: u32, height: u32, pixels: impl IntoIterator<Item = i64>) -> Image {
+        let data: Vec<i64> = pixels.into_iter().collect();
+        assert_eq!(
+            data.len(),
+            (width * height) as usize,
+            "raster stream length must match the frame"
+        );
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
     /// Number of pixels that differ from `other`.
     pub fn diff_count(&self, other: &Image) -> usize {
         assert_eq!(self.width, other.width);
@@ -132,5 +159,20 @@ mod tests {
     fn strict_get_panics() {
         let img = Image::new(2, 2);
         let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn raster_round_trips() {
+        let img = Image::from_fn(4, 3, |x, y| (y * 4 + x) as i64);
+        let stream: Vec<i64> = img.raster().collect();
+        assert_eq!(stream, (0..12).collect::<Vec<i64>>());
+        let back = Image::from_raster(4, 3, stream);
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    #[should_panic(expected = "raster stream length")]
+    fn from_raster_rejects_short_streams() {
+        let _ = Image::from_raster(4, 3, 0..5);
     }
 }

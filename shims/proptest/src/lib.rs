@@ -4,7 +4,7 @@
 //! The build container has no crates.io access, so the workspace vendors the
 //! API surface its property tests need: the [`proptest!`] macro, integer
 //! range strategies, tuples of strategies, [`collection::vec`],
-//! [`array::uniform2`]/[`array::uniform4`], [`Strategy::prop_map`], the
+//! [`array::uniform2`]/[`array::uniform4`], [`strategy::Strategy::prop_map`], the
 //! `prop_assert*` macros, [`test_runner::ProptestConfig`] and
 //! [`test_runner::TestCaseError`].
 //!
@@ -208,7 +208,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

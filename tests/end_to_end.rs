@@ -4,7 +4,7 @@
 
 use imagen::algos::{sample_pattern, Algorithm, TestPattern};
 use imagen::baselines::{generate_darkroom, generate_fixynn, generate_soda};
-use imagen::rtl::{generate_verilog, verify_structure};
+use imagen::rtl::{build_netlist, emit_verilog, interpret, verify_structure, BitWidths};
 use imagen::sim::{simulate, Image};
 use imagen::{Compiler, DesignStyle, ImageGeometry, MemBackend, MemorySpec, Plan};
 
@@ -113,10 +113,47 @@ fn rtl_generates_and_verifies_for_all() {
         let out = Compiler::new(geom(), MemorySpec::new(backend(), 2))
             .compile_dag(&alg.build())
             .unwrap();
-        let v = generate_verilog(&out.plan.dag, &out.plan.design);
-        let summary = verify_structure(&v).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        let summary =
+            verify_structure(&out.netlist).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
         assert!(summary.modules >= alg.expected_stages(), "{}", alg.name());
         assert!(summary.sram_instances > 0, "{}", alg.name());
+        assert_eq!(
+            out.verilog,
+            emit_verilog(&out.netlist),
+            "{}: cached text is the netlist's rendering",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn netlist_interpretation_closes_the_loop_for_all() {
+    // The structure the Verilog is printed from is itself executed and
+    // must match the cycle-level simulator stream for stream. (The
+    // exhaustive golden/simulator/interpreter differential — both width
+    // regimes, random frames — lives in tests/netlist_differential.rs.)
+    for alg in Algorithm::all() {
+        let out = Compiler::new(geom(), MemorySpec::new(backend(), 2))
+            .compile_dag(&alg.build())
+            .unwrap();
+        let input = frame(11);
+        let sim = simulate(
+            &out.plan.dag,
+            &out.plan.design,
+            std::slice::from_ref(&input),
+        )
+        .unwrap();
+        assert!(sim.is_clean(), "{}", alg.name());
+        let wide = build_netlist(&out.plan.dag, &out.plan.design, &BitWidths::wide());
+        let run = interpret(&wide, std::slice::from_ref(&input))
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        assert_eq!(
+            run.output_images,
+            sim.output_images,
+            "{}: netlist vs cycle model",
+            alg.name()
+        );
+        assert_eq!(run.latency, sim.latency as u64, "{}", alg.name());
     }
 }
 

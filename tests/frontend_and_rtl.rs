@@ -4,7 +4,7 @@
 
 use imagen::algos::{sample_pattern, Algorithm, TestPattern};
 use imagen::dsl::{compile, DslError};
-use imagen::rtl::{generate_verilog, verify_structure};
+use imagen::rtl::verify_structure;
 use imagen::sim::{execute, Image};
 use imagen::{Compiler, ImageGeometry, MemBackend, MemorySpec};
 
@@ -95,8 +95,8 @@ fn rtl_respects_memory_spec() {
             ports,
         );
         let out = Compiler::new(geom, spec).compile_dag(&dag).unwrap();
-        let v = generate_verilog(&out.plan.dag, &out.plan.design);
-        verify_structure(&v).unwrap();
+        let v = &out.verilog;
+        verify_structure(&out.netlist).unwrap();
         assert!(
             v.matches(macro_kind).count() >= 2,
             "P={ports} instantiates {macro_kind}"
@@ -125,7 +125,7 @@ fn rtl_embeds_every_start_cycle() {
     let out = Compiler::new(geom, spec)
         .compile_dag(&Algorithm::CannyS.build())
         .unwrap();
-    let v = generate_verilog(&out.plan.dag, &out.plan.design);
+    let v = &out.verilog;
     for &s in &out.plan.design.start_cycles {
         assert!(
             v.contains(&format!("64'd{s}")),
