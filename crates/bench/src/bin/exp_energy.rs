@@ -1,0 +1,101 @@
+//! **Analytic vs measured power** — the `imagen-power` subsystem's
+//! headline experiment.
+//!
+//! Every power figure in the paper reproduction (fig8b, fig9b,
+//! `exp_power_breakdown`) prices designs with the *analytic* model in
+//! `imagen_mem::tech` — scheduled access rates times calibrated pJ
+//! constants. This binary instead *runs* each generated netlist through
+//! the executable-netlist interpreter with an activity trace and prices
+//! the counted events with the same constants, per pipeline and design
+//! style, then applies the clock-gating pass (`imagen_power::gate_clocks`)
+//! and reports the measured saving — with the interpreter's gated-off
+//! cycle count, so the saving is measured, not asserted.
+//!
+//! Frames are height-reduced (rates are height-invariant, the
+//! `exp_power_breakdown` argument); smoke mode shrinks further for CI.
+
+use imagen_algos::Algorithm;
+use imagen_bench::{asic_backend, lc_available, measure_point, smoke_mode, STYLES};
+use imagen_mem::{DesignStyle, ImageGeometry};
+
+fn main() {
+    let geom = if smoke_mode() {
+        ImageGeometry {
+            width: 96,
+            height: 24,
+            pixel_bits: 16,
+        }
+    } else {
+        ImageGeometry {
+            width: 480,
+            height: 64,
+            pixel_bits: 16,
+        }
+    };
+    let backend = asic_backend();
+    let algos: Vec<Algorithm> = if smoke_mode() {
+        vec![Algorithm::UnsharpM, Algorithm::DenoiseM, Algorithm::CannyM]
+    } else {
+        Algorithm::all().to_vec()
+    };
+
+    println!(
+        "# exp_energy — analytic vs measured power (netlist activity), {}x{} frames\n",
+        geom.width, geom.height
+    );
+    println!("Measured columns come from interpreting the generated netlist with an");
+    println!("activity trace (per-bank reads/writes, enable duty) and pricing the");
+    println!("counted events with the same pJ constants the analytic model uses.");
+    println!("`gated` is the same netlist after the clock-gating pass; `gated-off`");
+    println!("is the interpreter-counted number of suppressed read-port cycles.\n");
+    println!("| Algorithm | style | analytic mW | measured mW | ratio | gated mW | saving % | gated-off cycles |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let mut ratios: Vec<f64> = Vec::new();
+    let mut m_savings: Vec<f64> = Vec::new();
+    for &alg in &algos {
+        for style in STYLES {
+            if style == DesignStyle::OursLc && !lc_available(&geom, backend) {
+                continue;
+            }
+            let p = measure_point(alg, style, &geom, backend);
+            let ratio = p.measured_total_mw / p.analytic_total_mw;
+            ratios.push(ratio);
+            if alg.name().ends_with("-m") {
+                m_savings.push(p.gating_saving_pct());
+            }
+            println!(
+                "| {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1} | {} |",
+                alg.name(),
+                style.label(),
+                p.analytic_total_mw,
+                p.measured_total_mw,
+                ratio,
+                p.gated_total_mw,
+                p.gating_saving_pct(),
+                p.gated_off_cycles,
+            );
+        }
+    }
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let (lo, hi) = ratios
+        .iter()
+        .fold((f64::INFINITY, 0.0_f64), |(lo, hi), &r| {
+            (lo.min(r), hi.max(r))
+        });
+    println!("\n### Summary\n");
+    println!(
+        "- measured/analytic ratio: avg {:.2}, range [{:.2}, {:.2}] — the two",
+        avg(&ratios),
+        lo,
+        hi
+    );
+    println!("  models share pJ constants and differ only in activity basis");
+    println!("  (interpreted events vs scheduled rates).");
+    println!(
+        "- clock-gating saving on the `-m` pipelines: avg {:.1}% of measured power",
+        avg(&m_savings)
+    );
+    println!("  (FIFO buffers — SODA — are dataflow-clocked and stay ungated).");
+}

@@ -1,7 +1,10 @@
 //! Reproduces **Fig. 8b**: on-chip memory power (mW) of the five
 //! generators on 320p frames, ASIC backend.
 
-use imagen_bench::{asic_backend, figure_matrix, geom_320, print_matrix, reduction_pct, STYLES};
+use imagen_bench::{
+    asic_backend, figure_matrix, geom_320, print_matrix, print_measured_matrix, reduction_pct,
+    STYLES,
+};
 use imagen_mem::DesignStyle;
 
 fn main() {
@@ -13,6 +16,16 @@ fn main() {
         &algos,
         &power,
         &STYLES,
+    );
+
+    // Measured counterpart: the same designs interpreted as netlists
+    // with an activity trace (imagen-power), on height-reduced frames
+    // (access rates are height-invariant).
+    print_measured_matrix(
+        "Fig. 8b (measured) — netlist-interpreted memory power @320p",
+        &algos,
+        &geom,
+        asic_backend(),
     );
 
     let avg = |style: DesignStyle| -> f64 {

@@ -1,7 +1,10 @@
 //! Reproduces **Fig. 9b**: on-chip memory power (mW) at 1080p (no
 //! `Ours+LC` column, as in the paper).
 
-use imagen_bench::{asic_backend, figure_matrix, geom_1080, print_matrix, reduction_pct, STYLES};
+use imagen_bench::{
+    asic_backend, figure_matrix, geom_1080, print_matrix, print_measured_matrix, reduction_pct,
+    STYLES,
+};
 use imagen_mem::DesignStyle;
 
 fn main() {
@@ -13,6 +16,17 @@ fn main() {
         &algos,
         &power,
         &STYLES,
+    );
+
+    // Measured counterpart (imagen-power): netlist-interpreted memory
+    // power on height-reduced frames — the per-block macro
+    // configurations and access rates depend only on the frame width,
+    // so the 1080p-wide mW figures carry over.
+    print_measured_matrix(
+        "Fig. 9b (measured) — netlist-interpreted memory power @1080p",
+        &algos,
+        &geom,
+        asic_backend(),
     );
 
     let avg = |style: DesignStyle| -> f64 {

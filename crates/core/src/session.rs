@@ -264,6 +264,49 @@ impl Session {
         Ok(self.compute(spec, style)?.plan)
     }
 
+    /// Returns the elaborated netlist of one memory configuration at
+    /// default bit widths, memoized — **without** rendering any Verilog
+    /// text. This is the measurement path: design-space exploration
+    /// prices points plan-only ([`Session::price`]), then populates
+    /// measured energy on demand by interpreting the cached netlist,
+    /// and a later [`Session::compile`] of the same point reuses it and
+    /// only adds text rendering.
+    ///
+    /// `style` labels the design; `None` infers it from the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Plan`] from the optimizer.
+    pub fn netlist(
+        &self,
+        spec: &MemorySpec,
+        style: Option<DesignStyle>,
+    ) -> Result<Arc<imagen_rtl::Netlist>, CompileError> {
+        let style = style.unwrap_or_else(|| self.infer_style(spec));
+        let key = self.key_for(spec, style);
+        let entry = match self.cache.get(&key) {
+            Some(e) => e,
+            None => self.compute(spec, style)?,
+        };
+        if let Some(n) = entry.netlist {
+            return Ok(n); // pure hit: no cache write at all
+        }
+        let built = Arc::new(imagen_rtl::build_netlist(
+            &entry.plan.dag,
+            &entry.plan.design,
+            &imagen_rtl::BitWidths::default(),
+        ));
+        // Merge under the lock: a racing compile() may have enriched the
+        // entry (netlist + Verilog) since we read it — never clobber a
+        // richer concurrent entry, only fill a missing netlist.
+        let mut entries = self.cache.entries.lock().expect("cache poisoned");
+        let slot = entries.entry(key).or_insert(entry);
+        if slot.netlist.is_none() {
+            slot.netlist = Some(built);
+        }
+        Ok(slot.netlist.clone().expect("set above"))
+    }
+
     /// Compiles one memory configuration end to end (plan + Verilog),
     /// memoized. A cache hit from a previous [`Session::price`] call
     /// reuses the plan and only runs codegen (once).
@@ -395,6 +438,21 @@ mod tests {
         let (hits, _) = session.cache().stats();
         assert_eq!(hits, 1);
         imagen_rtl::verify_structure(&full.netlist).unwrap();
+    }
+
+    #[test]
+    fn netlist_is_cached_and_shared_with_compile() {
+        let dag = Algorithm::UnsharpM.build();
+        let session = Session::new(&dag, geom());
+        let spec = MemorySpec::new(backend(), 2);
+        let n1 = session.netlist(&spec, None).unwrap();
+        let n2 = session.netlist(&spec, None).unwrap();
+        assert!(Arc::ptr_eq(&n1, &n2), "second call reuses the cached Arc");
+        // compile() reuses the same netlist instead of rebuilding.
+        let out = session.compile(&spec, None).unwrap();
+        assert!(Arc::ptr_eq(&n1, &out.netlist));
+        // And the netlist is the one the emitted text comes from.
+        assert_eq!(out.verilog, imagen_rtl::emit_verilog(&n1));
     }
 
     #[test]

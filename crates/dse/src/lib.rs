@@ -43,11 +43,13 @@
 use imagen_core::{CompileError, Session};
 use imagen_ir::Dag;
 use imagen_mem::{Design, DesignStyle, ImageGeometry, MemBackend, MemorySpec, StageMemConfig};
-use imagen_rtl::{report_resources_for, BitWidths, ResourceReport};
+use imagen_rtl::{report_resources_for, BitWidths, InterpError, ResourceReport};
 use imagen_schedule::Plan;
+use imagen_sim::Image;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::Arc;
 
 /// Per-stage memory choice explored by the DSE (Sec. 8.5).
@@ -85,8 +87,70 @@ pub struct DsePoint {
     /// to the analytic area/power models. Derived from the same netlist
     /// the RTL is printed from, without generating any Verilog text.
     pub resources: ResourceReport,
+    /// Measured (netlist-interpreted) energy, populated on demand by
+    /// [`DseResult::measure_point`] — `None` until someone pays for the
+    /// interpretation.
+    pub measured: Option<MeasuredEnergy>,
     /// The priced design.
     pub design: Design,
+}
+
+/// Measured energy/power of one design point, from interpreting the
+/// point's cached netlist (`imagen_power`): the analytic `power_mw`
+/// axis's activity-measured counterpart.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasuredEnergy {
+    /// Total (dynamic + static) energy per frame, pJ, ungated.
+    pub energy_pj_per_frame: f64,
+    /// Total measured power at the evaluation clock, mW, ungated.
+    pub power_mw: f64,
+    /// Total measured power of the clock-gated netlist, mW.
+    pub gated_power_mw: f64,
+    /// Read-port cycles the gating pass removed (interpreter-counted).
+    pub gated_off_cycles: u64,
+}
+
+impl MeasuredEnergy {
+    /// Power saving of clock gating, percent of the ungated power.
+    pub fn gating_saving_pct(&self) -> f64 {
+        if self.power_mw <= 0.0 {
+            0.0
+        } else {
+            100.0 * (self.power_mw - self.gated_power_mw) / self.power_mw
+        }
+    }
+}
+
+/// Failure of an on-demand point measurement.
+#[derive(Debug)]
+pub enum MeasureError {
+    /// Planning/compiling the point's netlist failed.
+    Compile(CompileError),
+    /// Interpreting the netlist failed (e.g. input frame geometry).
+    Interp(InterpError),
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::Compile(e) => write!(f, "{e}"),
+            MeasureError::Interp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+impl From<CompileError> for MeasureError {
+    fn from(e: CompileError) -> Self {
+        MeasureError::Compile(e)
+    }
+}
+
+impl From<InterpError> for MeasureError {
+    fn from(e: InterpError) -> Self {
+        MeasureError::Interp(e)
+    }
 }
 
 impl DsePoint {
@@ -111,15 +175,60 @@ pub struct DseResult {
 }
 
 impl DseResult {
-    /// Indices of the Pareto-optimal points (minimizing area and power).
+    /// Indices of the Pareto-optimal points (minimizing area and power)
+    /// — [`DseResult::pareto_front_by`] over the default
+    /// `(area_mm2, power_mw)` objectives.
     pub fn pareto_front(&self) -> Vec<usize> {
-        pareto_front(
-            &self
-                .points
-                .iter()
-                .map(|p| (p.area_mm2, p.power_mw))
-                .collect::<Vec<_>>(),
-        )
+        self.pareto_front_by(|p| (p.area_mm2, p.power_mw))
+    }
+
+    /// Indices of the Pareto-optimal points under an arbitrary pair of
+    /// minimized objectives — e.g. `(area_mm2, measured energy)` for the
+    /// measured frontier. Reuses the incremental NaN-rejecting
+    /// [`ParetoFront`]; points whose objectives are non-finite are never
+    /// on the frontier.
+    pub fn pareto_front_by(&self, objectives: impl Fn(&DsePoint) -> (f64, f64)) -> Vec<usize> {
+        let mut front = ParetoFront::new();
+        for (i, p) in self.points.iter().enumerate() {
+            let (x, y) = objectives(p);
+            front.offer(i, x, y);
+        }
+        front.indices()
+    }
+
+    /// Populates (and returns) the measured energy of point `index` by
+    /// interpreting its netlist — fetched from `session`'s cache, built
+    /// without Verilog if absent — on `input`, under both the ungated
+    /// and the clock-gated variants. Memoized on the point: a second
+    /// call is free.
+    ///
+    /// `session` must be a session for the same DAG/geometry the sweep
+    /// ran on, and `input` one frame of that geometry per input stream.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError`] on planning or interpretation failure.
+    pub fn measure_point(
+        &mut self,
+        session: &Session,
+        index: usize,
+        inputs: &[Image],
+    ) -> Result<MeasuredEnergy, MeasureError> {
+        if let Some(m) = self.points[index].measured {
+            return Ok(m);
+        }
+        let point = &self.points[index];
+        let spec = spec_for(point.design.backend, &self.buffered_stages, &point.choices);
+        let net = session.netlist(&spec, Some(point.design.style))?;
+        let pm = imagen_power::measure_netlist(&net, &point.design, inputs)?;
+        let m = MeasuredEnergy {
+            energy_pj_per_frame: pm.ungated.energy_pj_per_frame(),
+            power_mw: pm.ungated.total_mw(),
+            gated_power_mw: pm.gated.total_mw(),
+            gated_off_cycles: pm.gated_off_cycles(),
+        };
+        self.points[index].measured = Some(m);
+        Ok(m)
     }
 }
 
@@ -204,6 +313,7 @@ fn point_from(plan: &Plan, choices: Vec<StageChoice>) -> DsePoint {
         power_mw: design.total_power_mw(),
         sram_kb: design.sram_kb(),
         resources,
+        measured: None,
         design,
     }
 }
@@ -603,6 +713,93 @@ mod tests {
                 })
                 .collect();
             assert_eq!(pareto_front(&pts), brute, "points: {pts:?}");
+        }
+    }
+
+    #[test]
+    fn pareto_front_by_pins_default_behavior() {
+        // The generalized objective form must reproduce the hard-wired
+        // (area, power) frontier exactly.
+        let dag = Algorithm::XcorrM.build();
+        let res = sweep(&dag, &geom(), backend()).unwrap();
+        assert_eq!(
+            res.pareto_front(),
+            res.pareto_front_by(|p| (p.area_mm2, p.power_mw))
+        );
+        assert_eq!(
+            res.pareto_front(),
+            pareto_front(
+                &res.points
+                    .iter()
+                    .map(|p| (p.area_mm2, p.power_mw))
+                    .collect::<Vec<_>>()
+            ),
+            "and the free function agrees"
+        );
+        // A different objective pair is a different frontier machine:
+        // single-axis degenerate case keeps only the minima.
+        let front = res.pareto_front_by(|p| (p.sram_kb, p.sram_kb));
+        let min = res
+            .points
+            .iter()
+            .map(|p| p.sram_kb)
+            .fold(f64::INFINITY, f64::min);
+        assert!(front.iter().all(|&i| res.points[i].sram_kb == min));
+    }
+
+    #[test]
+    fn measure_point_populates_energy_on_demand() {
+        let dag = Algorithm::XcorrM.build();
+        let session = Session::new(&dag, geom());
+        let mut res = sweep(&dag, &geom(), backend()).unwrap();
+        assert!(res.points.iter().all(|p| p.measured.is_none()));
+        let input = Image::from_fn(geom().width, geom().height, |x, y| {
+            ((x * 3 + y * 7) % 97) as i64
+        });
+        let inputs = [input];
+        let n = res.points.len();
+        for i in 0..n {
+            let m = res.measure_point(&session, i, &inputs).unwrap();
+            assert!(m.energy_pj_per_frame > 0.0);
+            assert!(m.power_mw > 0.0);
+            assert!(
+                m.gated_power_mw < m.power_mw,
+                "gating saves measured power on point {i}"
+            );
+            assert!(m.gated_off_cycles > 0);
+            assert!(m.gating_saving_pct() > 0.0);
+        }
+        // Memoized: a second call returns the same value without work.
+        let (hits_before, _) = session.cache().stats();
+        let again = res.measure_point(&session, 0, &inputs).unwrap();
+        assert_eq!(
+            again.energy_pj_per_frame,
+            res.points[0].measured.unwrap().energy_pj_per_frame
+        );
+        assert_eq!(session.cache().stats().0, hits_before, "no extra lookups");
+        // The measured axis supports its own frontier through the
+        // generalized pareto machinery.
+        let front = res.pareto_front_by(|p| {
+            (
+                p.area_mm2,
+                p.measured.map_or(f64::NAN, |m| m.energy_pj_per_frame),
+            )
+        });
+        assert!(!front.is_empty());
+        for &i in &front {
+            for (j, p) in res.points.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let (ei, ej) = (
+                    res.points[i].measured.unwrap().energy_pj_per_frame,
+                    p.measured.unwrap().energy_pj_per_frame,
+                );
+                assert!(
+                    !(p.area_mm2 <= res.points[i].area_mm2 && ej < ei),
+                    "frontier point {i} dominated by {j} on (area, energy)"
+                );
+            }
         }
     }
 

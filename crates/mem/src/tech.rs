@@ -147,6 +147,20 @@ impl BramModel {
     pub fn power_mw(accesses_per_cycle: f64) -> f64 {
         k::BRAM_STATIC_MW + k::BRAM_ACCESS_MW * accesses_per_cycle
     }
+
+    /// Static power of one used BRAM block, mW (the zero-access floor of
+    /// [`BramModel::power_mw`]).
+    pub fn static_mw() -> f64 {
+        k::BRAM_STATIC_MW
+    }
+
+    /// Energy of one BRAM access at the evaluation clock, pJ — the
+    /// per-event form of the dynamic term of [`BramModel::power_mw`]
+    /// (`power_mw(r) == static_mw() + pj_per_cycle_to_mw(access_energy_pj()
+    /// * r, CLOCK_MHZ)`), used by the activity-based energy meter.
+    pub fn access_energy_pj() -> f64 {
+        k::BRAM_ACCESS_MW / (CLOCK_MHZ * 1.0e-3)
+    }
 }
 
 /// DFF / shift-register storage model.
@@ -163,6 +177,13 @@ impl DffModel {
     pub fn shift_power_mw(bits: u64, mhz: f64) -> f64 {
         // pJ/cycle * cycles/s = pJ * MHz * 1e6 / 1e9 mW = pJ * MHz * 1e-3.
         bits as f64 * k::DFF_SHIFT_PJ_PER_BIT * mhz * 1.0e-3
+    }
+
+    /// Energy of shifting `bits` of DFF storage for one cycle, pJ — the
+    /// per-event form of [`DffModel::shift_power_mw`], used when actual
+    /// shift cycles are counted instead of assumed every-cycle.
+    pub fn shift_energy_pj(bits: u64) -> f64 {
+        bits as f64 * k::DFF_SHIFT_PJ_PER_BIT
     }
 }
 
@@ -264,5 +285,23 @@ mod tests {
     fn unit_conversion() {
         // 10 pJ per cycle at 100 MHz = 1 mW.
         assert!((pj_per_cycle_to_mw(10.0, 100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_event_forms_match_rate_forms() {
+        // The event-level accessors must integrate back to the rate-level
+        // models they decompose.
+        for rate in [0.0, 0.5, 1.0, 2.0] {
+            let rebuilt = BramModel::static_mw()
+                + pj_per_cycle_to_mw(BramModel::access_energy_pj() * rate, CLOCK_MHZ);
+            assert!((rebuilt - BramModel::power_mw(rate)).abs() < 1e-12);
+        }
+        let bits = 480 * 16;
+        assert!(
+            (pj_per_cycle_to_mw(DffModel::shift_energy_pj(bits), CLOCK_MHZ)
+                - DffModel::shift_power_mw(bits, CLOCK_MHZ))
+            .abs()
+                < 1e-12
+        );
     }
 }

@@ -1,0 +1,111 @@
+//! The clock-gating transform: a netlist→netlist pass deriving gating
+//! conditions from the ILP-scheduled enables.
+//!
+//! The ungated emitter holds every line buffer's read enable at `1'b1`,
+//! so the bank selected by the rotation decode performs a real SRAM read
+//! on *every* cycle of operation — including the schedule skew before
+//! the first consumer starts and after the last one finishes, where the
+//! data goes nowhere. Those are exactly the intervals the ILP schedule
+//! makes static: a buffer's data is only ever loaded while one of its
+//! consumers' enable windows `[start, start + frame)` is live.
+//!
+//! [`gate_clocks`] therefore gates each buffer's read port to the union
+//! of its consumers' windows. The other candidate conditions the
+//! schedule exposes are already structural or vacuous in this
+//! architecture, and the pass documents rather than duplicates them:
+//!
+//! * **idle banks** — the per-bank enables (`en_b = ren && rblk == b`)
+//!   already gate every bank the rotation decode is not pointing at;
+//!   the pass narrows `ren` itself, which those decodes AND with;
+//! * **stall intervals** — ImaGen schedules are stall-free by
+//!   construction (requirements R1–R3), so within a consumer window
+//!   there is no cycle to gate; all gateable time lives in the
+//!   inter-stage skew the window derivation captures;
+//! * **`dx_max < 0` window corners** — the left-edge clamp re-reads the
+//!   current column rather than issuing extra reads, so corner cycles
+//!   cost no additional bank enables to remove.
+//!
+//! The pass is semantics-preserving *by checked construction*: the
+//! interpreter honors the gate (a gated-off read port supplies no
+//! data), so the gated netlist is run through the same bit-exact
+//! differential suite as the ungated one, and a wrong window corrupts
+//! the output stream instead of silently under-reporting energy.
+
+use imagen_rtl::{BufferGate, Conn, GatingPlan, Item, Net, Netlist};
+
+/// Attaches a clock-gating plan to `net`: every line buffer's read port
+/// is gated to the union of its consumers' ILP windows.
+///
+/// The returned netlist is a full copy with:
+///
+/// * `gating` set to the derived [`GatingPlan`];
+/// * a 1-bit `ren_lb_<stage>` net, driven by a continuous assignment of
+///   the window comparators, declared in the top module;
+/// * the line-buffer instance's `ren` connection rewritten from the
+///   constant `1'b1` to that net,
+///
+/// so emission, interpretation and structural verification all see the
+/// same gated hardware. FIFO buffers (SODA) and pure-DFF buffers are
+/// left ungated — their clocking is dataflow-driven, not scheduled.
+///
+/// Gating an already-gated netlist re-derives the same plan (the pass
+/// is idempotent).
+pub fn gate_clocks(net: &Netlist) -> Netlist {
+    let mut out = net.clone();
+    let frame = net.frame;
+
+    let mut gates: Vec<BufferGate> = Vec::new();
+    for (bi, buf) in net.buffers.iter().enumerate() {
+        if buf.fifo || buf.phys_blocks == 0 {
+            continue;
+        }
+        let windows: Vec<u64> = net
+            .edges
+            .iter()
+            .filter(|e| e.producer == buf.stage)
+            .map(|e| net.stages[e.consumer].start_cycle)
+            .collect();
+        if windows.is_empty() {
+            continue;
+        }
+        gates.push(BufferGate {
+            buffer: bi,
+            read_start: *windows.iter().min().expect("non-empty"),
+            read_end: windows.iter().max().expect("non-empty") + frame,
+        });
+    }
+
+    let top = out.top;
+    let module = &mut out.modules[top];
+    for g in &gates {
+        let pname = net.stages[net.buffers[g.buffer].stage].sanitized.clone();
+        let gate_net = format!("ren_lb_{pname}");
+        if module.net(&gate_net).is_none() {
+            module.nets.push(Net {
+                name: gate_net.clone(),
+                width: 1,
+                signed: false,
+                array: None,
+                is_reg: false,
+                port: None,
+            });
+            module.items.push(Item::Assign {
+                net: gate_net.clone(),
+            });
+        }
+        for item in module.items.iter_mut() {
+            if let Item::Inst(inst) = item {
+                if inst.name == format!("u_lb_{pname}") {
+                    for (port, conn) in inst.conns.iter_mut() {
+                        if port == "ren" {
+                            *conn = Conn::Net(gate_net.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    out.gating = Some(GatingPlan { gates });
+    out
+}

@@ -1,0 +1,167 @@
+//! Activity collection for the executable-netlist interpreter.
+//!
+//! [`ActivityTrace`] is an optional sink
+//! ([`interpret_with_trace`](crate::interpret_with_trace)) that counts,
+//! over one interpreted frame, the events the analytic power model only
+//! *assumes*:
+//!
+//! * per-SRAM-bank read and write accesses, attributed through the same
+//!   bank mapping and same-address read merging as the cycle-level
+//!   simulator (`imagen_sim::simulate`), so the two independent
+//!   access-counting paths can be cross-checked against each other;
+//! * per-buffer read-port enable duty: the emitted hardware holds the
+//!   line-buffer read enable high on *every* cycle (`.ren(1'b1)`), so
+//!   cycles where the enabled port serves no consumer are wasted reads —
+//!   the quantity the clock-gating pass (`imagen_power::gate_clocks`)
+//!   eliminates, and the interpreter *measures* under both netlists;
+//! * per-register-array shift activity (cycles shifted, cell loads, data
+//!   bit toggles) and per-stage enable duty and output-register toggles.
+//!
+//! The trace never changes interpretation results: the interpreter's
+//! outputs, latency and legacy access totals are identical with and
+//! without a sink (pinned by test and by the `activity_interp` bench).
+//!
+//! `imagen_power` converts a trace plus the technology constants in
+//! `imagen_mem::tech` into an `EnergyReport` — measured pJ/frame and mW
+//! instead of the scheduled-rate analytic estimate.
+
+use crate::netlist::Netlist;
+
+/// Per-line-buffer activity over one interpreted frame.
+#[derive(Clone, Debug, Default)]
+pub struct BufferActivity {
+    /// Producer stage index owning the buffer.
+    pub stage: usize,
+    /// Read accesses per allocated SRAM block, merged on identical
+    /// `(block, row, column)` within a cycle — the cycle simulator's
+    /// convention, so these totals cross-check against
+    /// `simulate_and_annotate`.
+    pub block_reads: Vec<u64>,
+    /// Write accesses per allocated SRAM block.
+    pub block_writes: Vec<u64>,
+    /// Peak accesses (reads + writes) of any block in a single cycle.
+    pub block_peaks: Vec<u32>,
+    /// Cycles the buffer's read port was enabled (ungated: the whole
+    /// run; gated: the consumer window).
+    pub read_enabled_cycles: u64,
+    /// Enabled read-port cycles in which no consumer actually loaded
+    /// data — the wasted reads clock gating removes.
+    pub idle_read_cycles: u64,
+    /// Cycles the read port was gated off (0 for ungated netlists).
+    pub gated_off_cycles: u64,
+    /// Whether the buffer is a FIFO chain (SODA). FIFO access totals
+    /// follow the simulator's convention: one push and one pop per
+    /// segment per live cycle.
+    pub fifo: bool,
+}
+
+impl BufferActivity {
+    /// Average accesses (reads + writes) per streaming cycle per block,
+    /// the quantity `simulate_and_annotate` writes into
+    /// `PhysBlock::avg_accesses_per_cycle`.
+    pub fn avg_accesses_per_cycle(&self, block: usize, frame: u64) -> f64 {
+        (self.block_reads[block] + self.block_writes[block]) as f64 / frame as f64
+    }
+
+    /// Average writes per streaming cycle per block.
+    pub fn avg_writes_per_cycle(&self, block: usize, frame: u64) -> f64 {
+        self.block_writes[block] as f64 / frame as f64
+    }
+
+    /// Total read accesses over all blocks.
+    pub fn reads(&self) -> u64 {
+        self.block_reads.iter().sum()
+    }
+
+    /// Total write accesses over all blocks.
+    pub fn writes(&self) -> u64 {
+        self.block_writes.iter().sum()
+    }
+}
+
+/// Per-stage activity over one interpreted frame.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageActivity {
+    /// Cycles the stage enable was asserted (= frame pixels for a
+    /// stall-free schedule).
+    pub active_cycles: u64,
+    /// Output-register load events (one per active cycle).
+    pub out_reg_writes: u64,
+    /// Bits that flipped on the output register across the frame.
+    pub out_reg_toggles: u64,
+}
+
+impl StageActivity {
+    /// Enable duty cycle over the whole run.
+    pub fn duty(&self, run_cycles: u64) -> f64 {
+        if run_cycles == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / run_cycles as f64
+        }
+    }
+}
+
+/// Per-window-register-array (SRA) activity over one interpreted frame.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SraActivity {
+    /// Cycles the array shifted (= the consumer's active cycles).
+    pub shift_cycles: u64,
+    /// Cell load events (`cells × shift_cycles`).
+    pub cell_writes: u64,
+    /// Bits that flipped across all cells over the frame (data
+    /// activity, a subset of the clocked-cell energy).
+    pub bit_toggles: u64,
+}
+
+/// Activity collected over one interpreted frame, structurally parallel
+/// to the interpreted [`Netlist`]: `buffers[i]` ↔ `net.buffers[i]`,
+/// `stages[i]` ↔ `net.stages[i]`, `sras[i]` ↔ `net.edges[i]`.
+#[derive(Clone, Debug, Default)]
+pub struct ActivityTrace {
+    /// Clock edges of the run.
+    pub run_cycles: u64,
+    /// Pixels per frame (the steady-state streaming period).
+    pub frame: u64,
+    /// Per-buffer activity, in netlist buffer order.
+    pub buffers: Vec<BufferActivity>,
+    /// Per-stage activity, in stage order.
+    pub stages: Vec<StageActivity>,
+    /// Per-edge window-register-array activity, in edge order.
+    pub sras: Vec<SraActivity>,
+}
+
+impl ActivityTrace {
+    /// An empty trace shaped for `net`, ready to be filled by
+    /// [`interpret_with_trace`](crate::interpret_with_trace).
+    pub fn for_netlist(net: &Netlist) -> ActivityTrace {
+        ActivityTrace {
+            run_cycles: 0,
+            frame: net.frame,
+            buffers: net
+                .buffers
+                .iter()
+                .map(|b| BufferActivity {
+                    stage: b.stage,
+                    block_reads: vec![0; b.phys_blocks],
+                    block_writes: vec![0; b.phys_blocks],
+                    block_peaks: vec![0; b.phys_blocks],
+                    fifo: b.fifo,
+                    ..BufferActivity::default()
+                })
+                .collect(),
+            stages: vec![StageActivity::default(); net.stages.len()],
+            sras: vec![SraActivity::default(); net.edges.len()],
+        }
+    }
+
+    /// Total gated-off read-port cycles over all buffers.
+    pub fn gated_off_cycles(&self) -> u64 {
+        self.buffers.iter().map(|b| b.gated_off_cycles).sum()
+    }
+
+    /// Total idle (enabled-but-unconsumed) read-port cycles.
+    pub fn idle_read_cycles(&self) -> u64 {
+        self.buffers.iter().map(|b| b.idle_read_cycles).sum()
+    }
+}

@@ -23,7 +23,8 @@
 //! pixel `k` of a stage with start cycle `s` is observed after edge
 //! `s + k` — the cycle-level simulator's convention.
 
-use crate::netlist::{ModuleKind, Netlist};
+use crate::activity::ActivityTrace;
+use crate::netlist::{BufferGate, ModuleKind, Netlist};
 use imagen_ir::Expr;
 use imagen_sim::Image;
 use std::fmt;
@@ -85,6 +86,12 @@ pub struct InterpReport {
     pub sram_reads: u64,
     /// SRAM words written through the line-buffer write ports.
     pub sram_writes: u64,
+    /// Read-port cycles suppressed by the netlist's clock-gating plan,
+    /// summed over all line buffers (0 for ungated netlists). This is
+    /// *measured* by the interpreter cycle by cycle, not derived from
+    /// the plan, so the energy saving the gating pass claims is backed
+    /// by execution.
+    pub gated_off_cycles: u64,
 }
 
 /// Sign-truncates `v` to `bits` bits (identity for `bits >= 64`).
@@ -181,6 +188,63 @@ struct SraState {
 /// [`InterpError`] for structural problems; the interpretation itself
 /// cannot fail (the netlist is a closed system once inputs are bound).
 pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, InterpError> {
+    run(net, inputs, None)
+}
+
+/// Like [`interpret`], but additionally collects an [`ActivityTrace`]:
+/// per-SRAM-bank access counts (merged like the cycle simulator's),
+/// read-port enable duty, register-array shift/toggle totals and stage
+/// enable duty. The returned [`InterpReport`] is identical to the
+/// untraced one — tracing observes the execution, it never changes it
+/// (pinned by test).
+///
+/// # Errors
+///
+/// See [`interpret`].
+pub fn interpret_with_trace(
+    net: &Netlist,
+    inputs: &[Image],
+) -> Result<(InterpReport, ActivityTrace), InterpError> {
+    let mut trace = ActivityTrace::for_netlist(net);
+    let report = run(net, inputs, Some(&mut trace))?;
+    Ok((report, trace))
+}
+
+/// Per-cycle activity scratch, one slot per netlist buffer.
+struct TraceScratch {
+    /// Same-address read dedup for the current cycle: `(block, row, x)`
+    /// — the cycle simulator's merge key.
+    cycle_reads: Vec<Vec<(usize, i64, i64)>>,
+    /// Per-block access counters for the current cycle.
+    cycle_counts: Vec<Vec<(usize, u32)>>,
+    /// Whether any consumer loaded from the buffer this cycle.
+    consumed: Vec<bool>,
+    /// Previous output-register value per stage (toggle counting).
+    prev_out: Vec<i64>,
+}
+
+fn bump(counts: &mut Vec<(usize, u32)>, block: usize) {
+    match counts.iter_mut().find(|(b, _)| *b == block) {
+        Some((_, c)) => *c += 1,
+        None => counts.push((block, 1)),
+    }
+}
+
+/// Toggled bits between two register values at `bits` width.
+fn toggles(old: i64, new: i64, bits: u32) -> u64 {
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    (((old ^ new) as u64) & mask).count_ones() as u64
+}
+
+fn run(
+    net: &Netlist,
+    inputs: &[Image],
+    mut trace: Option<&mut ActivityTrace>,
+) -> Result<InterpReport, InterpError> {
     let geom = net.geometry;
     let (w, h) = (geom.width as i64, geom.height as i64);
     let frame = net.frame as i64;
@@ -215,6 +279,30 @@ pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, Interp
             return Err(InterpError::MissingBuffer { stage: e.producer });
         }
     }
+
+    // Netlist-buffer index per stage and per-buffer gating condition.
+    let mut buf_of_stage: Vec<Option<usize>> = vec![None; net.stages.len()];
+    for (i, b) in net.buffers.iter().enumerate() {
+        buf_of_stage[b.stage] = Some(i);
+    }
+    let gates: Vec<Option<BufferGate>> = (0..net.buffers.len())
+        .map(|i| {
+            net.gating
+                .as_ref()
+                .and_then(|g| g.gate_for(i))
+                .copied()
+                // FIFO chains are dataflow-clocked; the gating pass never
+                // targets them.
+                .filter(|_| !net.buffers[i].fifo)
+        })
+        .collect();
+
+    let mut scratch = trace.as_ref().map(|_| TraceScratch {
+        cycle_reads: vec![Vec::new(); net.buffers.len()],
+        cycle_counts: vec![Vec::new(); net.buffers.len()],
+        consumed: vec![false; net.buffers.len()],
+        prev_out: vec![0; net.stages.len()],
+    });
 
     // Shift-register arrays, one per edge — exactly the register arrays
     // the netlist declares (`sra_cells` sizes both).
@@ -277,6 +365,7 @@ pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, Interp
     let mut computed: Vec<i64> = vec![0; net.stages.len()];
     let mut sram_reads = 0u64;
     let mut sram_writes = 0u64;
+    let mut gated_off_cycles = 0u64;
 
     for t in 0..end {
         // ---- Read phase: window-load paths fill the SRAs, stage
@@ -295,22 +384,69 @@ pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, Interp
                 if e.consumer != s.index {
                     continue;
                 }
+                let bufidx = buf_of_stage[e.producer].expect("checked above");
+                let gated_off = gates[bufidx].is_some_and(|g| !g.enabled_at(t as u64));
                 let sra = &mut sras[eidx];
                 // Shift left one column.
+                let tracing = scratch.is_some();
+                let mut sra_toggles = 0u64;
                 for r in 0..sra.height as usize {
                     let base = r * sra.width as usize;
                     for c in 0..sra.width as usize - 1 {
+                        if tracing {
+                            sra_toggles +=
+                                toggles(sra.data[base + c], sra.data[base + c + 1], pixel);
+                        }
                         sra.data[base + c] = sra.data[base + c + 1];
                     }
                 }
                 let pb = buffers[e.producer].as_ref().expect("checked above");
+                let nb = &net.buffers[bufidx];
                 for j in 0..sra.height {
                     // Clamp-to-edge on the bottom rows: rows past the
                     // frame hold their last written value.
                     let row = (y + sra.lag as i64 + j as i64).min(h - 1);
-                    let slot = (row.rem_euclid(pb.rows as i64) * w + x) as usize;
-                    sra.data[(j * sra.width + sra.width - 1) as usize] = pb.data[slot];
-                    sram_reads += 1;
+                    let cell = (j * sra.width + sra.width - 1) as usize;
+                    let v = if gated_off {
+                        // A gated-off read port supplies no data: a plan
+                        // that gates a live consumer corrupts the output
+                        // and fails the differential suite — semantics
+                        // preservation is checked, not assumed.
+                        0
+                    } else {
+                        let slot = (row.rem_euclid(pb.rows as i64) * w + x) as usize;
+                        sram_reads += 1;
+                        pb.data[slot]
+                    };
+                    if let Some(ts) = scratch.as_mut() {
+                        sra_toggles += toggles(sra.data[cell], v, pixel);
+                        if !gated_off {
+                            ts.consumed[bufidx] = true;
+                            if !nb.fifo {
+                                if let Some(block) =
+                                    nb.block_of(row as u64, x as u32, geom.pixel_bits)
+                                {
+                                    // Reads merge on identical (block,
+                                    // row, column) within one cycle —
+                                    // the cycle simulator's convention.
+                                    let dup = ts.cycle_reads[bufidx]
+                                        .iter()
+                                        .any(|&(bk, r2, x2)| bk == block && r2 == row && x2 == x);
+                                    if !dup {
+                                        ts.cycle_reads[bufidx].push((block, row, x));
+                                        bump(&mut ts.cycle_counts[bufidx], block);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    sra.data[cell] = v;
+                }
+                if let Some(tr) = trace.as_deref_mut() {
+                    let sa = &mut tr.sras[eidx];
+                    sa.shift_cycles += 1;
+                    sa.cell_writes += (sra.height * sra.width) as u64;
+                    sa.bit_toggles += sra_toggles;
                 }
             }
 
@@ -331,6 +467,16 @@ pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, Interp
                     trunc(wide, pixel)
                 }
             };
+            if let (Some(tr), Some(ts)) = (trace.as_deref_mut(), scratch.as_mut()) {
+                let sa = &mut tr.stages[s.index];
+                sa.active_cycles += 1;
+                if s.module.is_some() {
+                    // Compute stages own a clocked output register.
+                    sa.out_reg_writes += 1;
+                    sa.out_reg_toggles += toggles(ts.prev_out[s.index], computed[s.index], pixel);
+                    ts.prev_out[s.index] = computed[s.index];
+                }
+            }
         }
 
         // ---- Write phase: line-buffer write ports and output streams
@@ -349,11 +495,82 @@ pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, Interp
                 let slot = (y.rem_euclid(sb.rows as i64) * w + x) as usize;
                 sb.data[slot] = value;
                 sram_writes += 1;
+                if let (Some(tr), Some(ts)) = (trace.as_deref_mut(), scratch.as_mut()) {
+                    let bufidx = buf_of_stage[s.index].expect("writer owns a buffer");
+                    let nb = &net.buffers[bufidx];
+                    if !nb.fifo {
+                        if let Some(block) = nb.block_of(y as u64, x as u32, geom.pixel_bits) {
+                            tr.buffers[bufidx].block_writes[block] += 1;
+                            bump(&mut ts.cycle_counts[bufidx], block);
+                        }
+                    }
+                }
             }
 
             if s.is_output {
                 if let Some((_, img)) = outputs.iter_mut().find(|(i, _)| *i == s.index) {
                     img.set(x as u32, y as u32, value);
+                }
+            }
+        }
+
+        // ---- End of cycle: gated-off counting, per-block peaks, read
+        // port enable duty.
+        if net.gating.is_some() {
+            for (i, g) in gates.iter().enumerate() {
+                if let Some(g) = g {
+                    if !g.enabled_at(t as u64) {
+                        gated_off_cycles += 1;
+                        if let Some(tr) = trace.as_deref_mut() {
+                            tr.buffers[i].gated_off_cycles += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if let (Some(tr), Some(ts)) = (trace.as_deref_mut(), scratch.as_mut()) {
+            for (i, gate) in gates.iter().enumerate() {
+                for &(block, _, _) in &ts.cycle_reads[i] {
+                    tr.buffers[i].block_reads[block] += 1;
+                }
+                for &(block, count) in &ts.cycle_counts[i] {
+                    if count > tr.buffers[i].block_peaks[block] {
+                        tr.buffers[i].block_peaks[block] = count;
+                    }
+                }
+                ts.cycle_reads[i].clear();
+                ts.cycle_counts[i].clear();
+                let nb = &net.buffers[i];
+                if nb.phys_blocks > 0 && !nb.fifo {
+                    let enabled = gate.is_none_or(|g| g.enabled_at(t as u64));
+                    if enabled {
+                        tr.buffers[i].read_enabled_cycles += 1;
+                        if !ts.consumed[i] {
+                            tr.buffers[i].idle_read_cycles += 1;
+                        }
+                    }
+                }
+                ts.consumed[i] = false;
+            }
+        }
+    }
+
+    if let Some(tr) = trace {
+        tr.run_cycles = end as u64;
+        tr.frame = net.frame;
+        // FIFO chains: one push and one pop per segment per live cycle —
+        // the cycle simulator's synthetic SODA accounting (Sec. 3.1), so
+        // the two counting paths stay comparable on FIFO designs too.
+        for b in tr.buffers.iter_mut() {
+            if b.fifo {
+                for r in b.block_reads.iter_mut() {
+                    *r = net.frame;
+                }
+                for wr in b.block_writes.iter_mut() {
+                    *wr = net.frame;
+                }
+                for p in b.block_peaks.iter_mut() {
+                    *p = 2;
                 }
             }
         }
@@ -368,6 +585,7 @@ pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, Interp
         output_images: outputs,
         sram_reads,
         sram_writes,
+        gated_off_cycles,
     })
 }
 
@@ -551,6 +769,49 @@ mod tests {
             Err(InterpError::GeometryMismatch)
         ));
         let _ = geom;
+    }
+
+    #[test]
+    fn tracing_changes_nothing() {
+        // The activity sink observes; it must not perturb: same pixels,
+        // same latency, same legacy access totals with and without it.
+        let (dag, design, geom) = blur_plan();
+        let input = Image::from_fn(geom.width, geom.height, |x, y| {
+            ((x * 11 + y * 5) % 89) as i64
+        });
+        let net = build_netlist(&dag, &design, &BitWidths::default());
+        let plain = interpret(&net, std::slice::from_ref(&input)).unwrap();
+        let (traced, trace) = interpret_with_trace(&net, std::slice::from_ref(&input)).unwrap();
+
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.latency, traced.latency);
+        assert_eq!(plain.sram_reads, traced.sram_reads);
+        assert_eq!(plain.sram_writes, traced.sram_writes);
+        assert_eq!(plain.gated_off_cycles, 0);
+        assert_eq!(traced.gated_off_cycles, 0);
+        assert_eq!(plain.output_images.len(), traced.output_images.len());
+        for ((a, ia), (b, ib)) in plain.output_images.iter().zip(&traced.output_images) {
+            assert_eq!(a, b);
+            assert_eq!(ia, ib);
+        }
+
+        // Trace shape and sanity: the input stage's buffer is written
+        // once per pixel, the consumer is active one frame, and the
+        // always-on read port idles before the consumer starts.
+        assert_eq!(trace.run_cycles, plain.cycles);
+        assert_eq!(trace.frame, net.frame);
+        assert_eq!(trace.buffers[0].writes(), net.frame);
+        assert!(trace.buffers[0].reads() > 0);
+        assert_eq!(trace.stages[1].active_cycles, net.frame);
+        assert_eq!(trace.stages[1].out_reg_writes, net.frame);
+        assert!(trace.sras[0].shift_cycles == net.frame);
+        assert!(trace.sras[0].bit_toggles > 0);
+        assert_eq!(trace.buffers[0].read_enabled_cycles, plain.cycles);
+        assert!(
+            trace.buffers[0].idle_read_cycles > 0,
+            "the ungated read port idles before the consumer window"
+        );
+        assert_eq!(trace.gated_off_cycles(), 0);
     }
 
     #[test]

@@ -4,10 +4,11 @@
 //! Fig. 5), built around a typed structural netlist IR:
 //!
 //! ```text
-//! Design ──build_netlist()──▶ Netlist ──┬─ emit_verilog()     → .v text
-//!                                       ├─ interpret()        → executed frames
-//!                                       ├─ verify_structure() → arity/width/driver checks
-//!                                       └─ report_resources() → SRAM/FF/operator inventory
+//! Design ──build_netlist()──▶ Netlist ──┬─ emit_verilog()          → .v text
+//!                                       ├─ interpret()             → executed frames
+//!                                       ├─ interpret_with_trace()  → frames + ActivityTrace
+//!                                       ├─ verify_structure()      → arity/width/driver checks
+//!                                       └─ report_resources()      → SRAM/FF/operator inventory
 //! ```
 //!
 //! * [`build_netlist`] elaborates a scheduled [`imagen_mem::Design`] into
@@ -21,6 +22,11 @@
 //!   verification loop no synthesis tool in this environment could close:
 //!   the emitted design itself is run and checked bit-exact against the
 //!   golden executor and the cycle-level simulator;
+//! * [`interpret_with_trace`] additionally collects an [`ActivityTrace`]
+//!   (per-SRAM-bank access counts, register toggle totals, enable duty
+//!   cycles) that `imagen-power` prices into measured energy — and the
+//!   interpreter honors an attached clock-[`GatingPlan`], counting the
+//!   gated-off read-port cycles;
 //! * [`verify_structure`] checks the netlist structurally (port
 //!   arity/width of every instantiation, driver/undriven-net analysis);
 //! * [`report_resources`] inventories the instantiated hardware for
@@ -34,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod activity;
 mod emit;
 mod interp;
 mod netlist;
@@ -41,11 +48,12 @@ mod resources;
 mod testbench;
 mod verify;
 
+pub use activity::{ActivityTrace, BufferActivity, SraActivity, StageActivity};
 pub use emit::emit_verilog;
-pub use interp::{interpret, InterpError, InterpReport};
+pub use interp::{interpret, interpret_with_trace, InterpError, InterpReport};
 pub use netlist::{
-    build_netlist, BitWidths, Conn, Dir, Instance, Item, LineBufPayload, Module, ModuleKind, Net,
-    NetBuffer, NetEdge, NetStage, Netlist, StagePayload,
+    build_netlist, BitWidths, BufferGate, Conn, Dir, GatingPlan, Instance, Item, LineBufPayload,
+    Module, ModuleKind, Net, NetBuffer, NetEdge, NetStage, Netlist, StagePayload,
 };
 pub use resources::{report_resources, report_resources_for, ResourceReport};
 pub use testbench::{generate_testbench, TestVectors};

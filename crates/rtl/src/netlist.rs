@@ -257,14 +257,87 @@ pub struct NetBuffer {
     pub storage_rows: u32,
     /// Number of SRAM blocks instantiated.
     pub blocks: usize,
+    /// SRAM blocks the plan actually allocated (`0` for pure-DFF
+    /// buffers, where [`NetBuffer::blocks`] still instantiates one for
+    /// the pinned module shape).
+    pub phys_blocks: usize,
     /// Ports per block.
     pub ports: u32,
     /// Rows sharing one block (the coalescing factor `g`).
     pub rows_per_block: u32,
+    /// Blocks one row spans when rows exceed block capacity.
+    pub blocks_per_row: u32,
+    /// Allocated capacity of one block, bits (the bank-select segment
+    /// size when rows split across blocks).
+    pub block_capacity_bits: u64,
+    /// Whether the plan allocated FIFO segments (SODA-style) rather than
+    /// rotating line stores.
+    pub fifo: bool,
     /// Words per SRAM macro (power of two).
     pub depth: u64,
     /// Address width of the macros.
     pub aw: u32,
+}
+
+impl NetBuffer {
+    /// Maps an absolute image row (+ column for split rows) to the index
+    /// of the physical block serving it — the netlist mirror of
+    /// `BufferPlan::block_of`, pinned equal by test so the interpreter's
+    /// activity accounting and the cycle simulator's agree on bank
+    /// attribution.
+    ///
+    /// Returns `None` for buffers with no allocated SRAM blocks.
+    pub fn block_of(&self, abs_row: u64, x: u32, pixel_bits: u32) -> Option<usize> {
+        if self.phys_blocks == 0 || self.phys_rows == 0 {
+            return None;
+        }
+        let phys_row = (abs_row % self.phys_rows as u64) as u32;
+        let idx = if self.blocks_per_row > 1 {
+            let seg = (x as u64 * pixel_bits as u64) / self.block_capacity_bits.max(1);
+            phys_row as u64 * self.blocks_per_row as u64 + seg
+        } else {
+            (phys_row / self.rows_per_block.max(1)) as u64
+        };
+        Some((idx as usize).min(self.phys_blocks - 1))
+    }
+}
+
+/// The temporal clock-gating condition of one line buffer: its read port
+/// is enabled only while some consumer's ILP window is live, instead of
+/// the ungated `ren = 1'b1`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BufferGate {
+    /// Index into [`Netlist::buffers`].
+    pub buffer: usize,
+    /// First cycle (inclusive) the read port is enabled.
+    pub read_start: u64,
+    /// First cycle (exclusive) past the last enabled read.
+    pub read_end: u64,
+}
+
+impl BufferGate {
+    /// Whether the gated read port is enabled at cycle `t`.
+    pub fn enabled_at(&self, t: u64) -> bool {
+        t >= self.read_start && t < self.read_end
+    }
+}
+
+/// A clock-gating plan attached to a netlist by
+/// `imagen_power::gate_clocks`: per-buffer read-enable windows derived
+/// from the ILP-scheduled stage enables. `None` (the builder's default)
+/// is the ungated design, whose emission is pinned byte-identical to the
+/// seed emitter.
+#[derive(Clone, Debug, Default)]
+pub struct GatingPlan {
+    /// One gate per gated buffer, ascending by buffer index.
+    pub gates: Vec<BufferGate>,
+}
+
+impl GatingPlan {
+    /// The gate covering `buffer`, if any.
+    pub fn gate_for(&self, buffer: usize) -> Option<&BufferGate> {
+        self.gates.iter().find(|g| g.buffer == buffer)
+    }
 }
 
 /// A fully elaborated accelerator netlist.
@@ -295,12 +368,20 @@ pub struct Netlist {
     pub frame: u64,
     /// Cycle at which the last output pixel has streamed out.
     pub done_cycle: u64,
+    /// Clock-gating plan, if the netlist has been through
+    /// `imagen_power::gate_clocks` (`None` from [`build_netlist`]).
+    pub gating: Option<GatingPlan>,
 }
 
 impl Netlist {
     /// The top-level module.
     pub fn top_module(&self) -> &Module {
         &self.modules[self.top]
+    }
+
+    /// Whether a clock-gating plan is attached.
+    pub fn is_gated(&self) -> bool {
+        self.gating.is_some()
     }
 
     /// Looks up a module by name.
@@ -690,8 +771,15 @@ pub fn build_netlist(dag: &Dag, design: &Design, widths: &BitWidths) -> Netlist 
             logical_rows: plan.logical_rows,
             storage_rows: plan.phys_rows.max(plan.logical_rows).max(1),
             blocks: plan.blocks.len().max(1),
+            phys_blocks: plan.blocks.len(),
             ports: plan.blocks.first().map(|b| b.ports).unwrap_or(2),
             rows_per_block: plan.rows_per_block,
+            blocks_per_row: plan.blocks_per_row,
+            block_capacity_bits: plan.blocks.first().map(|b| b.capacity_bits).unwrap_or(0),
+            fifo: plan
+                .blocks
+                .iter()
+                .any(|b| b.role == imagen_mem::BlockRole::FifoSegment),
             depth,
             aw: depth.trailing_zeros().max(1),
         };
@@ -839,6 +927,7 @@ pub fn build_netlist(dag: &Dag, design: &Design, widths: &BitWidths) -> Netlist 
         top,
         frame,
         done_cycle,
+        gating: None,
     }
 }
 
@@ -906,6 +995,94 @@ mod tests {
             .filter(|i| matches!(i, Item::WindowLoad { .. }))
             .count();
         assert_eq!(loads, net.edges.len());
+    }
+
+    #[test]
+    fn netbuffer_block_mapping_matches_plan() {
+        // The netlist mirror of `BufferPlan::block_of` must agree with
+        // the plan's own mapping — the interpreter's activity accounting
+        // and the cycle simulator attribute accesses to banks through
+        // these two paths.
+        let geom = ImageGeometry {
+            width: 40,
+            height: 30,
+            pixel_bits: 16,
+        };
+        for alg in imagen_algos::Algorithm::all() {
+            for coalesce in [false, true] {
+                let mut spec = MemorySpec::new(
+                    MemBackend::Asic {
+                        block_bits: 2 * geom.row_bits(),
+                    },
+                    2,
+                );
+                if coalesce {
+                    spec = spec.with_coalescing();
+                }
+                let p = plan_design(
+                    &alg.build(),
+                    &geom,
+                    &spec,
+                    ScheduleOptions::default(),
+                    DesignStyle::Ours,
+                )
+                .unwrap();
+                let net = build_netlist(&p.dag, &p.design, &BitWidths::default());
+                for (bp, nb) in p.design.buffers.iter().zip(&net.buffers) {
+                    assert_eq!(bp.stage, nb.stage);
+                    for row in 0..2 * geom.height as u64 {
+                        for x in [0, geom.width / 2, geom.width - 1] {
+                            assert_eq!(
+                                nb.block_of(row, x, geom.pixel_bits),
+                                bp.block_of(row, x, &geom),
+                                "{} coalesce={coalesce} stage={} row={row} x={x}",
+                                alg.name(),
+                                bp.stage
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn netbuffer_block_mapping_matches_plan_on_split_rows() {
+        // Rows wider than a block span several macros (the 1080p
+        // regime); the column-segment decode must agree too.
+        let mut dag = Dag::new("split");
+        let k0 = dag.add_input("K0");
+        let k1 = dag
+            .add_stage("K1", &[k0], Expr::sum((0..3).map(|i| Expr::tap(0, 0, i))))
+            .unwrap();
+        dag.mark_output(k1);
+        let geom = ImageGeometry {
+            width: 120,
+            height: 20,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 1024 }, 2);
+        let p = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        let net = build_netlist(&p.dag, &p.design, &BitWidths::default());
+        let bp = &p.design.buffers[0];
+        let nb = &net.buffers[0];
+        assert!(nb.blocks_per_row > 1, "rows must split for this test");
+        for row in 0..2 * geom.height as u64 {
+            for x in 0..geom.width {
+                assert_eq!(
+                    nb.block_of(row, x, geom.pixel_bits),
+                    bp.block_of(row, x, &geom),
+                    "row={row} x={x}"
+                );
+            }
+        }
     }
 
     #[test]

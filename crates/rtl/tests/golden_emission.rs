@@ -1,13 +1,18 @@
-//! Golden-file pin for the emitter refactor: the netlist-based renderer
-//! must reproduce the pre-refactor string emitter's output byte for byte
-//! at default bit widths. The `.v` files under `crates/rtl/golden/` were
-//! written by the seed emitter (before the netlist IR existed) for two
-//! seed pipelines at a fixed geometry/memory configuration; regenerating
-//! them is a deliberate act, not a test-suite side effect.
+//! Golden-file pin for the emitter: the netlist-based renderer must
+//! reproduce the pinned output byte for byte at default bit widths.
+//!
+//! * `unsharp_m_40x30.v` / `canny_s_40x30.v` were written by the *seed*
+//!   emitter (before the netlist IR existed) — the refactor pin;
+//! * `denoise_m_40x30.v` and its clock-gated variant
+//!   `denoise_m_40x30_gated.v` anchor the gating emitter path
+//!   (`imagen_power::gate_clocks` → `emit_verilog`) at the byte level.
+//!
+//! Regenerating any golden is a deliberate act, not a test-suite side
+//! effect.
 
 use imagen_algos::Algorithm;
 use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
-use imagen_rtl::{build_netlist, emit_verilog, verify_structure, BitWidths};
+use imagen_rtl::{build_netlist, emit_verilog, verify_structure, BitWidths, Netlist};
 use imagen_schedule::{plan_design, ScheduleOptions};
 
 fn golden_config() -> (ImageGeometry, MemorySpec) {
@@ -25,7 +30,7 @@ fn golden_config() -> (ImageGeometry, MemorySpec) {
     (geom, spec)
 }
 
-fn check(alg: Algorithm, golden: &str) {
+fn golden_netlist(alg: Algorithm) -> Netlist {
     let (geom, spec) = golden_config();
     let plan = plan_design(
         &alg.build(),
@@ -35,12 +40,15 @@ fn check(alg: Algorithm, golden: &str) {
         DesignStyle::Ours,
     )
     .unwrap();
-    let net = build_netlist(&plan.dag, &plan.design, &BitWidths::default());
-    verify_structure(&net).unwrap();
-    let emitted = emit_verilog(&net);
+    build_netlist(&plan.dag, &plan.design, &BitWidths::default())
+}
+
+fn check_net(alg: Algorithm, net: &Netlist, golden: &str) {
+    verify_structure(net).unwrap();
+    let emitted = emit_verilog(net);
     assert!(
         emitted == golden,
-        "{} emission diverged from the pre-refactor golden (first differing line: {:?})",
+        "{} emission diverged from the pinned golden (first differing line: {:?})",
         alg.name(),
         emitted
             .lines()
@@ -49,6 +57,10 @@ fn check(alg: Algorithm, golden: &str) {
             .find(|(_, (a, b))| a != b)
             .map(|(i, (a, b))| format!("line {}: {a:?} vs golden {b:?}", i + 1))
     );
+}
+
+fn check(alg: Algorithm, golden: &str) {
+    check_net(alg, &golden_netlist(alg), golden);
 }
 
 #[test]
@@ -62,4 +74,32 @@ fn unsharp_m_emission_is_byte_identical() {
 #[test]
 fn canny_s_emission_is_byte_identical() {
     check(Algorithm::CannyS, include_str!("../golden/canny_s_40x30.v"));
+}
+
+#[test]
+fn denoise_m_emission_is_byte_identical() {
+    check(
+        Algorithm::DenoiseM,
+        include_str!("../golden/denoise_m_40x30.v"),
+    );
+}
+
+#[test]
+fn denoise_m_gated_emission_is_byte_identical() {
+    // The clock-gating emitter path: the same design through the real
+    // gate_clocks pass must render the pinned gated Verilog — the gate
+    // wires, the rewritten .ren connections, the header marker — byte
+    // for byte, while the ungated emission stays untouched.
+    let net = golden_netlist(Algorithm::DenoiseM);
+    let gated = imagen_power::gate_clocks(&net);
+    check_net(
+        Algorithm::DenoiseM,
+        &gated,
+        include_str!("../golden/denoise_m_40x30_gated.v"),
+    );
+    // Gating a copy must not perturb the original netlist's emission.
+    check(
+        Algorithm::DenoiseM,
+        include_str!("../golden/denoise_m_40x30.v"),
+    );
 }

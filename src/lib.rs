@@ -22,6 +22,7 @@
 //! | [`mem`] | `imagen-mem` | memory specs, cost models, `Design` |
 //! | [`sim`] | `imagen-sim` | golden executor + cycle-level simulator |
 //! | [`rtl`] | `imagen-rtl` | Verilog generation |
+//! | [`power`] | `imagen-power` | activity-based energy measurement + clock gating |
 //! | [`baselines`] | `imagen-baselines` | FixyNN, SODA, Darkroom |
 //! | [`algos`] | `imagen-algos` | the Tbl. 3 evaluation workloads |
 //! | [`dse`] | `imagen-dse` | design-space exploration |
@@ -56,6 +57,7 @@ pub use imagen_dsl as dsl;
 pub use imagen_ilp as ilp;
 pub use imagen_ir as ir;
 pub use imagen_mem as mem;
+pub use imagen_power as power;
 pub use imagen_rtl as rtl;
 pub use imagen_schedule as schedule;
 pub use imagen_sim as sim;
