@@ -25,4 +25,4 @@ mod programs;
 mod synthetic;
 
 pub use programs::Algorithm;
-pub use synthetic::{sample_pattern, synthetic_pipeline, TestPattern};
+pub use synthetic::{noise_bits, sample_pattern, synthetic_pipeline, TestPattern};

@@ -303,6 +303,10 @@ mod tests {
 
     #[test]
     fn sources_round_trip_through_printer() {
+        // `to_dsl` → `compile` must reproduce the *identical* pipeline —
+        // not just the same shape — for every Tbl. 3 program: equal
+        // structural fingerprints mean equal cache keys, equal schedules
+        // and byte-equal RTL for any geometry and memory spec.
         for alg in Algorithm::all() {
             let dag = alg.build();
             let printed = imagen_dsl::to_dsl(&dag);
@@ -310,6 +314,15 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} reprint failed: {e}", alg.name()));
             assert_eq!(dag.num_stages(), dag2.num_stages());
             assert_eq!(dag.num_edges(), dag2.num_edges());
+            assert_eq!(
+                dag.fingerprint(),
+                dag2.fingerprint(),
+                "{}: printed program is not the same pipeline",
+                alg.name()
+            );
+            // And printing is a fixpoint: a second round trip prints the
+            // same text.
+            assert_eq!(printed, imagen_dsl::to_dsl(&dag2), "{}", alg.name());
         }
     }
 

@@ -93,16 +93,7 @@ pub fn sample_pattern(pattern: TestPattern, seed: u64, x: u32, y: u32) -> i64 {
                 30
             }
         }
-        TestPattern::Noise => {
-            // SplitMix64-style stateless hash of (x, y, seed).
-            let mut z = seed
-                .wrapping_add((x as u64) << 32)
-                .wrapping_add(y as u64)
-                .wrapping_add(0x9E37_79B9_7F4A_7C15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            ((z ^ (z >> 31)) % 256) as i64
-        }
+        TestPattern::Noise => noise_bits(seed, x, y, 8),
         TestPattern::Bars => {
             let base = if (y / 8).is_multiple_of(2) { 200 } else { 40 };
             let spike = sample_pattern(TestPattern::Noise, seed ^ 0xABCD, x, y);
@@ -115,9 +106,41 @@ pub fn sample_pattern(pattern: TestPattern, seed: u64, x: u32, y: u32) -> i64 {
     }
 }
 
+/// Stateless `bits`-bit pseudo-random sample at `(x, y)`: the SplitMix64
+/// hash behind [`TestPattern::Noise`] (which is this at 8 bits) with a
+/// configurable pixel width. The one deterministic-noise convention
+/// shared by the simulator inputs and the `imagen sim`/`energy` CLI
+/// frames.
+pub fn noise_bits(seed: u64, x: u32, y: u32, bits: u32) -> i64 {
+    let mut z = seed
+        .wrapping_add((x as u64) << 32)
+        .wrapping_add(y as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let z = z ^ (z >> 31);
+    let mask = if bits >= 63 {
+        i64::MAX as u64
+    } else {
+        (1u64 << bits) - 1
+    };
+    (z & mask) as i64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn noise_bits_is_the_noise_pattern_at_8_bits() {
+        for (x, y) in [(0, 0), (3, 7), (100, 41)] {
+            assert_eq!(
+                noise_bits(42, x, y, 8),
+                sample_pattern(TestPattern::Noise, 42, x, y)
+            );
+            assert!(noise_bits(42, x, y, 4) < 16);
+        }
+    }
 
     #[test]
     fn synthetic_sizes_and_mc_fraction() {

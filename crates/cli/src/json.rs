@@ -1,0 +1,419 @@
+//! Minimal JSON for the batch compile server — parser and writer over
+//! `std` only (the container vendors no serde).
+//!
+//! Objects preserve insertion order so emission is deterministic: the
+//! same request always yields byte-identical response text, which the
+//! serve tests rely on when comparing a threaded run against a
+//! sequential one.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer
+    /// that `f64` represents *exactly* (≤ 2^53). Larger values already
+    /// lost precision in parsing, so accepting them would silently serve
+    /// a different number than the client sent — they are rejected like
+    /// any other type error.
+    pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_EXACT => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value on one line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builder for response objects (ordered, chainable).
+#[derive(Default)]
+pub struct ObjBuilder(Vec<(String, Json)>);
+
+impl ObjBuilder {
+    /// Empty object builder.
+    pub fn new() -> ObjBuilder {
+        ObjBuilder::default()
+    }
+
+    /// Appends a member.
+    pub fn push(mut self, key: &str, value: Json) -> ObjBuilder {
+        self.0.push((key.to_string(), value));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> Json {
+        Json::Obj(self.0)
+    }
+}
+
+/// Deepest accepted array/object nesting. The serve protocol needs ~2
+/// levels; the bound exists so a hostile `[[[[...` request line exhausts
+/// a counter, not the worker thread's stack.
+const MAX_DEPTH: usize = 64;
+
+/// Parses one JSON document, requiring it to span the whole input.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        chars: src.chars().collect(),
+        at: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.chars.len() {
+        return Err(format!("trailing content at offset {}", p.at));
+    }
+    Ok(v)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    at: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.at).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.at += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected `{want}`, found {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for want in word.chars() {
+            self.expect(want)?;
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.depth += 1;
+        let v = self.value_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn value_inner(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => self.keyword("null", Json::Null),
+            Some('t') => self.keyword("true", Json::Bool(true)),
+            Some('f') => self.keyword("false", Json::Bool(false)),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some('[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.bump();
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(',') => {}
+                        Some(']') => return Ok(Json::Arr(items)),
+                        other => return Err(format!("expected `,` or `]`, found {other:?}")),
+                    }
+                }
+            }
+            Some('{') => {
+                self.bump();
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    members.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(',') => {}
+                        Some('}') => return Ok(Json::Obj(members)),
+                        other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+                    }
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        // Surrogate pairs are not needed by the protocol;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.peek() == Some('.') {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text: String = self.chars[start..self.at].iter().collect();
+        // Integer literals must be exactly representable in the f64
+        // value model (|n| <= 2^53): beyond that, parsing would silently
+        // round and the server would act on a different number than the
+        // client sent.
+        if !text.contains(['.', 'e', 'E']) {
+            const MAX_EXACT: i128 = 1 << 53;
+            match text.parse::<i128>() {
+                Ok(n) if n.abs() <= MAX_EXACT => {}
+                _ => {
+                    return Err(format!(
+                        "integer `{text}` is outside the exactly-representable range"
+                    ))
+                }
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let src = r#"{"id":7,"cmd":"compile","source":"input a;\noutput b = im(x,y) a(x,y) end","flags":[true,false,null],"f":1.5}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("cmd").unwrap().as_str(), Some("compile"));
+        assert!(v.get("source").unwrap().as_str().unwrap().contains('\n'));
+        assert_eq!(parse(&v.to_line()).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        let line = v.to_line();
+        assert_eq!(parse(&line).unwrap(), v);
+        assert!(!line.contains('\n'), "one physical line");
+    }
+
+    #[test]
+    fn integers_emit_without_fraction() {
+        assert_eq!(Json::Num(42.0).to_line(), "42");
+        assert_eq!(Json::Num(1.25).to_line(), "1.25");
+        assert_eq!(Json::Num(f64::NAN).to_line(), "null");
+    }
+
+    #[test]
+    fn inexact_integers_rejected() {
+        assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+        // 2^53 + 1 and 2^64 are not exactly representable as f64: the
+        // parser rejects them rather than silently rounding/saturating.
+        assert!(parse("9007199254740993").is_err());
+        assert!(parse("18446744073709551616").is_err());
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        // Non-integer syntax still parses as plain f64.
+        assert!(parse("1.5e300").is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        // A 100k-bracket tower must exhaust the depth counter, not the
+        // worker thread's stack.
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).is_err());
+        let deep_obj = "{\"a\":".repeat(100_000);
+        assert!(parse(&deep_obj).is_err());
+        // Reasonable nesting is untouched.
+        let ok = format!("{}1{}", "[".repeat(32), "]".repeat(32));
+        assert!(parse(&ok).is_ok());
+    }
+}

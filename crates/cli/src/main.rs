@@ -1,0 +1,375 @@
+//! `imagen` — the command-line front door to the ImaGen accelerator
+//! generator.
+//!
+//! The library crates compile *any* Darkroom-style pipeline, but until
+//! this binary existed only the baked-in Tbl. 3 workloads were reachable
+//! (through the experiment binaries). `imagen` exposes the whole stack
+//! on user-authored `.imagen` source files:
+//!
+//! ```text
+//! imagen compile <file>   DAG stats, schedule, memory plan, resources, Verilog
+//! imagen dse <file>       design-space exploration with a Pareto table
+//! imagen sim <file>       golden-model vs netlist-interpreter differential
+//! imagen energy <file>    analytic vs activity-measured power
+//! imagen serve            JSONL batch compile server (stdin/stdout or TCP)
+//! ```
+//!
+//! Everything is `std`-only; concurrency is `std::thread::scope`, not an
+//! async runtime.
+
+mod json;
+mod report;
+mod serve;
+
+use imagen_mem::{ImageGeometry, MemBackend, MemorySpec};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+imagen — memory- and power-efficient image processing accelerator generator
+
+USAGE:
+    imagen <COMMAND> [OPTIONS]
+
+COMMANDS:
+    compile <file.imagen>   compile a pipeline: stats, schedule, memory plan,
+                            netlist resources (and Verilog via --emit / -o)
+    dse <file.imagen>       explore per-stage DP/DPLC memory configurations
+    sim <file.imagen>       differential-test the generated netlist against
+                            the golden software model on a seeded frame
+    energy <file.imagen>    measure activity-based power vs the analytic model
+    serve                   answer JSONL compile/dse requests in batch over
+                            stdin/stdout (or TCP with --tcp), fanned over a
+                            worker pool sharing one compile cache
+    help                    print this text
+
+COMMON OPTIONS:
+    --width N        frame width in pixels            [default: 64]
+    --height N       frame height in pixels           [default: 48]
+    --pixel-bits N   bits per pixel                   [default: 16]
+    --block-bits N   ASIC SRAM macro capacity, bits   [default: 32768]
+    --fpga           target 36 Kbit FPGA BRAMs instead of ASIC macros
+    --ports N        ports per memory block           [default: 2]
+    --coalesce       enable line coalescing on every line buffer
+    --name NAME      pipeline name                    [default: file stem]
+
+COMPILE OPTIONS:
+    --emit           print the generated Verilog to stdout
+    -o FILE          write the generated Verilog to FILE
+    --timing         print compile-phase timings (non-deterministic output)
+
+DSE OPTIONS:
+    --strategy S     exhaustive | greedy | random     [default: exhaustive]
+    --samples N      random-strategy point budget     [default: 64]
+    --seed N         random-strategy seed             [default: 0]
+    --threads N      worker threads (0 = all cores)   [default: 0]
+
+SIM / ENERGY OPTIONS:
+    --seed N         seed of the generated input frame [default: 0]
+    --input-bits N   bits of input noise               [default: 4, or 8 with --wide]
+    --wide           interpret at 64/64 datapath widths (sim only)
+
+SERVE OPTIONS:
+    --threads N      worker threads (0 = all cores)   [default: 0]
+    --tcp ADDR       listen on ADDR (e.g. 127.0.0.1:7878) instead of stdin
+
+The JSONL protocol served by `imagen serve` is documented in README.md
+(\"Using the CLI\").
+";
+
+/// Everything parsed from the command line.
+pub struct Options {
+    pub file: Option<String>,
+    pub name: Option<String>,
+    pub width: u32,
+    pub height: u32,
+    pub pixel_bits: u32,
+    pub block_bits: u64,
+    pub fpga: bool,
+    pub ports: u32,
+    pub coalesce: bool,
+    pub emit: bool,
+    pub output: Option<String>,
+    pub timing: bool,
+    pub strategy: String,
+    pub samples: usize,
+    pub seed: u64,
+    pub threads: usize,
+    pub input_bits: Option<u32>,
+    pub wide: bool,
+    pub tcp: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            file: None,
+            name: None,
+            width: 64,
+            height: 48,
+            pixel_bits: 16,
+            block_bits: 32768,
+            fpga: false,
+            ports: 2,
+            coalesce: false,
+            emit: false,
+            output: None,
+            timing: false,
+            strategy: "exhaustive".into(),
+            samples: 64,
+            // One seed flag serves both the random DSE strategy and the
+            // sim/energy input frames; 0 matches the serve protocol's
+            // default so CLI and server runs are comparable.
+            seed: 0,
+            threads: 0,
+            input_bits: None,
+            wide: false,
+            tcp: None,
+        }
+    }
+}
+
+impl Options {
+    pub fn geometry(&self) -> ImageGeometry {
+        ImageGeometry {
+            width: self.width,
+            height: self.height,
+            pixel_bits: self.pixel_bits,
+        }
+    }
+
+    pub fn backend(&self) -> MemBackend {
+        if self.fpga {
+            MemBackend::Fpga
+        } else {
+            MemBackend::Asic {
+                block_bits: self.block_bits,
+            }
+        }
+    }
+
+    pub fn memory_spec(&self) -> MemorySpec {
+        let spec = MemorySpec::new(self.backend(), self.ports);
+        if self.coalesce {
+            spec.with_coalescing()
+        } else {
+            spec
+        }
+    }
+}
+
+/// Largest frame (pixels) the *frame-allocating* paths accept: `sim` and
+/// `energy` materialize whole images per stage, and the batch server must
+/// not let one request allocate unbounded buffers. Pure compilation
+/// (`compile`/`dse` from the CLI) allocates no frames and is not capped.
+pub const MAX_FRAME_PIXELS: u64 = 1 << 24;
+
+/// Validates a requested geometry. Zero dimensions panic deep in the
+/// planner, so they are rejected at the door.
+pub fn validate_geometry(geom: &ImageGeometry) -> Result<(), String> {
+    if geom.width == 0 || geom.height == 0 {
+        return Err(format!("geometry {geom}: frame dimensions must be nonzero"));
+    }
+    if geom.pixel_bits == 0 || geom.pixel_bits > 64 {
+        return Err(format!("geometry {geom}: pixel bits must be in 1..=64"));
+    }
+    Ok(())
+}
+
+/// Enforces [`MAX_FRAME_PIXELS`] — called wherever frames actually get
+/// allocated (`sim`, `energy`, every serve request).
+pub fn validate_frame_budget(geom: &ImageGeometry) -> Result<(), String> {
+    if geom.pixels() > MAX_FRAME_PIXELS {
+        return Err(format!(
+            "geometry {geom}: {} pixels exceed the supported {MAX_FRAME_PIXELS}",
+            geom.pixels()
+        ));
+    }
+    Ok(())
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    let mut opts = Options::default();
+    let cmd = args
+        .first()
+        .cloned()
+        .ok_or_else(|| "missing command".to_string())?;
+    let mut it = args[1..].iter();
+    let mut positional: Vec<String> = Vec::new();
+
+    fn value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> Result<&'a String, String> {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn num<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag}: `{raw}` is not a valid value"))
+    }
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--width" => opts.width = num(arg, value(arg, &mut it)?)?,
+            "--height" => opts.height = num(arg, value(arg, &mut it)?)?,
+            "--pixel-bits" => opts.pixel_bits = num(arg, value(arg, &mut it)?)?,
+            "--block-bits" => opts.block_bits = num(arg, value(arg, &mut it)?)?,
+            "--fpga" => opts.fpga = true,
+            "--ports" => opts.ports = num(arg, value(arg, &mut it)?)?,
+            "--coalesce" => opts.coalesce = true,
+            "--name" => opts.name = Some(value(arg, &mut it)?.clone()),
+            "--emit" => opts.emit = true,
+            "-o" | "--output" => opts.output = Some(value(arg, &mut it)?.clone()),
+            "--timing" => opts.timing = true,
+            "--strategy" => opts.strategy = value(arg, &mut it)?.clone(),
+            "--samples" => opts.samples = num(arg, value(arg, &mut it)?)?,
+            "--seed" => opts.seed = num(arg, value(arg, &mut it)?)?,
+            "--threads" => opts.threads = num(arg, value(arg, &mut it)?)?,
+            "--input-bits" => opts.input_bits = Some(num(arg, value(arg, &mut it)?)?),
+            "--wide" => opts.wide = true,
+            "--tcp" => opts.tcp = Some(value(arg, &mut it)?.clone()),
+            "-h" | "--help" => return Ok(("help".into(), opts)),
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    if positional.len() > 1 {
+        return Err(format!("unexpected argument `{}`", positional[1]));
+    }
+    opts.file = positional.into_iter().next();
+    if opts.ports == 0 {
+        return Err("--ports must be at least 1".into());
+    }
+    Ok((cmd, opts))
+}
+
+/// Loads and front-end-compiles the pipeline named by `opts`, rendering
+/// DSL errors with their source span.
+fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
+    let path = opts
+        .file
+        .as_deref()
+        .ok_or("missing <file.imagen> argument")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = opts.name.clone().unwrap_or_else(|| {
+        std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "pipeline".into())
+    });
+    let dag =
+        imagen_dsl::compile(&name, &src).map_err(|e| report::render_dsl_error(path, &src, &e))?;
+    Ok((name, dag))
+}
+
+fn dispatch(cmd: &str, opts: &Options) -> Result<(), String> {
+    match cmd {
+        "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        "compile" => {
+            let (_, dag) = load_pipeline(opts)?;
+            validate_geometry(&opts.geometry())?;
+            report::run_compile(&dag, opts)
+        }
+        "dse" => {
+            let (_, dag) = load_pipeline(opts)?;
+            validate_geometry(&opts.geometry())?;
+            report::run_dse(&dag, opts)
+        }
+        "sim" => {
+            let (_, dag) = load_pipeline(opts)?;
+            validate_geometry(&opts.geometry())?;
+            validate_frame_budget(&opts.geometry())?;
+            report::run_sim(&dag, opts)
+        }
+        "energy" => {
+            let (_, dag) = load_pipeline(opts)?;
+            validate_geometry(&opts.geometry())?;
+            validate_frame_budget(&opts.geometry())?;
+            report::run_energy(&dag, opts)
+        }
+        "serve" => serve::run(opts),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, opts) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&cmd, &opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // Span-rendered errors already end in a newline-formatted block.
+            if e.starts_with("error:") {
+                eprintln!("{e}");
+            } else {
+                eprintln!("error: {e}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_defaults_and_flags() {
+        let (cmd, o) = parse_args(&[
+            "compile".into(),
+            "a.imagen".into(),
+            "--width".into(),
+            "128".into(),
+            "--coalesce".into(),
+        ])
+        .unwrap();
+        assert_eq!(cmd, "compile");
+        assert_eq!(o.file.as_deref(), Some("a.imagen"));
+        assert_eq!(o.width, 128);
+        assert_eq!(o.height, 48);
+        assert!(o.coalesce);
+        assert!(parse_args(&["compile".into(), "--frob".into()]).is_err());
+        assert!(parse_args(&["compile".into(), "--width".into()]).is_err());
+        assert!(parse_args(&["compile".into(), "--width".into(), "x".into()]).is_err());
+    }
+
+    #[test]
+    fn geometry_guard() {
+        let ok = ImageGeometry {
+            width: 64,
+            height: 48,
+            pixel_bits: 16,
+        };
+        assert!(validate_geometry(&ok).is_ok());
+        for bad in [
+            ImageGeometry { width: 0, ..ok },
+            ImageGeometry { height: 0, ..ok },
+            ImageGeometry {
+                pixel_bits: 0,
+                ..ok
+            },
+            ImageGeometry {
+                pixel_bits: 65,
+                ..ok
+            },
+        ] {
+            assert!(validate_geometry(&bad).is_err(), "{bad}");
+        }
+        // The pixel cap applies only where frames are allocated: an 8K
+        // geometry is a legitimate *compile* target but over the
+        // sim / energy / serve frame budget.
+        let large = ImageGeometry {
+            width: 7680,
+            height: 4320,
+            pixel_bits: 16,
+        };
+        assert!(validate_geometry(&large).is_ok());
+        assert!(validate_frame_budget(&large).is_err());
+        assert!(validate_frame_budget(&ok).is_ok());
+    }
+}

@@ -1,0 +1,690 @@
+//! `imagen serve` — a JSONL batch compile server.
+//!
+//! One request per line, one response per line, responses in request
+//! order. The batch is fanned over a `std::thread::scope` worker pool
+//! whose workers share one [`imagen_core::CompileCache`] and a map of
+//! live [`imagen_core::Session`]s keyed by (pipeline fingerprint,
+//! geometry): identical pipelines recompile from the warm cache in
+//! microseconds (PR 2's memoization), and results are byte-identical to
+//! a sequential run regardless of worker count.
+//!
+//! ## Protocol
+//!
+//! Request members (defaults in brackets):
+//!
+//! ```text
+//! id          any value, echoed verbatim                     [null]
+//! cmd         "compile" | "dse" | "ping"                     (required)
+//! source      DSL program text                               (required)
+//! name        pipeline name                                  ["pipeline"]
+//! width, height, pixel_bits                                  [64, 48, 16]
+//! block_bits  ASIC macro capacity, bits                      [32768]
+//! fpga        target FPGA BRAMs                              [false]
+//! ports       ports per block                                [2]
+//! coalesce    coalesce every line buffer                     [false]
+//! emit        include the Verilog text (compile)             [false]
+//! strategy    "exhaustive" | "greedy" | "random" (dse)       ["exhaustive"]
+//! samples     random-strategy budget (dse)                   [64]
+//! seed        random-strategy seed (dse)                     [0]
+//! timing      include "elapsed_us" (non-deterministic!)      [false]
+//! ```
+//!
+//! Success: `{"id":...,"ok":true,...}`. Failure:
+//! `{"id":...,"ok":false,"error":"...","line":L,"col":C}` (span members
+//! only when the error has one).
+
+use crate::json::{self, Json, ObjBuilder};
+use crate::{validate_frame_budget, validate_geometry, Options};
+use imagen_core::{CompileCache, Session};
+use imagen_dse::{explore, ExploreOptions, ExploreStrategy};
+use imagen_ir::StageId;
+use imagen_mem::{ImageGeometry, MemBackend, MemorySpec};
+use std::collections::HashMap;
+use std::io::{BufRead, Read, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Session map key: (pipeline fingerprint, width, height, pixel bits).
+type SessionKey = (u64, u32, u32, u32);
+
+/// Live sessions a long-running server keeps at most. Every session
+/// pins its DAG, constraint skeleton and memoized design points (via
+/// the shared cache), so a client streaming ever-new pipelines must not
+/// grow the server without bound: crossing the cap drops the whole
+/// generation (sessions *and* cache) and starts a fresh one — requests
+/// in flight keep their `Arc`s alive until they finish.
+const MAX_LIVE_SESSIONS: usize = 64;
+
+/// Shared server state: one compile cache, one session per (pipeline,
+/// geometry) seen — both bounded by [`MAX_LIVE_SESSIONS`].
+pub struct Hub {
+    state: Mutex<HubState>,
+}
+
+struct HubState {
+    cache: Arc<CompileCache>,
+    sessions: HashMap<SessionKey, Arc<Session>>,
+    /// Bumped on every rollover, so a session built (outside the lock)
+    /// against a retired cache is never installed into the new
+    /// generation.
+    generation: u64,
+}
+
+impl Hub {
+    pub fn new() -> Hub {
+        Hub {
+            state: Mutex::new(HubState {
+                cache: Arc::new(CompileCache::new()),
+                sessions: HashMap::new(),
+                generation: 0,
+            }),
+        }
+    }
+
+    /// `(hits, misses)` of the current-generation cache.
+    pub fn cache_stats(&self) -> (usize, usize) {
+        self.state.lock().expect("hub state").cache.stats()
+    }
+
+    /// Number of live sessions (bounded by [`MAX_LIVE_SESSIONS`]).
+    #[cfg(test)]
+    fn live_sessions(&self) -> usize {
+        self.state.lock().expect("hub state").sessions.len()
+    }
+
+    /// The session for `(dag, geom)`, building it on first sight. The
+    /// constraint-skeleton build runs outside the state lock so
+    /// concurrent requests for distinct pipelines never serialize on it.
+    fn session(&self, dag: &imagen_ir::Dag, geom: ImageGeometry) -> Arc<Session> {
+        let key = (dag.fingerprint(), geom.width, geom.height, geom.pixel_bits);
+        let (cache, generation) = {
+            let state = self.state.lock().expect("hub state");
+            if let Some(s) = state.sessions.get(&key) {
+                return s.clone();
+            }
+            (state.cache.clone(), state.generation)
+        };
+        let built = Arc::new(Session::with_cache(dag, geom, cache));
+        let mut state = self.state.lock().expect("hub state");
+        if state.sessions.len() >= MAX_LIVE_SESSIONS {
+            state.sessions.clear();
+            state.cache = Arc::new(CompileCache::new());
+            state.generation += 1;
+        }
+        if state.generation != generation {
+            // The generation rolled over while `built` was under
+            // construction (by us above, or by a racing thread): `built`
+            // points at a retired cache, so serve it to this request but
+            // never install it — the map must only hold sessions of the
+            // current generation. Skeleton rebuild on the next request
+            // for this pipeline is cheap relative to a compile, and this
+            // runs only around rollovers.
+            return built;
+        }
+        state.sessions.entry(key).or_insert(built).clone()
+    }
+}
+
+fn get_u64(req: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("`{key}` must be a non-negative integer")),
+    }
+}
+
+/// Like [`get_u64`] but rejects values above `u32::MAX` instead of
+/// truncating them — a request for a 2^32+1-pixel-wide frame must fail,
+/// not silently compile a 1-pixel one.
+fn get_u32(req: &Json, key: &str, default: u32) -> Result<u32, String> {
+    let v = get_u64(req, key, default as u64)?;
+    u32::try_from(v).map_err(|_| format!("`{key}` must be at most {}", u32::MAX))
+}
+
+fn get_bool(req: &Json, key: &str) -> Result<bool, String> {
+    match req.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| format!("`{key}` must be a boolean")),
+    }
+}
+
+struct Request {
+    name: String,
+    source: String,
+    geom: ImageGeometry,
+    backend: MemBackend,
+    ports: u32,
+    coalesce: bool,
+    emit: bool,
+    strategy: ExploreStrategy,
+    strategy_label: String,
+}
+
+fn parse_request(req: &Json) -> Result<Request, String> {
+    let source = req
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("`source` (string) is required")?
+        .to_string();
+    let name = req
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("pipeline")
+        .to_string();
+    let geom = ImageGeometry {
+        width: get_u32(req, "width", 64)?,
+        height: get_u32(req, "height", 48)?,
+        pixel_bits: get_u32(req, "pixel_bits", 16)?,
+    };
+    validate_geometry(&geom)?;
+    // Servers bound per-request allocations even for pure compiles: the
+    // session map keeps DAG/skeleton state alive across requests.
+    validate_frame_budget(&geom)?;
+    let backend = if get_bool(req, "fpga")? {
+        MemBackend::Fpga
+    } else {
+        MemBackend::Asic {
+            block_bits: get_u64(req, "block_bits", 32768)?,
+        }
+    };
+    if backend.block_bits() == 0 {
+        return Err("`block_bits` must be positive".into());
+    }
+    let ports = get_u32(req, "ports", 2)?;
+    if ports == 0 {
+        return Err("`ports` must be at least 1".into());
+    }
+    let strategy_label = req
+        .get("strategy")
+        .and_then(Json::as_str)
+        .unwrap_or("exhaustive")
+        .to_string();
+    let samples = get_u64(req, "samples", 64)?;
+    let samples = usize::try_from(samples).map_err(|_| "`samples` is too large".to_string())?;
+    let strategy =
+        crate::report::parse_strategy(&strategy_label, samples, get_u64(req, "seed", 0)?)?;
+    Ok(Request {
+        name,
+        source,
+        geom,
+        backend,
+        ports,
+        coalesce: get_bool(req, "coalesce")?,
+        emit: get_bool(req, "emit")?,
+        strategy,
+        strategy_label,
+    })
+}
+
+fn error_response(id: Json, msg: String, pos: Option<imagen_dsl::Pos>) -> Json {
+    let mut b = ObjBuilder::new()
+        .push("id", id)
+        .push("ok", Json::Bool(false))
+        .push("error", Json::Str(msg));
+    if let Some(p) = pos {
+        b = b
+            .push("line", Json::Num(p.line as f64))
+            .push("col", Json::Num(p.col as f64));
+    }
+    b.build()
+}
+
+fn compile_response(id: Json, r: &Request, hub: &Hub) -> Json {
+    let dag = match imagen_dsl::compile(&r.name, &r.source) {
+        Ok(dag) => dag,
+        Err(e) => return error_response(id, e.to_string(), e.pos()),
+    };
+    let mut spec = MemorySpec::new(r.backend, r.ports);
+    if r.coalesce {
+        spec = spec.with_coalescing();
+    }
+    let session = hub.session(&dag, r.geom);
+    let out = match session.compile(&spec, None) {
+        Ok(out) => out,
+        Err(e) => return error_response(id, e.to_string(), None),
+    };
+    let stats = dag.stats();
+    let design = &out.plan.design;
+    let mut b = ObjBuilder::new()
+        .push("id", id)
+        .push("ok", Json::Bool(true))
+        .push("name", Json::Str(dag.name().to_string()))
+        .push("stages", Json::Num(stats.stages as f64))
+        .push("edges", Json::Num(stats.edges as f64))
+        .push(
+            "multi_consumer",
+            Json::Num(stats.multi_consumer_stages as f64),
+        )
+        .push("style", Json::Str(design.style.label().to_string()))
+        .push("sram_kb", Json::Num(design.sram_kb()))
+        .push("blocks", Json::Num(design.block_count() as f64))
+        .push("area_mm2", Json::Num(design.total_area_mm2()))
+        .push("power_mw", Json::Num(design.total_power_mw()))
+        .push(
+            "latency_cycles",
+            Json::Num(
+                out.plan
+                    .schedule
+                    .latency(&out.plan.dag, r.geom.width, r.geom.height) as f64,
+            ),
+        )
+        .push(
+            "verilog_lines",
+            Json::Num(out.verilog.lines().count() as f64),
+        );
+    if r.emit {
+        b = b.push("verilog", Json::Str(out.verilog.clone()));
+    }
+    b.build()
+}
+
+fn dse_response(id: Json, r: &Request, hub: &Hub) -> Json {
+    let dag = match imagen_dsl::compile(&r.name, &r.source) {
+        Ok(dag) => dag,
+        Err(e) => return error_response(id, e.to_string(), e.pos()),
+    };
+    if let Err(e) = crate::report::check_exhaustive_size(r.strategy, dag.buffered_stages().len()) {
+        return error_response(id, e, None);
+    }
+    // DSE owns its fan-out; each request explores sequentially so the
+    // serve worker pool stays the only concurrency level.
+    let res = match explore(
+        &dag,
+        &r.geom,
+        r.backend,
+        ExploreOptions {
+            strategy: r.strategy,
+            threads: 1,
+        },
+    ) {
+        Ok(res) => res,
+        Err(e) => return error_response(id, e.to_string(), None),
+    };
+    let _ = hub; // dse builds its own session; the hub serves compiles
+    let frontier = res.pareto_front();
+    let names: Vec<Json> = res
+        .buffered_stages
+        .iter()
+        .map(|&s| Json::Str(dag.stage(StageId::from_index(s)).name().to_string()))
+        .collect();
+    let points: Vec<Json> = frontier
+        .iter()
+        .map(|&i| {
+            let p = &res.points[i];
+            ObjBuilder::new()
+                .push("point", Json::Num(i as f64))
+                .push(
+                    "choices",
+                    Json::Str(
+                        p.choices
+                            .iter()
+                            .map(|c| c.label())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ),
+                )
+                .push("sram_kb", Json::Num(p.sram_kb))
+                .push("area_mm2", Json::Num(p.area_mm2))
+                .push("power_mw", Json::Num(p.power_mw))
+                .build()
+        })
+        .collect();
+    ObjBuilder::new()
+        .push("id", id)
+        .push("ok", Json::Bool(true))
+        .push("name", Json::Str(dag.name().to_string()))
+        .push("strategy", Json::Str(r.strategy_label.clone()))
+        .push("buffers", Json::Arr(names))
+        .push("points", Json::Num(res.points.len() as f64))
+        .push("pareto", Json::Arr(points))
+        .build()
+}
+
+/// Answers one request line.
+pub fn handle(line: &str, hub: &Hub) -> Json {
+    let t0 = Instant::now();
+    let req = match json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_response(Json::Null, format!("bad request JSON: {e}"), None),
+    };
+    let id = req.get("id").cloned().unwrap_or(Json::Null);
+    let timing = match get_bool(&req, "timing") {
+        Ok(t) => t,
+        Err(e) => return error_response(id, e, None),
+    };
+    let cmd = req.get("cmd").and_then(Json::as_str).unwrap_or("");
+    let mut resp = match cmd {
+        "ping" => ObjBuilder::new()
+            .push("id", id)
+            .push("ok", Json::Bool(true))
+            .push("pong", Json::Bool(true))
+            .build(),
+        "compile" | "dse" => match parse_request(&req) {
+            Err(e) => error_response(id, e, None),
+            Ok(r) => {
+                if cmd == "compile" {
+                    compile_response(id, &r, hub)
+                } else {
+                    dse_response(id, &r, hub)
+                }
+            }
+        },
+        "" => error_response(id, "`cmd` (string) is required".into(), None),
+        other => error_response(id, format!("unknown cmd `{other}`"), None),
+    };
+    if timing {
+        if let Json::Obj(members) = &mut resp {
+            members.push((
+                "elapsed_us".into(),
+                Json::Num(t0.elapsed().as_micros() as f64),
+            ));
+        }
+    }
+    resp
+}
+
+fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Answers a batch of request lines on up to `threads` scoped workers.
+/// The response vector is in request order and byte-identical to a
+/// sequential (`threads == 1`) run.
+pub fn run_batch(lines: &[String], threads: usize, hub: &Hub) -> Vec<String> {
+    let workers = effective_threads(threads).min(lines.len().max(1));
+    let slots: Vec<Mutex<Option<String>>> = lines.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= lines.len() {
+                    break;
+                }
+                let resp = handle(&lines[i], hub).to_line();
+                *slots[i].lock().expect("slot") = Some(resp);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot").expect("worker filled slot"))
+        .collect()
+}
+
+/// `imagen serve` entry point.
+pub fn run(opts: &Options) -> Result<(), String> {
+    let hub = Arc::new(Hub::new());
+    match &opts.tcp {
+        None => {
+            let mut input = String::new();
+            std::io::stdin()
+                .read_to_string(&mut input)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            let lines: Vec<String> = input
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(String::from)
+                .collect();
+            let responses = run_batch(&lines, opts.threads, &hub);
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            for r in &responses {
+                writeln!(w, "{r}").map_err(|e| format!("writing stdout: {e}"))?;
+            }
+            w.flush().map_err(|e| e.to_string())?;
+            let (hits, misses) = hub.cache_stats();
+            eprintln!(
+                "served {} request(s) on {} worker(s); compile cache: {hits} hit(s), {misses} miss(es)",
+                responses.len(),
+                effective_threads(opts.threads).min(lines.len().max(1))
+            );
+            Ok(())
+        }
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("listening {local}");
+            std::io::stdout().flush().ok();
+            let threads = opts.threads;
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("accept: {e}");
+                        continue;
+                    }
+                };
+                let hub = hub.clone();
+                std::thread::spawn(move || serve_connection(stream, &hub, threads));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// One TCP connection: requests stream through the same worker-pool
+/// shape as stdin batches (`--threads` means the same thing in both
+/// modes), and responses stream back *in request order* as soon as each
+/// is ready — a reassembly writer holds out-of-order completions.
+fn serve_connection(stream: std::net::TcpStream, hub: &Hub, threads: usize) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    let reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{peer}: clone: {e}");
+            return;
+        }
+    });
+    let mut writer = std::io::BufWriter::new(stream);
+    let workers = effective_threads(threads);
+    std::thread::scope(|scope| {
+        let (work_tx, work_rx) = std::sync::mpsc::channel::<(usize, String)>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<(usize, String)>();
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || loop {
+                let item = work_rx.lock().expect("work queue").recv();
+                let Ok((i, line)) = item else { break };
+                let resp = handle(&line, hub).to_line();
+                if done_tx.send((i, resp)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(done_tx);
+        scope.spawn(move || {
+            let mut pending: HashMap<usize, String> = HashMap::new();
+            let mut next = 0usize;
+            while let Ok((i, resp)) = done_rx.recv() {
+                pending.insert(i, resp);
+                while let Some(r) = pending.remove(&next) {
+                    if writeln!(writer, "{r}")
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                    next += 1;
+                }
+            }
+        });
+        let mut n = 0usize;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("{peer}: read: {e}");
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if work_tx.send((n, line)).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        drop(work_tx);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLUR: &str = "input a; output b = im(x,y) (a(x-1,y) + 2*a(x,y) + a(x+1,y)) / 4 end";
+
+    fn req(extra: &str) -> String {
+        format!(
+            r#"{{"id":1,"cmd":"compile","name":"blur","source":"{BLUR}","width":32,"height":24{extra}}}"#
+        )
+    }
+
+    #[test]
+    fn compile_request_round_trip() {
+        let hub = Hub::new();
+        let resp = handle(&req(""), &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("stages").unwrap().as_u64(), Some(2));
+        assert!(resp.get("verilog").is_none());
+        let resp = handle(&req(r#","emit":true"#), &hub);
+        assert!(resp
+            .get("verilog")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("module"));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let hub = Hub::new();
+        let bad =
+            r#"{"id":"x","cmd":"compile","source":"input a;\noutput b = im(x,y) c(x,y) end"}"#;
+        let resp = handle(bad, &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(resp.get("id").unwrap().as_str(), Some("x"));
+        assert_eq!(resp.get("line").unwrap().as_u64(), Some(2));
+        assert!(resp.get("error").unwrap().as_str().unwrap().contains('c'));
+    }
+
+    #[test]
+    fn malformed_inputs_answer_instead_of_crashing() {
+        let hub = Hub::new();
+        for line in [
+            "",
+            "not json",
+            "{}",
+            r#"{"cmd":"frob"}"#,
+            r#"{"cmd":"compile"}"#,
+            r#"{"cmd":"compile","source":"input"}"#,
+            r#"{"cmd":"compile","source":"input a; output b = im(x,y) a(x,y) end","width":0}"#,
+            r#"{"cmd":"compile","source":"input a; output b = im(x,y) a(x,y) end","ports":0}"#,
+            r#"{"cmd":"dse","source":"input a; output b = im(x,y) a(x,y) end","strategy":"frob"}"#,
+            // u32 overflow must reject, not silently truncate to width 1.
+            r#"{"cmd":"compile","source":"input a; output b = im(x,y) a(x,y) end","width":4294967297}"#,
+            // Type errors on `timing` answer like every other field.
+            r#"{"cmd":"ping","timing":"yes"}"#,
+            // Random-budget DoS: a giant samples value must reject, not
+            // fall back to enumerating the full design space.
+            r#"{"cmd":"dse","source":"input a; output b = im(x,y) a(x,y) end","strategy":"random","samples":1000000000}"#,
+        ] {
+            let resp = handle(line, &hub);
+            assert_eq!(
+                resp.get("ok"),
+                Some(&Json::Bool(false)),
+                "line {line:?} must fail gracefully"
+            );
+        }
+    }
+
+    #[test]
+    fn session_map_stays_bounded() {
+        // Stream more distinct pipelines than the cap: the hub must roll
+        // the generation over instead of growing forever.
+        let hub = Hub::new();
+        for i in 0..(MAX_LIVE_SESSIONS + 5) {
+            let line = format!(
+                r#"{{"id":{i},"cmd":"compile","source":"input a; output b = im(x,y) a(x,y) + {i} end","width":16,"height":12}}"#
+            );
+            let resp = handle(&line, &hub);
+            assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "request {i}");
+        }
+        assert!(
+            hub.live_sessions() <= MAX_LIVE_SESSIONS,
+            "{} live sessions exceed the cap",
+            hub.live_sessions()
+        );
+        // And the rolled-over hub still serves (and re-warms) correctly.
+        let line = r#"{"cmd":"compile","source":"input a; output b = im(x,y) a(x,y) + 0 end","width":16,"height":12}"#;
+        let cold = handle(line, &hub);
+        let warm = handle(line, &hub);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn batch_is_order_preserving_and_thread_invariant() {
+        let lines: Vec<String> = (0..10)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!(r#"{{"id":{i},"cmd":"ping"}}"#)
+                } else {
+                    req("").replace(r#""id":1"#, &format!(r#""id":{i}"#))
+                }
+            })
+            .collect();
+        let sequential = run_batch(&lines, 1, &Hub::new());
+        let threaded = run_batch(&lines, 4, &Hub::new());
+        assert_eq!(sequential, threaded, "byte-identical across worker counts");
+        for (i, resp) in sequential.iter().enumerate() {
+            let v = json::parse(resp).unwrap();
+            assert_eq!(v.get("id").unwrap().as_u64(), Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn warm_cache_recompile_is_measurably_faster() {
+        let hub = Hub::new();
+        let line = req(r#","timing":true"#);
+        let cold = handle(&line, &hub);
+        let warm = handle(&line, &hub);
+        let cold_us = cold.get("elapsed_us").unwrap().as_u64().unwrap();
+        let warm_us = warm.get("elapsed_us").unwrap().as_u64().unwrap();
+        let (hits, _) = hub.cache_stats();
+        assert!(hits >= 1, "second request hit the shared cache");
+        assert!(
+            warm_us * 2 < cold_us.max(1),
+            "warm recompile ({warm_us} us) not measurably faster than cold ({cold_us} us)"
+        );
+        // And the deterministic payloads are identical.
+        let strip = |v: &Json| match v {
+            Json::Obj(m) => Json::Obj(
+                m.iter()
+                    .filter(|(k, _)| k != "elapsed_us")
+                    .cloned()
+                    .collect(),
+            ),
+            _ => unreachable!(),
+        };
+        assert_eq!(strip(&cold), strip(&warm));
+    }
+}

@@ -1,0 +1,207 @@
+//! Integration tests of the `imagen` binary: golden-pinned `compile` and
+//! `dse` text, the on-disk `.imagen` example corpus, and span-rendered
+//! error reporting.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn imagen(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_imagen"))
+        .current_dir(repo_root())
+        .args(args)
+        .output()
+        .expect("spawn imagen")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "imagen failed ({:?})\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+/// The seven Tbl. 3 pipelines live on disk as `.imagen` files — the CLI's
+/// example corpus — and must stay verbatim copies of the canonical
+/// sources in `imagen_algos` (modulo the leading blank line).
+#[test]
+fn example_corpus_matches_canonical_sources() {
+    for alg in imagen_algos::Algorithm::all() {
+        let stem = alg.name().to_lowercase().replace('-', "_");
+        let path = repo_root().join(format!("examples/{stem}.imagen"));
+        let on_disk =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            on_disk,
+            alg.dsl_source().trim_start(),
+            "{} drifted from imagen_algos::Algorithm::{:?}",
+            path.display(),
+            alg
+        );
+    }
+}
+
+/// Every `.imagen` file under examples/ (the 7 Tbl. 3 programs plus the
+/// user-authored quickstart) compiles through the real binary.
+#[test]
+fn every_example_compiles_through_the_binary() {
+    let dir = repo_root().join("examples");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("imagen") {
+            continue;
+        }
+        count += 1;
+        let rel = format!("examples/{}", path.file_name().unwrap().to_string_lossy());
+        let out = imagen(&["compile", &rel]);
+        let text = stdout_of(&out);
+        assert!(text.contains("## Verilog"), "{rel}:\n{text}");
+    }
+    assert!(count >= 8, "expected the full corpus, found {count} files");
+}
+
+/// The compiled DAG of each on-disk example is the *identical* pipeline
+/// (same fingerprint) as the library's built-in build — files and code
+/// cannot drift apart silently.
+#[test]
+fn example_corpus_fingerprints_match_builtins() {
+    for alg in imagen_algos::Algorithm::all() {
+        let stem = alg.name().to_lowercase().replace('-', "_");
+        let src =
+            std::fs::read_to_string(repo_root().join(format!("examples/{stem}.imagen"))).unwrap();
+        let dag = imagen_dsl::compile(alg.name(), &src).unwrap();
+        assert_eq!(
+            dag.fingerprint(),
+            alg.build().fingerprint(),
+            "{} on disk is not the built-in pipeline",
+            alg.name()
+        );
+    }
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("golden/{name}"));
+    if std::env::var("IMAGEN_BLESS").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} (IMAGEN_BLESS=1 to create): {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "{} drifted; rerun with IMAGEN_BLESS=1 if the change is intended",
+        path.display()
+    );
+}
+
+#[test]
+fn compile_text_pinned_on_unsharp_m() {
+    let out = imagen(&[
+        "compile",
+        "examples/unsharp_m.imagen",
+        "--name",
+        "Unsharp-m",
+    ]);
+    assert_golden("compile_unsharp_m.txt", &stdout_of(&out));
+}
+
+#[test]
+fn dse_text_pinned_on_unsharp_m() {
+    let out = imagen(&[
+        "dse",
+        "examples/unsharp_m.imagen",
+        "--name",
+        "Unsharp-m",
+        "--block-bits",
+        "2048",
+    ]);
+    assert_golden("dse_unsharp_m.txt", &stdout_of(&out));
+}
+
+#[test]
+fn emitted_verilog_matches_library_output() {
+    let dir = std::env::temp_dir().join(format!("imagen_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v_path = dir.join("unsharp.v");
+    let out = imagen(&[
+        "compile",
+        "examples/unsharp_m.imagen",
+        "--name",
+        "Unsharp-m",
+        "-o",
+        v_path.to_str().unwrap(),
+    ]);
+    stdout_of(&out);
+    let via_cli = std::fs::read_to_string(&v_path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let geom = imagen_mem::ImageGeometry {
+        width: 64,
+        height: 48,
+        pixel_bits: 16,
+    };
+    let spec = imagen_mem::MemorySpec::new(imagen_mem::MemBackend::Asic { block_bits: 32768 }, 2);
+    let via_lib = imagen_core::Compiler::new(geom, spec)
+        .compile_dag(&imagen_algos::Algorithm::UnsharpM.build())
+        .unwrap()
+        .verilog;
+    assert_eq!(via_cli, via_lib, "CLI and library emit different RTL");
+}
+
+#[test]
+fn sim_and_energy_run_on_an_example() {
+    let out = imagen(&["sim", "examples/sobel.imagen"]);
+    let text = stdout_of(&out);
+    assert!(text.contains("verdict: PASS"), "{text}");
+    let out = imagen(&["energy", "examples/sobel.imagen"]);
+    let text = stdout_of(&out);
+    assert!(text.contains("analytic"), "{text}");
+    assert!(text.contains("clock gating"), "{text}");
+}
+
+#[test]
+fn dsl_errors_render_with_source_spans() {
+    let dir = std::env::temp_dir().join(format!("imagen_cli_err_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.imagen");
+    std::fs::write(&path, "input a;\noutput b = im(x,y) a(x,y end\n").unwrap();
+    let out = imagen(&["compile", path.to_str().unwrap()]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("bad.imagen:2:"), "span present: {stderr}");
+    assert!(
+        stderr.contains("output b = im(x,y) a(x,y end"),
+        "source line shown: {stderr}"
+    );
+    assert!(stderr.contains('^'), "caret shown: {stderr}");
+}
+
+#[test]
+fn degenerate_geometry_is_a_clean_error() {
+    for args in [
+        vec!["compile", "examples/sobel.imagen", "--width", "0"],
+        vec!["compile", "examples/sobel.imagen", "--pixel-bits", "0"],
+        vec!["compile", "examples/sobel.imagen", "--ports", "0"],
+        vec!["sim", "examples/xcorr_m.imagen", "--height", "12"],
+    ] {
+        let out = imagen(&args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?} panicked:\n{stderr}");
+    }
+}

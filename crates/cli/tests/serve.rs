@@ -1,0 +1,173 @@
+//! Integration tests of `imagen serve`: concurrent JSONL batches over
+//! stdin/stdout and TCP, pinned byte-identical to sequential runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+
+const BLUR: &str = "input a; output b = im(x,y) (a(x-1,y) + 2*a(x,y) + a(x+1,y)) / 4 end";
+const CHAIN: &str =
+    "input a; b = im(x,y) (a(x,y-1)+a(x,y+1))/2 end output c = im(x,y) (b(x,y-1)+b(x,y+1))/2 end";
+
+/// A mixed batch of ≥8 compile/dse/ping requests (the CI smoke shape).
+fn mixed_batch() -> Vec<String> {
+    let mut lines = Vec::new();
+    for i in 0..10 {
+        lines.push(match i % 4 {
+            0 => format!(
+                r#"{{"id":{i},"cmd":"compile","name":"blur","source":"{BLUR}","width":32,"height":24}}"#
+            ),
+            1 => format!(
+                r#"{{"id":{i},"cmd":"dse","name":"chain","source":"{CHAIN}","width":32,"height":24,"block_bits":1024}}"#
+            ),
+            2 => format!(
+                r#"{{"id":{i},"cmd":"compile","name":"blur","source":"{BLUR}","width":32,"height":24,"coalesce":true}}"#
+            ),
+            _ => format!(r#"{{"id":{i},"cmd":"ping"}}"#),
+        });
+    }
+    lines
+}
+
+fn serve_stdin(lines: &[String], threads: &str) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_imagen"))
+        .args(["serve", "--threads", threads])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn imagen serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all((lines.join("\n") + "\n").as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "serve failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn concurrent_batch_matches_sequential_byte_for_byte() {
+    let lines = mixed_batch();
+    let sequential = serve_stdin(&lines, "1");
+    let concurrent = serve_stdin(&lines, "4");
+    assert_eq!(sequential.len(), lines.len(), "one response per request");
+    assert_eq!(
+        sequential, concurrent,
+        "4-worker batch must be byte-identical to the sequential run"
+    );
+    for (i, resp) in concurrent.iter().enumerate() {
+        assert!(
+            resp.contains(&format!("\"id\":{i}")),
+            "response {i} out of order: {resp}"
+        );
+        assert!(resp.contains("\"ok\":true"), "request {i} failed: {resp}");
+    }
+}
+
+#[test]
+fn warm_cache_beats_cold_through_the_binary() {
+    // Same compile request twice, sequentially, with timing: the second
+    // answer must come from the shared session cache, measurably faster.
+    let line = format!(
+        r#"{{"id":0,"cmd":"compile","name":"blur","source":"{BLUR}","width":48,"height":32,"timing":true}}"#
+    );
+    let responses = serve_stdin(&[line.clone(), line], "1");
+    let us = |resp: &str| -> u64 {
+        let key = "\"elapsed_us\":";
+        let at = resp.find(key).expect("elapsed_us present") + key.len();
+        resp[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    let (cold, warm) = (us(&responses[0]), us(&responses[1]));
+    assert!(
+        warm * 2 < cold.max(1),
+        "warm recompile ({warm} us) not measurably faster than cold ({cold} us)"
+    );
+}
+
+struct ServerGuard(Child);
+
+impl Drop for ServerGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn tcp_mode_serves_concurrent_connections() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_imagen"))
+        .args(["serve", "--tcp", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn imagen serve --tcp");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let guard = ServerGuard(child);
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("listening ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let handles: Vec<_> = (0..4)
+        .map(|client| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+                let mut lines = Vec::new();
+                for i in 0..2 {
+                    let id = client * 100 + i;
+                    lines.push(format!(
+                        r#"{{"id":{id},"cmd":"compile","name":"blur","source":"{BLUR}","width":32,"height":24}}"#
+                    ));
+                }
+                stream
+                    .write_all((lines.join("\n") + "\n").as_bytes())
+                    .unwrap();
+                stream
+                    .shutdown(std::net::Shutdown::Write)
+                    .unwrap();
+                let reader = BufReader::new(stream);
+                let responses: Vec<String> =
+                    reader.lines().map(|l| l.unwrap()).collect();
+                assert_eq!(responses.len(), 2, "client {client}");
+                for (i, resp) in responses.iter().enumerate() {
+                    let id = client * 100 + i;
+                    assert!(resp.contains(&format!("\"id\":{id}")), "{resp}");
+                    assert!(resp.contains("\"ok\":true"), "{resp}");
+                }
+                responses
+            })
+        })
+        .collect();
+    let mut all: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    drop(guard);
+    // Every client got the same deterministic payload (ids aside).
+    let strip_id = |line: &str| -> String {
+        let at = line.find(",\"ok\"").unwrap();
+        line[at..].to_string()
+    };
+    let first = strip_id(&all[0][0]);
+    for responses in &mut all {
+        for resp in responses {
+            assert_eq!(strip_id(resp), first, "payload drift across connections");
+        }
+    }
+}

@@ -115,6 +115,18 @@ impl CompileCache {
     }
 }
 
+// Compile-time thread-safety audit: DSE fans points out over scoped
+// threads sharing one `&Session`, and the CLI's batch compile server
+// shares sessions and one cache across a worker pool — both require
+// `Session`/`CompileCache` to stay `Send + Sync`. Adding a non-`Sync`
+// field (an `Rc`, a `RefCell`, a raw pointer) fails right here instead
+// of at a distant spawn site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+    assert_send_sync::<CompileCache>();
+};
+
 /// A compile session: one DAG, one geometry, many memory configurations.
 ///
 /// # Examples

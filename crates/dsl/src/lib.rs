@@ -44,9 +44,9 @@ mod token;
 
 pub use ast::{AstExpr, Item, Program};
 pub use lower::{lower, LowerError};
-pub use parser::{parse_program, ParseError};
+pub use parser::{parse_program, ParseError, MAX_EXPR_CHAIN, MAX_EXPR_DEPTH};
 pub use print::to_dsl;
-pub use token::{lex, LexError, Pos, Spanned, Token};
+pub use token::{lex, LexError, LexErrorKind, Pos, Spanned, Token};
 
 use std::fmt;
 
@@ -69,6 +69,21 @@ impl fmt::Display for DslError {
 }
 
 impl std::error::Error for DslError {}
+
+impl DslError {
+    /// Source position of the error, when one is known. Every syntax
+    /// error carries one; structural lowering errors (dead stages, no
+    /// output, ...) describe the pipeline rather than a span.
+    ///
+    /// Front ends (the `imagen` CLI, the batch server) use this to point
+    /// at the offending source line.
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            DslError::Parse(e) => Some(e.pos()),
+            DslError::Lower(e) => e.pos(),
+        }
+    }
+}
 
 impl From<ParseError> for DslError {
     fn from(e: ParseError) -> Self {

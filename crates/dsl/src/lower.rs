@@ -27,6 +27,19 @@ pub enum LowerError {
     Ir(IrError),
 }
 
+impl LowerError {
+    /// Source position of the error, when one is known (structural IR
+    /// errors carry stage names instead of spans).
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            LowerError::UnknownStage { pos, .. } | LowerError::Redefinition { pos, .. } => {
+                Some(*pos)
+            }
+            LowerError::Ir(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -127,6 +140,16 @@ fn lower_expr(e: &AstExpr, slot_of: &HashMap<&str, usize>) -> Expr {
     match e {
         AstExpr::Number(n) => Expr::Const(*n),
         AstExpr::Tap { stage, dx, dy, .. } => Expr::tap(slot_of[stage.as_str()], *dx, *dy),
+        // A negated literal is a constant, not a negation unit: folding
+        // here makes `-3` and a programmatic `Expr::Const(-3)` identical
+        // IR (and `to_dsl` → `compile` round-trips bit-exact). The lexer
+        // caps literals at i64::MAX, so the negation cannot overflow.
+        AstExpr::Neg(inner) if matches!(**inner, AstExpr::Number(_)) => {
+            let AstExpr::Number(n) = **inner else {
+                unreachable!()
+            };
+            Expr::Const(-n)
+        }
         AstExpr::Neg(inner) => Expr::Neg(Box::new(lower_expr(inner, slot_of))),
         AstExpr::Call { func, args, .. } => {
             let mut a: Vec<Expr> = args.iter().map(|x| lower_expr(x, slot_of)).collect();

@@ -64,6 +64,55 @@ pub enum ParseError {
         /// Where.
         pos: Pos,
     },
+    /// A tap offset literal outside the `i32` range. The seed parser
+    /// truncated these silently (`n as i32`), compiling a different
+    /// window than the author wrote.
+    OffsetOutOfRange {
+        /// The signed offset as written.
+        value: i64,
+        /// Where.
+        pos: Pos,
+    },
+    /// Expression nesting beyond [`MAX_EXPR_DEPTH`] or a stage body
+    /// chaining more than [`MAX_EXPR_CHAIN`] binary operators. The
+    /// recursive-descent parser (and everything downstream that walks
+    /// the tree) must answer with an error, not a stack overflow, on
+    /// `((((((...`- or `1+1+1+...`-shaped input.
+    TooDeep {
+        /// Where the limit was crossed.
+        pos: Pos,
+    },
+}
+
+/// Deepest accepted expression *nesting* (parentheses, unary minus,
+/// call arguments). Real kernels are a few dozen levels deep at most;
+/// the bound exists so hostile input exhausts a counter, not the stack
+/// — parsing a nesting level costs several recursive parser frames.
+pub const MAX_EXPR_DEPTH: usize = 128;
+
+/// Most binary operators one stage body may chain (cumulative across
+/// the whole body). Chains parse iteratively but build a left-leaning
+/// tree that every later walk (lowering, evaluation, printing, drop)
+/// recurses through one frame per link, so they get their own — larger
+/// — budget: 384 links still admits a 19×19 convolution sum. The two
+/// limits together keep the worst tree (~512 levels) safely inside a
+/// 2 MiB thread stack for every recursive consumer, debug builds
+/// included (empirically, ~768 levels is fine and ~1024 is not).
+pub const MAX_EXPR_CHAIN: usize = 384;
+
+impl ParseError {
+    /// Source position of the error.
+    pub fn pos(&self) -> Pos {
+        match self {
+            ParseError::Lex(e) => e.pos,
+            ParseError::Unexpected { pos, .. }
+            | ParseError::BadCoordinate { pos, .. }
+            | ParseError::UnknownFunction { pos, .. }
+            | ParseError::BadArity { pos, .. }
+            | ParseError::OffsetOutOfRange { pos, .. }
+            | ParseError::TooDeep { pos } => *pos,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -91,6 +140,16 @@ impl fmt::Display for ParseError {
                 f,
                 "`{func}` takes {expected} argument(s), found {found} at {pos}"
             ),
+            ParseError::OffsetOutOfRange { value, pos } => write!(
+                f,
+                "tap offset `{value}` is outside the supported range ({}..={}) at {pos}",
+                i32::MIN,
+                i32::MAX
+            ),
+            ParseError::TooDeep { pos } => write!(
+                f,
+                "expression exceeds the supported size (nesting depth {MAX_EXPR_DEPTH}, {MAX_EXPR_CHAIN} chained operators) at {pos}"
+            ),
         }
     }
 }
@@ -113,6 +172,8 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let mut p = Parser {
         tokens,
         at: 0,
+        depth: 0,
+        chain: 0,
         x_var: String::new(),
         y_var: String::new(),
     };
@@ -122,6 +183,11 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 struct Parser {
     tokens: Vec<Spanned>,
     at: usize,
+    /// Current expression nesting, bounded by [`MAX_EXPR_DEPTH`].
+    depth: usize,
+    /// Binary operators chained so far in the current stage body,
+    /// bounded by [`MAX_EXPR_CHAIN`] (reset per item).
+    chain: usize,
     x_var: String,
     y_var: String,
 }
@@ -204,6 +270,7 @@ impl Parser {
                 self.expect(&Token::RParen, "`)`")?;
                 self.x_var = xv.clone();
                 self.y_var = yv.clone();
+                self.chain = 0;
                 let body = self.expr()?;
                 self.expect(&Token::End, "`end`")?;
                 if *self.peek() == Token::Semi {
@@ -223,7 +290,13 @@ impl Parser {
     }
 
     fn expr(&mut self) -> Result<AstExpr, ParseError> {
-        self.cmp()
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(ParseError::TooDeep { pos: self.pos() });
+        }
+        self.depth += 1;
+        let result = self.cmp();
+        self.depth -= 1;
+        result
     }
 
     fn cmp(&mut self) -> Result<AstExpr, ParseError> {
@@ -254,6 +327,13 @@ impl Parser {
                 Token::Minus => "-",
                 _ => return Ok(lhs),
             };
+            // Each chained operator deepens the left-leaning tree by one
+            // level, which later recursive walks (lowering, evaluation,
+            // drop) pay for in stack — bounded by the per-body budget.
+            if self.chain >= MAX_EXPR_CHAIN {
+                return Err(ParseError::TooDeep { pos: self.pos() });
+            }
+            self.chain += 1;
             self.bump();
             let rhs = self.mul()?;
             lhs = AstExpr::Bin {
@@ -274,6 +354,11 @@ impl Parser {
                 Token::Shr => ">>",
                 _ => return Ok(lhs),
             };
+            // See `add`: chain length counts against the per-body budget.
+            if self.chain >= MAX_EXPR_CHAIN {
+                return Err(ParseError::TooDeep { pos: self.pos() });
+            }
+            self.chain += 1;
             self.bump();
             let rhs = self.unary()?;
             lhs = AstExpr::Bin {
@@ -286,9 +371,14 @@ impl Parser {
 
     fn unary(&mut self) -> Result<AstExpr, ParseError> {
         if *self.peek() == Token::Minus {
+            if self.depth >= MAX_EXPR_DEPTH {
+                return Err(ParseError::TooDeep { pos: self.pos() });
+            }
+            self.depth += 1;
             self.bump();
-            let inner = self.unary()?;
-            return Ok(AstExpr::Neg(Box::new(inner)));
+            let inner = self.unary();
+            self.depth -= 1;
+            return Ok(AstExpr::Neg(Box::new(inner?)));
         }
         self.primary()
     }
@@ -345,11 +435,9 @@ impl Parser {
                 self.expect(&Token::RParen, "`)`")?;
                 let arity = match name.as_str() {
                     "abs" => 1,
-                    "min" | "max" | "select3" => 2,
+                    "min" | "max" => 2,
                     "clamp" | "select" => 3,
-                    _ => {
-                        return Err(ParseError::UnknownFunction { func: name, pos });
-                    }
+                    _ => unreachable!("builtin set checked above"),
                 };
                 if args.len() != arity {
                     return Err(ParseError::BadArity {
@@ -389,16 +477,21 @@ impl Parser {
                 pos,
             });
         }
-        let sign = match self.peek() {
+        let sign: i64 = match self.peek() {
             Token::Plus => 1,
             Token::Minus => -1,
             _ => return Ok(0),
         };
         self.bump();
+        let pos = self.pos();
         match self.peek().clone() {
             Token::Number(n) => {
                 self.bump();
-                Ok(sign * n as i32)
+                // The lexer guarantees `n <= i64::MAX`, so `sign * n` is
+                // exact in i64; reject anything that cannot be an i32
+                // offset instead of truncating it.
+                let value = sign * n;
+                i32::try_from(value).map_err(|_| ParseError::OffsetOutOfRange { value, pos })
             }
             _ => Err(self.unexpected("an integer offset")),
         }
@@ -484,6 +577,130 @@ mod tests {
             ParseError::Unexpected { pos, .. } => assert_eq!(pos.col, 7),
             other => panic!("wrong error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn offset_boundaries_pinned() {
+        // i32::MAX parses exactly (no truncation) ...
+        let p = parse_program(&format!(
+            "input A; output B = im(x,y) A(x+{}, y-{}) end",
+            i32::MAX,
+            i32::MAX
+        ))
+        .unwrap();
+        match &p.items[1] {
+            Item::Stage { body, .. } => match body {
+                AstExpr::Tap { dx, dy, .. } => {
+                    assert_eq!(*dx, i32::MAX);
+                    assert_eq!(*dy, -i32::MAX);
+                }
+                _ => panic!("expected tap"),
+            },
+            _ => panic!("expected stage"),
+        }
+        // ... i32::MAX + 1 is rejected with its source position, where the
+        // seed parser silently wrapped it to i32::MIN.
+        let src = format!(
+            "input A;\noutput B = im(x,y) A(x+{}, y) end",
+            1i64 + i32::MAX as i64
+        );
+        let err = parse_program(&src).unwrap_err();
+        match err {
+            ParseError::OffsetOutOfRange { value, pos } => {
+                assert_eq!(value, i32::MAX as i64 + 1);
+                assert_eq!(pos.line, 2);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        // i32::MIN is representable and accepted.
+        let src = format!("input A; output B = im(x,y) A(x-{}, y) end", 1u64 << 31);
+        parse_program(&src).unwrap();
+        // One further out is not.
+        let src = format!(
+            "input A; output B = im(x,y) A(x-{}, y) end",
+            (1u64 << 31) + 1
+        );
+        assert!(matches!(
+            parse_program(&src).unwrap_err(),
+            ParseError::OffsetOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn hostile_nesting_errors_instead_of_overflowing() {
+        // Parenthesis towers, unary-minus towers and kilometer-long
+        // operator chains must all come back as TooDeep errors — the
+        // parser and every later tree walk run on the caller's stack.
+        let deep_parens = format!(
+            "input A; output B = im(x,y) {}A(x,y){} end",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        assert!(matches!(
+            parse_program(&deep_parens).unwrap_err(),
+            ParseError::TooDeep { .. }
+        ));
+        let deep_neg = format!(
+            "input A; output B = im(x,y) {}A(x,y) end",
+            "-".repeat(100_000)
+        );
+        assert!(matches!(
+            parse_program(&deep_neg).unwrap_err(),
+            ParseError::TooDeep { .. }
+        ));
+        let long_chain = format!(
+            "input A; output B = im(x,y) A(x,y){} end",
+            " + 1".repeat(100_000)
+        );
+        assert!(matches!(
+            parse_program(&long_chain).unwrap_err(),
+            ParseError::TooDeep { .. }
+        ));
+        let long_mul_chain = format!(
+            "input A; output B = im(x,y) A(x,y){} end",
+            " * 2".repeat(100_000)
+        );
+        assert!(matches!(
+            parse_program(&long_mul_chain).unwrap_err(),
+            ParseError::TooDeep { .. }
+        ));
+        // Realistic programs sit far under the budget: an 81-term sum
+        // (9x9 box filter shape) and 100-deep parens both parse.
+        let sum_81 = format!(
+            "input A; output B = im(x,y) A(x,y){} end",
+            " + 1".repeat(80)
+        );
+        parse_program(&sum_81).unwrap();
+        let nested_100 = format!(
+            "input A; output B = im(x,y) {}A(x,y){} end",
+            "(".repeat(100),
+            ")".repeat(100)
+        );
+        parse_program(&nested_100).unwrap();
+        // A body at the exact chain budget must survive not only parsing
+        // but the recursive downstream walks (lowering + drop) — this
+        // runs on a test thread's smaller stack on purpose.
+        let max_chain = format!(
+            "input A; output B = im(x,y) A(x,y){} end",
+            " + 1".repeat(MAX_EXPR_CHAIN - 1)
+        );
+        let program = parse_program(&max_chain).unwrap();
+        crate::lower("max-chain", &program).unwrap();
+        // The budget is per stage body, not per program: many maximal
+        // bodies in one file are fine.
+        let two_bodies = format!(
+            "input A; B = im(x,y) A(x,y){chain} end output C = im(x,y) B(x,y){chain} end",
+            chain = " + 1".repeat(MAX_EXPR_CHAIN - 1)
+        );
+        parse_program(&two_bodies).unwrap();
+    }
+
+    #[test]
+    fn huge_literal_rejected_by_lexer() {
+        let err = parse_program("input A; output B = im(x,y) A(x,y) + 99999999999999999999 end")
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Lex(_)));
+        assert_eq!(err.pos().col, 38);
     }
 
     #[test]

@@ -44,7 +44,11 @@ fn render(e: &Expr, names: &[&str], out: &mut String) {
     match e {
         Expr::Const(c) => {
             if *c < 0 {
-                let _ = write!(out, "(0-{})", -c);
+                // Renders as a negated literal, which the lowerer folds
+                // back into the same constant (exact round trip). The one
+                // unprintable value is i64::MIN, whose magnitude the lexer
+                // cannot read back.
+                let _ = write!(out, "(-{})", (*c as i128).unsigned_abs());
             } else {
                 let _ = write!(out, "{c}");
             }

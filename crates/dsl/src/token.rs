@@ -110,18 +110,36 @@ pub struct Spanned {
     pub pos: Pos,
 }
 
+/// What went wrong lexically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LexErrorKind {
+    /// A character outside the language.
+    BadChar(char),
+    /// An integer literal exceeding `i64::MAX`. The seed lexer silently
+    /// saturated these; they are now rejected so no literal ever changes
+    /// value between source and IR.
+    NumberTooLarge,
+}
+
 /// Lexical error.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LexError {
-    /// Offending character.
-    pub ch: char,
+    /// What went wrong.
+    pub kind: LexErrorKind,
     /// Where it occurred.
     pub pos: Pos,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character `{}` at {}", self.ch, self.pos)
+        match self.kind {
+            LexErrorKind::BadChar(ch) => {
+                write!(f, "unexpected character `{ch}` at {}", self.pos)
+            }
+            LexErrorKind::NumberTooLarge => {
+                write!(f, "integer literal exceeds {} at {}", i64::MAX, self.pos)
+            }
+        }
     }
 }
 
@@ -132,7 +150,8 @@ impl std::error::Error for LexError {}
 ///
 /// # Errors
 ///
-/// Returns [`LexError`] on any character outside the language.
+/// Returns [`LexError`] on any character outside the language or an
+/// integer literal that does not fit in an `i64`.
 pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut out = Vec::new();
     let mut chars = src.chars().peekable();
@@ -192,7 +211,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 let mut n: i64 = 0;
                 while let Some(&d) = chars.peek() {
                     if let Some(v) = d.to_digit(10) {
-                        n = n.saturating_mul(10).saturating_add(v as i64);
+                        n = match n.checked_mul(10).and_then(|n| n.checked_add(v as i64)) {
+                            Some(n) => n,
+                            None => {
+                                return Err(LexError {
+                                    kind: LexErrorKind::NumberTooLarge,
+                                    pos,
+                                })
+                            }
+                        };
                         bump!();
                     } else {
                         break;
@@ -289,10 +316,18 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         pos,
                     });
                 } else {
-                    return Err(LexError { ch: '!', pos });
+                    return Err(LexError {
+                        kind: LexErrorKind::BadChar('!'),
+                        pos,
+                    });
                 }
             }
-            other => return Err(LexError { ch: other, pos }),
+            other => {
+                return Err(LexError {
+                    kind: LexErrorKind::BadChar(other),
+                    pos,
+                })
+            }
         }
     }
     out.push(Spanned {
@@ -364,12 +399,26 @@ mod tests {
     #[test]
     fn bad_char_reported() {
         let err = lex("a $ b").unwrap_err();
-        assert_eq!(err.ch, '$');
+        assert_eq!(err.kind, LexErrorKind::BadChar('$'));
         assert_eq!(err.pos.col, 3);
     }
 
     #[test]
     fn numbers() {
         assert_eq!(toks("042"), vec![Token::Number(42), Token::Eof]);
+    }
+
+    #[test]
+    fn i64_boundary_literals() {
+        // i64::MAX lexes exactly; one more rejects instead of saturating.
+        assert_eq!(
+            toks("9223372036854775807"),
+            vec![Token::Number(i64::MAX), Token::Eof]
+        );
+        let err = lex("a 9223372036854775808").unwrap_err();
+        assert_eq!(err.kind, LexErrorKind::NumberTooLarge);
+        assert_eq!(err.pos, Pos { line: 1, col: 3 });
+        let err = lex("99999999999999999999999999").unwrap_err();
+        assert_eq!(err.kind, LexErrorKind::NumberTooLarge);
     }
 }

@@ -29,9 +29,13 @@ pub enum BinOp {
     Min,
     /// Maximum.
     Max,
-    /// Arithmetic shift left (shift amounts clamp to `0..=62`).
+    /// Arithmetic shift left. Out-of-range amounts (`< 0` or `> 63`)
+    /// follow the emitted Verilog's `<<<`: the amount is treated as
+    /// unsigned, so the result is `0` (see [`Expr::eval`]).
     Shl,
-    /// Arithmetic shift right (shift amounts clamp to `0..=62`).
+    /// Arithmetic shift right. Out-of-range amounts (`< 0` or `> 63`)
+    /// follow the emitted Verilog's `>>>`: the result is the sign fill
+    /// (`0` or `-1`; see [`Expr::eval`]).
     Shr,
 }
 
@@ -172,8 +176,13 @@ impl Expr {
     /// Evaluates the kernel. `fetch(slot, dx, dy)` supplies tap values.
     ///
     /// Arithmetic is wrapping on `i64` (far wider than the 16-bit pixel
-    /// datapath, so real kernels never wrap); division by zero yields zero;
-    /// shift amounts clamp to `0..=62`.
+    /// datapath, so real kernels never wrap); division by zero yields
+    /// zero. Shift amounts follow the emitted Verilog's `<<<`/`>>>`
+    /// semantics on a 64-bit datapath: the amount is treated as
+    /// unsigned, so negative or `> 63` amounts shift everything out —
+    /// `0` for `<<`, the sign fill (`0`/`-1`) for `>>`. (The model
+    /// formerly clamped amounts to `0..=62`, silently diverging from
+    /// the generated hardware; the hardware behavior is the pinned one.)
     pub fn eval(&self, fetch: &mut impl FnMut(usize, i32, i32) -> i64) -> i64 {
         match self {
             Expr::Const(c) => *c,
@@ -196,8 +205,17 @@ impl Expr {
                     }
                     BinOp::Min => a.min(b),
                     BinOp::Max => a.max(b),
-                    BinOp::Shl => a.wrapping_shl(b.clamp(0, 62) as u32),
-                    BinOp::Shr => a.wrapping_shr(b.clamp(0, 62) as u32),
+                    BinOp::Shl => {
+                        if (0..64).contains(&b) {
+                            a.wrapping_shl(b as u32)
+                        } else {
+                            0
+                        }
+                    }
+                    BinOp::Shr => {
+                        let amt = if (0..64).contains(&b) { b as u32 } else { 63 };
+                        a.wrapping_shr(amt)
+                    }
                 }
             }
             Expr::Cmp(op, a, b) => {
@@ -519,11 +537,21 @@ mod tests {
     }
 
     #[test]
-    fn shift_amount_clamped() {
-        let e = Expr::bin(BinOp::Shr, Expr::Const(1024), Expr::Const(100));
-        // Clamped to 62: effectively zero.
-        assert_eq!(e.eval(&mut flat(0)), 0);
-        let e = Expr::bin(BinOp::Shl, Expr::Const(1), Expr::Const(4));
-        assert_eq!(e.eval(&mut flat(0)), 16);
+    fn shift_semantics_match_verilog() {
+        let shl = |a: i64, b: i64| Expr::bin(BinOp::Shl, Expr::Const(a), Expr::Const(b));
+        let shr = |a: i64, b: i64| Expr::bin(BinOp::Shr, Expr::Const(a), Expr::Const(b));
+        // In-range amounts shift normally.
+        assert_eq!(shl(1, 4).eval(&mut flat(0)), 16);
+        assert_eq!(shr(1024, 3).eval(&mut flat(0)), 128);
+        assert_eq!(shr(-8, 1).eval(&mut flat(0)), -4, "arithmetic shift");
+        assert_eq!(shl(1, 63).eval(&mut flat(0)), i64::MIN);
+        assert_eq!(shr(i64::MIN, 63).eval(&mut flat(0)), -1);
+        // Out-of-range amounts behave like Verilog's `<<<`/`>>>` with an
+        // unsigned amount: everything shifts out.
+        for amt in [64, 100, i64::MAX, -1, -100, i64::MIN] {
+            assert_eq!(shl(1024, amt).eval(&mut flat(0)), 0, "shl by {amt}");
+            assert_eq!(shr(1024, amt).eval(&mut flat(0)), 0, "shr(+) by {amt}");
+            assert_eq!(shr(-1024, amt).eval(&mut flat(0)), -1, "shr(-) by {amt}");
+        }
     }
 }

@@ -295,7 +295,26 @@ pub enum IrError {
         /// The repeated name.
         name: String,
     },
+    /// A kernel's tap span exceeds [`MAX_WINDOW_SPAN`] on some axis.
+    ///
+    /// Arbitrary `i32` offsets are accepted per tap, but the *span* —
+    /// `max - min + 1` over a stage's taps, which sizes windows, shift
+    /// register arrays and line buffers — must stay within a hardware
+    /// plausibility bound, both to reject nonsense programs early and to
+    /// keep all downstream `i32`/`u32` window arithmetic overflow-free.
+    WindowTooLarge {
+        /// Offending stage name.
+        stage: String,
+        /// The offending span (columns or rows).
+        span: u64,
+    },
 }
+
+/// Largest accepted stencil span (columns or rows) of a single stage,
+/// `2^20`. A window this size already dwarfs any real frame; beyond it,
+/// [`Dag::add_stage`] returns [`IrError::WindowTooLarge`] instead of
+/// risking `i32` overflow in normalization and window arithmetic.
+pub const MAX_WINDOW_SPAN: u64 = 1 << 20;
 
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -327,6 +346,12 @@ impl fmt::Display for IrError {
             }
             IrError::DuplicateName { name } => {
                 write!(f, "stage name `{name}` is used more than once")
+            }
+            IrError::WindowTooLarge { stage, span } => {
+                write!(
+                    f,
+                    "stage `{stage}` spans {span} rows/columns, above the supported {MAX_WINDOW_SPAN}"
+                )
             }
         }
     }
@@ -462,6 +487,28 @@ impl Dag {
         for slot in 0..producers.len() {
             if extents.get(slot).copied().flatten().is_none() {
                 return Err(IrError::UnreadProducer { stage: name, slot });
+            }
+        }
+        // Reject absurd stencil spans before any i32 window arithmetic
+        // (normalization shifts, `width()`/`height()` casts) can overflow.
+        // The span is global over slots because normalization applies one
+        // global shift.
+        // The raster anchor (offset 0) is part of the physical window, so
+        // the hull includes it on every side.
+        {
+            let mut xl = 0i64;
+            let mut xh = 0i64;
+            let mut yl = 0i64;
+            let mut yh = 0i64;
+            for e in extents.iter().flatten() {
+                xl = xl.min(e.dx_min as i64);
+                xh = xh.max(e.dx_max as i64);
+                yl = yl.min(e.dy_min as i64);
+                yh = yh.max(e.dy_max as i64);
+            }
+            let span = ((xh - xl) as u64 + 1).max((yh - yl) as u64 + 1);
+            if span > MAX_WINDOW_SPAN {
+                return Err(IrError::WindowTooLarge { stage: name, span });
             }
         }
         let sy = extents
@@ -684,6 +731,13 @@ impl Dag {
     /// (kind, kernel, producers, outputs, sync groups), and edges
     /// (endpoints, windows, read ports).
     ///
+    /// The normalization shift a stage was *constructed* with is pure
+    /// provenance (it relabels authored coordinates; every consumer of
+    /// the DAG reads the normalized kernels and windows hashed here), so
+    /// it is deliberately **not** part of the fingerprint: a DAG built
+    /// from centered taps and the same DAG re-lowered from its printed
+    /// normalized form compile identically and fingerprint identically.
+    ///
     /// Two DAGs with equal fingerprints compile identically for any given
     /// geometry and memory specification, which is what compile caches key
     /// on. The hash is FNV-1a over the structural fields, so it is stable
@@ -726,7 +780,6 @@ impl Dag {
                 p.0.hash(&mut h);
             }
             s.is_output.hash(&mut h);
-            s.norm_shift.hash(&mut h);
             s.sync_group.hash(&mut h);
         }
         self.edges.len().hash(&mut h);
@@ -1085,6 +1138,61 @@ mod tests {
         let k2 = d.add_stage("K2", &[k1], box3(0)).unwrap();
         d.mark_output(k2);
         assert_ne!(a.fingerprint(), d.fingerprint(), "name is part of the key");
+    }
+
+    #[test]
+    fn fingerprint_ignores_normalization_provenance() {
+        // A centered window and its pre-normalized spelling are the same
+        // hardware; the fingerprint must agree so compile caches and
+        // round-trip tests treat them as one design.
+        let mut a = Dag::new("p");
+        let a0 = a.add_input("K0");
+        let a1 = a.add_stage("K1", &[a0], box3(0)).unwrap();
+        a.mark_output(a1);
+        let mut b = Dag::new("p");
+        let b0 = b.add_input("K0");
+        // box3 normalized: dx in [-2, 0], dy in [0, 2].
+        let normalized = Expr::sum((0..9).map(|i| Expr::tap(0, i % 3 - 2, i / 3)));
+        let b1 = b.add_stage("K1", &[b0], normalized).unwrap();
+        b.mark_output(b1);
+        assert_eq!(a.stage(a1).kernel(), b.stage(b1).kernel());
+        assert_ne!(a.stage(a1).norm_shift(), b.stage(b1).norm_shift());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn absurd_window_spans_rejected() {
+        let max = crate::MAX_WINDOW_SPAN;
+        let mut dag = Dag::new("w");
+        let k0 = dag.add_input("K0");
+        // Exactly at the limit: accepted (span counts the 0 anchor).
+        let wide = Expr::bin(
+            BinOp::Add,
+            Expr::tap(0, -(max as i32 - 1), 0),
+            Expr::tap(0, 0, 0),
+        );
+        dag.add_stage("ok", &[k0], wide).unwrap();
+        // One beyond: rejected, instead of risking i32 overflow later.
+        let too_wide = Expr::bin(
+            BinOp::Add,
+            Expr::tap(0, -(max as i32), 0),
+            Expr::tap(0, 0, 0),
+        );
+        let err = dag.add_stage("kx", &[k0], too_wide).unwrap_err();
+        assert!(matches!(err, IrError::WindowTooLarge { span, .. } if span == max + 1));
+        // Extreme offsets on both axes must error, not overflow.
+        let err = dag
+            .add_stage(
+                "ky",
+                &[k0],
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::tap(0, i32::MIN, i32::MIN),
+                    Expr::tap(0, i32::MAX, i32::MAX),
+                ),
+            )
+            .unwrap_err();
+        assert!(matches!(err, IrError::WindowTooLarge { .. }));
     }
 
     #[test]

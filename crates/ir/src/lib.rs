@@ -30,6 +30,6 @@ pub use coalesce::{apply_line_coalescing, CoalesceFactor, CoalescedEdge};
 pub use expr::{BinOp, CmpOp, Expr, OpCensus, TapExtent};
 pub use graph::{
     Dag, DagStats, Edge, EdgeId, IrError, Origin, Reachability, ReadPort, Stage, StageId,
-    StageKind, Window,
+    StageKind, Window, MAX_WINDOW_SPAN,
 };
 pub use linearize::{linearize, Linearized};

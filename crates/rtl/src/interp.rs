@@ -131,8 +131,20 @@ fn eval_acc(e: &Expr, acc: u32, fetch: &mut impl FnMut(usize, i32, i32) -> i64) 
                 }
                 BinOp::Min => a.min(b),
                 BinOp::Max => a.max(b),
-                BinOp::Shl => a.wrapping_shl(b.clamp(0, 62) as u32),
-                BinOp::Shr => a.wrapping_shr(b.clamp(0, 62) as u32),
+                // Verilog `<<<`/`>>>` semantics, identical to
+                // `imagen_ir::Expr::eval`: out-of-range amounts shift
+                // everything out (pinned by tests/shift_semantics.rs).
+                BinOp::Shl => {
+                    if (0..64).contains(&b) {
+                        a.wrapping_shl(b as u32)
+                    } else {
+                        0
+                    }
+                }
+                BinOp::Shr => {
+                    let amt = if (0..64).contains(&b) { b as u32 } else { 63 };
+                    a.wrapping_shr(amt)
+                }
             }
         }
         Expr::Cmp(op, a, b) => {
