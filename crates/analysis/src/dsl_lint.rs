@@ -1,0 +1,255 @@
+//! DSL lints: pre-lowering checks over the AST.
+//!
+//! These run on the [`Program`] rather than the lowered DAG because the
+//! lowerer *rejects* several of the shapes linted here (dead stages, for
+//! one), and because only the AST still carries source positions and the
+//! constant structure the `W0105` fold check needs.
+
+use crate::width::MAX_TAP_REACH;
+use crate::{codes, Diagnostic, Locus, Severity};
+use imagen_dsl::{AstExpr, Item, Pos, Program};
+use std::collections::{HashMap, HashSet};
+
+fn src(pos: Pos) -> Locus {
+    Locus::Source {
+        line: pos.line,
+        col: pos.col,
+    }
+}
+
+/// Runs every DSL lint over a parsed program.
+pub(crate) fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Which names each stage taps, in item order.
+    let mut tapped: HashSet<&str> = HashSet::new();
+    let mut taps_of: HashMap<&str, Vec<&str>> = HashMap::new();
+    for item in &program.items {
+        if let Item::Stage { name, body, .. } = item {
+            let entry = taps_of.entry(name.as_str()).or_default();
+            body.for_each_tap(&mut |stage, _, _| {
+                tapped.insert(stage);
+                entry.push(stage);
+            });
+        }
+    }
+
+    // Backward reachability from the output stages over tap edges.
+    let mut live: HashSet<&str> = HashSet::new();
+    let mut work: Vec<&str> = Vec::new();
+    for item in &program.items {
+        if let Item::Stage {
+            name, output: true, ..
+        } = item
+        {
+            if live.insert(name.as_str()) {
+                work.push(name.as_str());
+            }
+        }
+    }
+    while let Some(n) = work.pop() {
+        for &p in taps_of.get(n).into_iter().flatten() {
+            if live.insert(p) {
+                work.push(p);
+            }
+        }
+    }
+
+    // Unused / unreachable items, in source order.
+    for item in &program.items {
+        match item {
+            Item::Input { name, pos } => {
+                if !tapped.contains(name.as_str()) {
+                    diags.push(
+                        Diagnostic::new(
+                            codes::UNUSED_INPUT,
+                            Severity::Warning,
+                            format!("input `{name}` is never read"),
+                        )
+                        .at(src(*pos)),
+                    );
+                }
+            }
+            Item::Stage {
+                name,
+                output: false,
+                pos,
+                ..
+            } => {
+                if !tapped.contains(name.as_str()) {
+                    diags.push(
+                        Diagnostic::new(
+                            codes::UNUSED_STAGE,
+                            Severity::Warning,
+                            format!("stage `{name}` is never used"),
+                        )
+                        .at(src(*pos)),
+                    );
+                } else if !live.contains(name.as_str()) {
+                    diags.push(
+                        Diagnostic::new(
+                            codes::NO_PATH_TO_SINK,
+                            Severity::Warning,
+                            format!("stage `{name}` has no path to any output"),
+                        )
+                        .at(src(*pos)),
+                    );
+                }
+            }
+            Item::Stage { .. } => {}
+        }
+    }
+
+    // Suspicious tap reach, in tap order.
+    for item in &program.items {
+        if let Item::Stage { body, .. } = item {
+            walk_taps(body, &mut |stage, dx, dy, pos| {
+                if dx.abs() > MAX_TAP_REACH || dy.abs() > MAX_TAP_REACH {
+                    diags.push(
+                        Diagnostic::new(
+                            codes::TAP_REACH,
+                            Severity::Warning,
+                            format!(
+                                "tap into `{stage}` at offset ({dx:+}, {dy:+}) exceeds the \
+                                 expected stencil reach of {MAX_TAP_REACH}"
+                            ),
+                        )
+                        .at(src(pos)),
+                    );
+                }
+            });
+        }
+    }
+
+    // Constant-foldable subexpressions: maximal non-literal const subtrees.
+    for item in &program.items {
+        if let Item::Stage { name, body, .. } = item {
+            maximal_const(body, &mut |value| {
+                diags.push(
+                    Diagnostic::new(
+                        codes::CONST_FOLD,
+                        Severity::Warning,
+                        format!("subexpression in stage `{name}` always evaluates to {value}"),
+                    )
+                    .at(Locus::Stage(name.clone())),
+                );
+            });
+        }
+    }
+
+    diags
+}
+
+/// Visits taps with their source positions.
+fn walk_taps(e: &AstExpr, f: &mut impl FnMut(&str, i32, i32, Pos)) {
+    match e {
+        AstExpr::Number(_) => {}
+        AstExpr::Tap {
+            stage, dx, dy, pos, ..
+        } => f(stage, *dx, *dy, *pos),
+        AstExpr::Neg(a) => walk_taps(a, f),
+        AstExpr::Call { args, .. } => {
+            for a in args {
+                walk_taps(a, f);
+            }
+        }
+        AstExpr::Bin { lhs, rhs, .. } => {
+            walk_taps(lhs, f);
+            walk_taps(rhs, f);
+        }
+    }
+}
+
+/// Reports each *maximal* constant-foldable subtree that is not already a
+/// bare literal, without descending into it (one diagnostic per fold
+/// opportunity, not one per node).
+fn maximal_const(e: &AstExpr, emit: &mut impl FnMut(i64)) {
+    if matches!(e, AstExpr::Number(_)) {
+        return;
+    }
+    if let Some(v) = e.const_value() {
+        emit(v);
+        return;
+    }
+    match e {
+        AstExpr::Number(_) | AstExpr::Tap { .. } => {}
+        AstExpr::Neg(a) => maximal_const(a, emit),
+        AstExpr::Call { args, .. } => {
+            for a in args {
+                maximal_const(a, emit);
+            }
+        }
+        AstExpr::Bin { lhs, rhs, .. } => {
+            maximal_const(lhs, emit);
+            maximal_const(rhs, emit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagen_dsl::parse_program;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_program(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_is_quiet() {
+        let d = lint("input a; output b = im(x,y) a(x-1,y) + a(x+1,y) end");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unused_stage_and_input() {
+        let d = lint(
+            "input a; input ghost;\n\
+             dead = im(x,y) a(x,y) + 1 end\n\
+             output o = im(x,y) a(x,y) end",
+        );
+        let got: Vec<_> = d.iter().map(|x| x.code).collect();
+        assert_eq!(got, vec![codes::UNUSED_INPUT, codes::UNUSED_STAGE]);
+        assert!(d[0].message.contains("ghost"));
+        assert!(d[1].message.contains("dead"));
+    }
+
+    #[test]
+    fn no_path_to_sink_is_distinct_from_unused() {
+        // `b` is read (by `c`), but `c` itself is dead, so `b` never
+        // reaches an output.
+        let d = lint(
+            "input a;\n\
+             b = im(x,y) a(x,y) end\n\
+             c = im(x,y) b(x,y) * 2 end\n\
+             output o = im(x,y) a(x,y) end",
+        );
+        let got: Vec<_> = d.iter().map(|x| x.code).collect();
+        assert_eq!(got, vec![codes::NO_PATH_TO_SINK, codes::UNUSED_STAGE]);
+        assert!(d[0].message.contains('b'));
+        assert!(d[1].message.contains('c'));
+    }
+
+    #[test]
+    fn excessive_tap_reach() {
+        let d = lint("input a; output o = im(x,y) a(x, y - 40) end");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, codes::TAP_REACH);
+        assert!(d[0].message.contains("-40"), "{}", d[0].message);
+        assert!(matches!(d[0].locus, Locus::Source { .. }));
+    }
+
+    #[test]
+    fn constant_fold_reports_maximal_subtree_once() {
+        let d = lint("input a; output o = im(x,y) a(x,y) * (2 + 3 * 4) end");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, codes::CONST_FOLD);
+        assert!(d[0].message.contains("14"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn bare_literals_are_not_fold_candidates() {
+        let d = lint("input a; output o = im(x,y) a(x,y) + 7 end");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,397 @@
+//! Width & overflow dataflow: interval inference over kernel expressions
+//! propagated through the DAG.
+//!
+//! Every stage's output gets a value interval, starting from the declared
+//! input range at the sources and pushed through each kernel with a
+//! transfer function that mirrors `Expr::eval`'s *mathematical* behavior
+//! (truncating division, division by zero yielding zero, Verilog shift
+//! rules). Intervals are computed in `i128` with saturation far beyond
+//! `i64`, so they are exact as long as no node exceeds the accumulator.
+//!
+//! The soundness claim (differentially tested in `tests/soundness.rs`):
+//! if no node's interval escapes the signed `acc_bits` range and no
+//! stage's output escapes the signed `pixel_bits` range, then the
+//! hardware datapath never truncates and the kernel evaluator never
+//! wraps, so the 16/32 and 64/64 interpretations produce identical
+//! frames. A flagged stage's output is assumed to span the full pixel
+//! range downstream — sound, because the output register sign-extends
+//! into exactly that range.
+
+use crate::{codes, AnalysisOptions, Diagnostic, Locus, Severity};
+use imagen_ir::{BinOp, Dag, Expr};
+
+/// Largest tap offset magnitude (either axis) before the DSL lints call
+/// a stencil suspicious (`W0104`). Real stencils in the paper's table
+/// top out at 17 rows of reach; each row of vertical reach costs a line
+/// buffer row, so a huge offset is almost always a typo.
+pub const MAX_TAP_REACH: i32 = 32;
+
+/// Saturation cap: wide enough that saturation itself is always flagged
+/// (it exceeds any representable accumulator), small enough that the
+/// arithmetic below cannot overflow `i128`.
+const CAP: i128 = 1 << 100;
+
+/// A closed value interval `[lo, hi]`, saturating at ±[`CAP`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Iv {
+    lo: i128,
+    hi: i128,
+}
+
+impl Iv {
+    fn new(lo: i128, hi: i128) -> Iv {
+        debug_assert!(lo <= hi);
+        Iv {
+            lo: lo.clamp(-CAP, CAP),
+            hi: hi.clamp(-CAP, CAP),
+        }
+    }
+
+    fn exact(v: i128) -> Iv {
+        Iv::new(v, v)
+    }
+
+    fn hull(a: Iv, b: Iv) -> Iv {
+        Iv::new(a.lo.min(b.lo), a.hi.max(b.hi))
+    }
+
+    fn mag(&self) -> i128 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    fn neg(self) -> Iv {
+        Iv::new(-self.hi, -self.lo)
+    }
+
+    fn abs(self) -> Iv {
+        if self.lo >= 0 {
+            self
+        } else if self.hi <= 0 {
+            self.neg()
+        } else {
+            Iv::new(0, self.mag())
+        }
+    }
+
+    fn corners(a: Iv, b: Iv, f: impl Fn(i128, i128) -> i128) -> Iv {
+        let c = [f(a.lo, b.lo), f(a.lo, b.hi), f(a.hi, b.lo), f(a.hi, b.hi)];
+        Iv::new(
+            c.iter().copied().min().unwrap(),
+            c.iter().copied().max().unwrap(),
+        )
+    }
+}
+
+/// Signed range of a `bits`-wide two's-complement register.
+fn signed_range(bits: u32) -> (i128, i128) {
+    let b = bits.clamp(1, 64);
+    (-(1i128 << (b - 1)), (1i128 << (b - 1)) - 1)
+}
+
+struct Ctx<'a> {
+    /// Output interval of each producer slot of the stage under analysis.
+    slots: &'a [Iv],
+    acc: (i128, i128),
+    /// Widest interval seen on a node that escapes the accumulator.
+    worst: Option<Iv>,
+}
+
+impl Ctx<'_> {
+    fn check(&mut self, r: Iv) -> Iv {
+        if r.lo < self.acc.0 || r.hi > self.acc.1 {
+            let w = self.worst.get_or_insert(r);
+            *w = Iv::hull(*w, r);
+        }
+        r
+    }
+}
+
+/// Interval transfer function, mirroring `Expr::eval` mathematically.
+fn eval_iv(e: &Expr, ctx: &mut Ctx<'_>) -> Iv {
+    let r = match e {
+        Expr::Const(c) => Iv::exact(*c as i128),
+        Expr::Tap { slot, .. } => ctx.slots.get(*slot).copied().unwrap_or(Iv::new(-CAP, CAP)),
+        Expr::Neg(a) => eval_iv(a, ctx).neg(),
+        Expr::Abs(a) => eval_iv(a, ctx).abs(),
+        Expr::Bin(op, a, b) => {
+            let a = eval_iv(a, ctx);
+            let b = eval_iv(b, ctx);
+            bin_iv(*op, a, b)
+        }
+        Expr::Cmp(_, a, b) => {
+            eval_iv(a, ctx);
+            eval_iv(b, ctx);
+            Iv::new(0, 1)
+        }
+        Expr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = eval_iv(cond, ctx);
+            let t = eval_iv(then, ctx);
+            let o = eval_iv(otherwise, ctx);
+            if c.lo > 0 || c.hi < 0 {
+                t
+            } else if c == Iv::exact(0) {
+                o
+            } else {
+                Iv::hull(t, o)
+            }
+        }
+        Expr::Clamp { value, lo, hi } => {
+            eval_iv(value, ctx);
+            let lo = eval_iv(lo, ctx);
+            let hi = eval_iv(hi, ctx);
+            // `lo > hi` pins to `lo`; otherwise the result lies between
+            // the smallest lower limit and the largest upper limit.
+            Iv::new(lo.lo, hi.hi.max(lo.hi))
+        }
+    };
+    ctx.check(r)
+}
+
+fn bin_iv(op: BinOp, a: Iv, b: Iv) -> Iv {
+    match op {
+        BinOp::Add => Iv::new(a.lo.saturating_add(b.lo), a.hi.saturating_add(b.hi)),
+        BinOp::Sub => Iv::new(a.lo.saturating_sub(b.hi), a.hi.saturating_sub(b.lo)),
+        BinOp::Mul => Iv::corners(a, b, |x, y| x.saturating_mul(y)),
+        BinOp::Div => {
+            if b == Iv::exact(0) {
+                // Guarded divider: /0 yields 0.
+                Iv::exact(0)
+            } else if b.lo > 0 || b.hi < 0 {
+                // Sign-definite divisor: truncating division is monotone
+                // in each argument, so corners bound it.
+                Iv::corners(a, b, |x, y| x / y)
+            } else {
+                // Divisor straddles zero: |result| never exceeds |a|
+                // (divisor ±1 is the worst case; 0 yields 0).
+                Iv::new(-a.mag(), a.mag())
+            }
+        }
+        BinOp::Min => Iv::new(a.lo.min(b.lo), a.hi.min(b.hi)),
+        BinOp::Max => Iv::new(a.lo.max(b.lo), a.hi.max(b.hi)),
+        BinOp::Shl => {
+            let mut out: Option<Iv> = None;
+            let (s_lo, s_hi) = (b.lo.max(0), b.hi.min(63));
+            if s_lo <= s_hi {
+                let scaled =
+                    |s: i128| Iv::corners(a, Iv::exact(1i128 << s), |x, y| x.saturating_mul(y));
+                let r = Iv::hull(scaled(s_lo), scaled(s_hi));
+                out = Some(r);
+            }
+            if b.lo < 0 || b.hi > 63 {
+                // Out-of-range amounts shift everything out (Verilog <<<).
+                let z = Iv::exact(0);
+                out = Some(out.map_or(z, |r| Iv::hull(r, z)));
+            }
+            out.unwrap_or(Iv::exact(0))
+        }
+        BinOp::Shr => {
+            let mut amounts = Vec::with_capacity(3);
+            let (s_lo, s_hi) = (b.lo.max(0), b.hi.min(63));
+            if s_lo <= s_hi {
+                amounts.push(s_lo as u32);
+                amounts.push(s_hi as u32);
+            }
+            if b.lo < 0 || b.hi > 63 {
+                // Out-of-range amounts behave as a shift by 63 (sign fill).
+                amounts.push(63);
+            }
+            let mut out: Option<Iv> = None;
+            for s in amounts {
+                let r = Iv::new(a.lo >> s, a.hi >> s);
+                out = Some(out.map_or(r, |o| Iv::hull(o, r)));
+            }
+            out.unwrap_or(Iv::exact(0))
+        }
+    }
+}
+
+/// Runs the width/overflow pass over a lowered DAG.
+pub(crate) fn lint_dag(dag: &Dag, opts: &AnalysisOptions) -> Vec<Diagnostic> {
+    let pixel = signed_range(opts.widths.pixel_bits);
+    let acc = signed_range(opts.widths.acc_bits);
+    let input_iv = Iv::new(
+        (opts.input_range.0 as i128).clamp(pixel.0, pixel.1),
+        (opts.input_range.1 as i128).clamp(pixel.0, pixel.1),
+    );
+    let full_pixel = Iv::new(pixel.0, pixel.1);
+
+    let mut diags = Vec::new();
+    let mut out: Vec<Iv> = Vec::with_capacity(dag.num_stages());
+    for (_, stage) in dag.stages() {
+        let Some(kernel) = stage.kernel() else {
+            out.push(input_iv);
+            continue;
+        };
+        let slots: Vec<Iv> = stage.producers().iter().map(|p| out[p.index()]).collect();
+        let mut ctx = Ctx {
+            slots: &slots,
+            acc,
+            worst: None,
+        };
+        let root = eval_iv(kernel, &mut ctx);
+        let mut flagged = false;
+        if let Some(w) = ctx.worst {
+            flagged = true;
+            diags.push(
+                Diagnostic::new(
+                    codes::ACC_OVERFLOW,
+                    Severity::Warning,
+                    format!(
+                        "kernel of stage `{}` can reach [{}, {}], outside the {}-bit accumulator range [{}, {}]",
+                        stage.name(),
+                        w.lo,
+                        w.hi,
+                        opts.widths.acc_bits,
+                        acc.0,
+                        acc.1
+                    ),
+                )
+                .at(Locus::Stage(stage.name().to_string())),
+            );
+        }
+        if root.lo < pixel.0 || root.hi > pixel.1 {
+            flagged = true;
+            diags.push(
+                Diagnostic::new(
+                    codes::OUT_TRUNCATES,
+                    Severity::Note,
+                    format!(
+                        "output of stage `{}` spans [{}, {}] and truncates at the {}-bit output register",
+                        stage.name(),
+                        root.lo,
+                        root.hi,
+                        opts.widths.pixel_bits
+                    ),
+                )
+                .at(Locus::Stage(stage.name().to_string())),
+            );
+        }
+        // A flagged stage's register still sign-extends into the pixel
+        // range, so that is the sound downstream assumption.
+        out.push(if flagged { full_pixel } else { root });
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imagen_ir::CmpOp;
+
+    fn opts() -> AnalysisOptions {
+        AnalysisOptions::default()
+    }
+
+    fn one_stage(kernel: Expr) -> Dag {
+        let mut dag = Dag::new("t");
+        let a = dag.add_input("a");
+        let b = dag.add_stage("b", &[a], kernel).unwrap();
+        dag.mark_output(b);
+        dag
+    }
+
+    #[test]
+    fn box_blur_is_certified() {
+        let sum = Expr::sum((0..9).map(|i| Expr::tap(0, i % 3 - 1, i / 3 - 1)));
+        let d = lint_dag(
+            &one_stage(Expr::bin(BinOp::Div, sum, Expr::Const(9))),
+            &opts(),
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cube_truncates_but_fits_accumulator() {
+        let t = || Expr::tap(0, 0, 0);
+        let cube = Expr::bin(BinOp::Mul, Expr::bin(BinOp::Mul, t(), t()), t());
+        let d = lint_dag(&one_stage(cube), &opts());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, codes::OUT_TRUNCATES);
+        assert_eq!(d[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn fifth_power_overflows_accumulator() {
+        let t = || Expr::tap(0, 0, 0);
+        let mut e = t();
+        for _ in 0..4 {
+            e = Expr::bin(BinOp::Mul, e, t());
+        }
+        let d = lint_dag(&one_stage(e), &opts());
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].code, codes::ACC_OVERFLOW);
+        assert_eq!(d[1].code, codes::OUT_TRUNCATES);
+    }
+
+    #[test]
+    fn widened_datapath_certifies_the_same_kernel() {
+        let t = || Expr::tap(0, 0, 0);
+        let mut e = t();
+        for _ in 0..4 {
+            e = Expr::bin(BinOp::Mul, e, t());
+        }
+        let wide = AnalysisOptions {
+            widths: imagen_rtl::BitWidths::wide(),
+            ..opts()
+        };
+        assert!(lint_dag(&one_stage(e), &wide).is_empty());
+    }
+
+    #[test]
+    fn division_by_interval_straddling_zero_is_bounded() {
+        // a / (a - 64) with a in [0,127]: divisor straddles 0, result
+        // magnitude never exceeds |a| <= 127 — certified.
+        let t = || Expr::tap(0, 0, 0);
+        let e = Expr::bin(BinOp::Div, t(), Expr::bin(BinOp::Sub, t(), Expr::Const(64)));
+        assert!(lint_dag(&one_stage(e), &opts()).is_empty());
+    }
+
+    #[test]
+    fn variable_shift_amount_is_conservative() {
+        // a << a with a in [0,127]: amounts up to 63 blow out any
+        // accumulator.
+        let t = || Expr::tap(0, 0, 0);
+        let e = Expr::bin(BinOp::Shl, t(), t());
+        let d = lint_dag(&one_stage(e), &opts());
+        assert_eq!(d[0].code, codes::ACC_OVERFLOW);
+    }
+
+    #[test]
+    fn select_refines_on_decided_conditions() {
+        // select(1, small, huge) only sees the small branch.
+        let huge = Expr::bin(BinOp::Mul, Expr::Const(1 << 30), Expr::Const(1 << 30));
+        let e = Expr::select(Expr::Const(1), Expr::tap(0, 0, 0), huge);
+        let d = lint_dag(&one_stage(e), &opts());
+        // The dead branch itself is still checked (it exceeds the
+        // accumulator as a node), so the stage is flagged — but the
+        // select's own interval stays small, so no truncation note.
+        assert!(d.iter().all(|x| x.code != codes::OUT_TRUNCATES), "{d:?}");
+    }
+
+    #[test]
+    fn comparisons_are_boolean() {
+        let e = Expr::cmp(CmpOp::Gt, Expr::tap(0, 0, 0), Expr::Const(10));
+        assert!(lint_dag(&one_stage(e), &opts()).is_empty());
+    }
+
+    #[test]
+    fn intervals_propagate_through_the_dag() {
+        // b = a*a (fits pixel at [0,127]? 127^2 = 16129 <= 32767: yes);
+        // c = b*b exceeds pixel and fits acc; both checked from the
+        // propagated interval, not the worst-case pixel range.
+        let mut dag = Dag::new("t");
+        let a = dag.add_input("a");
+        let sq = |s| Expr::bin(BinOp::Mul, Expr::tap(s, 0, 0), Expr::tap(s, 0, 0));
+        let b = dag.add_stage("b", &[a], sq(0)).unwrap();
+        let c = dag.add_stage("c", &[b], sq(0)).unwrap();
+        dag.mark_output(c);
+        let d = lint_dag(&dag, &opts());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, codes::OUT_TRUNCATES);
+        assert_eq!(d[0].locus, Locus::Stage("c".to_string()));
+    }
+}

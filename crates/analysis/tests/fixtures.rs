@@ -1,0 +1,110 @@
+//! Golden-pinned fixture corpus for the analyzer, plus the lint-clean
+//! guarantee over the shipped example pipelines.
+//!
+//! Each `tests/fixtures/<name>.imagen` is analyzed at the default
+//! [`AnalysisOptions`] and its rendered diagnostics are compared byte for
+//! byte against `<name>.expected`. Regenerate deliberately with
+//! `IMAGEN_BLESS=1 cargo test -p imagen-analysis --test fixtures`.
+
+use imagen_analysis::{analyze, AnalysisOptions};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn render(name: &str, src: &str) -> String {
+    let report = analyze(name, src, &AnalysisOptions::default());
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fixture_corpus_matches_goldens() {
+    let dir = fixtures_dir();
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "imagen"))
+        .collect();
+    cases.sort();
+    assert!(cases.len() >= 8, "fixture corpus shrank: {cases:?}");
+    for case in cases {
+        let name = case.file_stem().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&case).unwrap();
+        let got = render(&name, &src);
+        let golden_path = case.with_extension("expected");
+        if std::env::var("IMAGEN_BLESS").is_ok() {
+            std::fs::write(&golden_path, &got).unwrap();
+            continue;
+        }
+        let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!("{} (IMAGEN_BLESS=1 to create): {e}", golden_path.display())
+        });
+        assert!(
+            got == want,
+            "{name} diagnostics drifted; rerun with IMAGEN_BLESS=1 if intended.\n--- got ---\n{got}\n--- want ---\n{want}"
+        );
+    }
+}
+
+#[test]
+fn fixture_corpus_exercises_every_pass_family() {
+    // The corpus must keep at least one diagnostic from each family so a
+    // regression in any pass is visible as golden drift.
+    let dir = fixtures_dir();
+    let mut all = String::new();
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|x| x == "imagen") {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            all.push_str(&render(&name, &std::fs::read_to_string(&p).unwrap()));
+        }
+    }
+    for code in [
+        "E0001", "W0101", "W0102", "W0104", "W0105", "W0201", "N0202",
+    ] {
+        assert!(all.contains(code), "no fixture emits {code}:\n{all}");
+    }
+}
+
+/// The Tbl. 3 pipelines shipped under `examples/` must stay lint-clean
+/// (no errors, no warnings) at the default analysis options. Width notes
+/// (`N0202`) are informational and allowed — the set that carries them is
+/// pinned so it cannot grow silently.
+#[test]
+fn shipped_examples_are_lint_clean() {
+    let examples = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut noteful: Vec<String> = Vec::new();
+    let mut seen = 0usize;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&examples)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "imagen"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let report = analyze(&name, &src, &AnalysisOptions::default());
+        assert!(
+            report.is_clean(),
+            "{name} is not lint-clean: {:?}",
+            report.diagnostics
+        );
+        if report.notes() > 0 {
+            noteful.push(name);
+        }
+        seen += 1;
+    }
+    assert!(seen >= 8, "example corpus shrank to {seen} pipelines");
+    assert_eq!(
+        noteful,
+        ["harris_m", "harris_s", "xcorr_m"],
+        "the set of examples with width notes drifted"
+    );
+}

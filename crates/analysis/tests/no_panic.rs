@@ -1,0 +1,160 @@
+//! `analyze` is total: for any input — valid, hostile, or random soup —
+//! it must return a report, never unwind. The analyzer sits on the same
+//! external boundary as `imagen_dsl::compile` (the `lint` command and the
+//! batch server's admission check feed it arbitrary user text), so it
+//! inherits the same fuzzing obligations, plus one of its own: every
+//! diagnostic it emits must render and carry a sane locus.
+//!
+//! The small geometry keeps the planning/netlist back half fast enough to
+//! run under the byte- and token-soup generators.
+
+use imagen_analysis::{analyze, AnalysisOptions, Locus};
+use imagen_mem::{ImageGeometry, MemBackend, MemorySpec};
+use proptest::prelude::*;
+
+fn options() -> AnalysisOptions {
+    AnalysisOptions {
+        geom: ImageGeometry {
+            width: 16,
+            height: 12,
+            pixel_bits: 16,
+        },
+        spec: MemorySpec::new(MemBackend::Asic { block_bits: 512 }, 2),
+        ..AnalysisOptions::default()
+    }
+}
+
+/// Analyzes and asserts the result is a value, not a panic, with every
+/// diagnostic well-formed.
+fn assert_total(src: &str) -> Result<(), TestCaseError> {
+    let report = analyze("fuzz", src, &options());
+    for d in &report.diagnostics {
+        prop_assert!(!d.render().is_empty(), "diagnostics must render");
+        prop_assert!(!d.code.is_empty());
+        if let Locus::Source { line, col } = d.locus {
+            prop_assert!(line >= 1 && col >= 1, "1-based span: {line}:{col}");
+        }
+    }
+    Ok(())
+}
+
+/// The language's own lexemes plus near-miss fragments (mirrors the DSL
+/// fuzzer's alphabet).
+const LEXEMES: &[&str] = &[
+    "input",
+    "output",
+    "im",
+    "end",
+    "abs",
+    "min",
+    "max",
+    "clamp",
+    "select",
+    "K0",
+    "K1",
+    "x",
+    "y",
+    "(",
+    ")",
+    ",",
+    ";",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<<",
+    ">>",
+    "<",
+    "<=",
+    ">",
+    ">=",
+    "==",
+    "!=",
+    "0",
+    "1",
+    "255",
+    "2147483647",
+    "9223372036854775807",
+    "//",
+    "/*",
+    "*/",
+    "\n",
+    " ",
+    "!",
+    "$",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn byte_soup_never_panics(words in proptest::collection::vec(0u16..512, 0..160)) {
+        let bytes: Vec<u8> = words.iter().map(|&w| (w & 0xff) as u8).collect();
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_total(&src)?;
+    }
+
+    #[test]
+    fn token_soup_never_panics(picks in proptest::collection::vec(0usize..LEXEMES.len(), 0..100)) {
+        let src: String = picks
+            .iter()
+            .flat_map(|&i| [LEXEMES[i], " "])
+            .collect();
+        assert_total(&src)?;
+    }
+
+    #[test]
+    fn extreme_kernels_never_panic(
+        dx in -2_200_000i64..2_200_000,
+        dy in -40i64..40,
+        lit in -9_223_372_036_854_775_807i64..9_223_372_036_854_775_807,
+        shift in -65i64..130,
+    ) {
+        // Well-formed programs stressing the interval arithmetic: huge
+        // literals (saturation in the i128 lattice), offsets past the tap
+        // guard, out-of-range shift amounts, constant division edges.
+        let fmt = |v: i64| {
+            if v < 0 {
+                format!("-{}", v.unsigned_abs())
+            } else {
+                format!("+{v}")
+            }
+        };
+        let src = format!(
+            "input a;
+             b = im(x,y) a(x{}, y{}) * ({lit}) end
+             output c = im(x,y) (b(x,y) << ({})) / (b(x,y) - 3) end",
+            fmt(dx),
+            fmt(dy),
+            fmt(shift),
+        );
+        assert_total(&src)?;
+    }
+}
+
+/// Deterministic shapes around each pass family's edges.
+#[test]
+fn audit_corpus_is_total() {
+    let cases: &[&str] = &[
+        "",
+        ";",
+        "input",
+        "input a; output b = im(x,y) a(x,y)",
+        "output b = im(x,y) 7 end",
+        "input a; output b = im(x,y) b(x,y) end",
+        "input a; output b = im(x,y) a(x,y) / 0 end",
+        "input a; output b = im(x,y) a(x,y) << 9223372036854775807 end",
+        "input a; output b = im(x,y) -9223372036854775807 * a(x,y) end",
+        "input a; dead = im(x,y) a(x,y) end output b = im(x,y) a(x,y) end",
+        "input a; output b = im(x,y) a(x-33, y+33) end",
+        "input a; output b = im(x,y) clamp(a(x,y), 9, 2) end",
+        "input a; output b = im(x,y) select(a(x,y), 1, 0) end",
+    ];
+    for src in cases {
+        let report = analyze("corpus", src, &options());
+        for d in &report.diagnostics {
+            assert!(!d.render().is_empty());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! `imagen lint` — the static-analysis driver.
+//!
+//! Runs the full [`imagen_analysis`] pass stack (DSL lints, width/overflow
+//! dataflow, schedule invariants, netlist lints) over one `.imagen` file
+//! and reports the diagnostics either as human-readable lines (`--format
+//! text`, the default) or as one machine-readable JSON object per run
+//! (`--format json`). The exit code is nonzero when any error-severity
+//! diagnostic fires, or — under `--deny warnings` — when any warning does.
+
+use crate::json::{Json, ObjBuilder};
+use crate::Options;
+use imagen_analysis::{analyze, AnalysisOptions, AnalysisReport, Diagnostic, Locus};
+use imagen_rtl::BitWidths;
+
+/// Builds the analysis options the lint run assumes from the CLI flags.
+fn analysis_options(opts: &Options) -> AnalysisOptions {
+    let geom = opts.geometry();
+    let widths = if opts.wide {
+        BitWidths::wide()
+    } else {
+        BitWidths {
+            pixel_bits: geom.pixel_bits,
+            acc_bits: (2 * geom.pixel_bits).min(64),
+        }
+    };
+    let input_range = opts.input_range.unwrap_or_else(|| match opts.input_bits {
+        Some(bits) => (0, (1i64 << bits.min(62)) - 1),
+        None => AnalysisOptions::default().input_range,
+    });
+    AnalysisOptions {
+        geom,
+        spec: opts.memory_spec(),
+        widths,
+        input_range,
+    }
+}
+
+/// One diagnostic as a JSON object: code, severity, message, and
+/// whichever locus members apply.
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    let mut b = ObjBuilder::new()
+        .push("code", Json::Str(d.code.to_string()))
+        .push("severity", Json::Str(d.severity.label().to_string()))
+        .push("message", Json::Str(d.message.clone()));
+    match &d.locus {
+        Locus::None => {}
+        Locus::Source { line, col } => {
+            b = b
+                .push("line", Json::Num(*line as f64))
+                .push("col", Json::Num(*col as f64));
+        }
+        Locus::Stage(name) => b = b.push("stage", Json::Str(name.clone())),
+        Locus::Net { module, net } => {
+            b = b
+                .push("module", Json::Str(module.clone()))
+                .push("net", Json::Str(net.clone()));
+        }
+        Locus::Buffer { stage } => b = b.push("buffer_stage", Json::Num(*stage as f64)),
+    }
+    b.build()
+}
+
+/// Renders a finished report; shared by the one-shot CLI path and tests.
+pub fn render_report(
+    name: &str,
+    report: &AnalysisReport,
+    json: bool,
+    deny: bool,
+) -> (String, bool) {
+    let ok = report.errors() == 0 && (!deny || report.warnings() == 0);
+    if json {
+        let out = ObjBuilder::new()
+            .push("name", Json::Str(name.to_string()))
+            .push("ok", Json::Bool(ok))
+            .push("errors", Json::Num(report.errors() as f64))
+            .push("warnings", Json::Num(report.warnings() as f64))
+            .push("notes", Json::Num(report.notes() as f64))
+            .push(
+                "certified_overflow_free",
+                Json::Bool(report.certified_overflow_free()),
+            )
+            .push(
+                "diagnostics",
+                Json::Arr(report.diagnostics.iter().map(diagnostic_json).collect()),
+            )
+            .build();
+        (out.to_line(), ok)
+    } else {
+        let mut out = String::new();
+        for d in &report.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{name}: {} error(s), {} warning(s), {} note(s)",
+            report.errors(),
+            report.warnings(),
+            report.notes()
+        ));
+        (out, ok)
+    }
+}
+
+/// `imagen lint <file.imagen>` entry point.
+pub fn run_lint(opts: &Options) -> Result<(), String> {
+    let (name, src) = crate::load_source(opts)?;
+    crate::validate_geometry(&opts.geometry())?;
+    match opts.format.as_str() {
+        "text" | "json" => {}
+        other => return Err(format!("--format must be `text` or `json`, not `{other}`")),
+    }
+    let report = analyze(&name, &src, &analysis_options(opts));
+    let (rendered, ok) = render_report(&name, &report, opts.format == "json", opts.deny_warnings);
+    println!("{rendered}");
+    if ok {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint failed: {} error(s), {} warning(s)",
+            report.errors(),
+            report.warnings()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: &str) -> AnalysisReport {
+        analyze("t", src, &AnalysisOptions::default())
+    }
+
+    fn arr(v: &Json) -> &[Json] {
+        match v {
+            Json::Arr(a) => a,
+            other => panic!("not an array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_ok_in_both_formats() {
+        let r = report("input a; output b = im(x,y) (a(x-1,y) + 2*a(x,y) + a(x+1,y)) / 4 end");
+        let (text, ok) = render_report("t", &r, false, true);
+        assert!(ok);
+        assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+        let (json, ok) = render_report("t", &r, true, true);
+        assert!(ok);
+        let v = crate::json::parse(&json).unwrap();
+        assert_eq!(v.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("certified_overflow_free"), Some(&Json::Bool(true)));
+        assert!(arr(v.get("diagnostics").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn warnings_fail_only_under_deny() {
+        let r = report(
+            "input a; dead_end = im(x,y) a(x,y) + 0 end\n\
+             output b = im(x,y) a(x,y) end",
+        );
+        assert!(r.errors() > 0 || r.warnings() > 0);
+        let errors = r.errors();
+        let (_, ok_lenient) = render_report("t", &r, false, false);
+        let (_, ok_deny) = render_report("t", &r, false, true);
+        assert_eq!(ok_lenient, errors == 0);
+        assert!(!ok_deny);
+    }
+
+    #[test]
+    fn json_diagnostics_carry_spans() {
+        let r = report("input a;\noutput b = im(x,y) a(x, y - 44) end");
+        let (json, _) = render_report("t", &r, true, false);
+        let v = crate::json::parse(&json).unwrap();
+        let diags = arr(v.get("diagnostics").unwrap());
+        assert!(!diags.is_empty());
+        let d = &diags[0];
+        assert_eq!(d.get("code").unwrap().as_str(), Some("W0104"));
+        assert_eq!(d.get("severity").unwrap().as_str(), Some("warning"));
+        assert_eq!(d.get("line").unwrap().as_u64(), Some(2));
+    }
+}

@@ -8,6 +8,8 @@
 //!
 //! ```text
 //! imagen compile <file>   DAG stats, schedule, memory plan, resources, Verilog
+//! imagen lint <file>      static analysis: DSL lints, overflow dataflow,
+//!                         schedule invariants, netlist lints
 //! imagen dse <file>       design-space exploration with a Pareto table
 //! imagen sim <file>       golden-model vs netlist-interpreter differential
 //! imagen energy <file>    analytic vs activity-measured power
@@ -18,6 +20,7 @@
 //! async runtime.
 
 mod json;
+mod lint;
 mod report;
 mod serve;
 
@@ -33,6 +36,8 @@ USAGE:
 COMMANDS:
     compile <file.imagen>   compile a pipeline: stats, schedule, memory plan,
                             netlist resources (and Verilog via --emit / -o)
+    lint <file.imagen>      run the static analyzer: DSL lints, width/overflow
+                            dataflow, schedule invariants, netlist lints
     dse <file.imagen>       explore per-stage DP/DPLC memory configurations
     sim <file.imagen>       differential-test the generated netlist against
                             the golden software model on a seeded frame
@@ -56,6 +61,12 @@ COMPILE OPTIONS:
     --emit           print the generated Verilog to stdout
     -o FILE          write the generated Verilog to FILE
     --timing         print compile-phase timings (non-deterministic output)
+
+LINT OPTIONS:
+    --deny warnings  exit nonzero on warnings, not just errors
+    --format F       text | json                      [default: text]
+    --input-range L:H  inclusive input pixel range    [default: 0:127]
+    --wide           certify against 64/64 datapath widths
 
 DSE OPTIONS:
     --strategy S     exhaustive | greedy | random     [default: exhaustive]
@@ -97,6 +108,9 @@ pub struct Options {
     pub input_bits: Option<u32>,
     pub wide: bool,
     pub tcp: Option<String>,
+    pub deny_warnings: bool,
+    pub format: String,
+    pub input_range: Option<(i64, i64)>,
 }
 
 impl Default for Options {
@@ -124,6 +138,9 @@ impl Default for Options {
             input_bits: None,
             wide: false,
             tcp: None,
+            deny_warnings: false,
+            format: "text".into(),
+            input_range: None,
         }
     }
 }
@@ -224,6 +241,26 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             "--input-bits" => opts.input_bits = Some(num(arg, value(arg, &mut it)?)?),
             "--wide" => opts.wide = true,
             "--tcp" => opts.tcp = Some(value(arg, &mut it)?.clone()),
+            "--deny" => {
+                let what = value(arg, &mut it)?;
+                if what != "warnings" {
+                    return Err(format!("--deny only supports `warnings`, not `{what}`"));
+                }
+                opts.deny_warnings = true;
+            }
+            "--format" => opts.format = value(arg, &mut it)?.clone(),
+            "--input-range" => {
+                let raw = value(arg, &mut it)?;
+                let (lo, hi) = raw
+                    .split_once(':')
+                    .ok_or_else(|| format!("--input-range: `{raw}` is not LO:HI"))?;
+                let lo: i64 = num(arg, lo)?;
+                let hi: i64 = num(arg, hi)?;
+                if lo > hi {
+                    return Err(format!("--input-range: {lo} > {hi}"));
+                }
+                opts.input_range = Some((lo, hi));
+            }
             "-h" | "--help" => return Ok(("help".into(), opts)),
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             _ => positional.push(arg.clone()),
@@ -239,9 +276,9 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
     Ok((cmd, opts))
 }
 
-/// Loads and front-end-compiles the pipeline named by `opts`, rendering
-/// DSL errors with their source span.
-fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
+/// Reads the `.imagen` source named by `opts` and derives the pipeline
+/// name (explicit `--name` or the file stem).
+fn load_source(opts: &Options) -> Result<(String, String), String> {
     let path = opts
         .file
         .as_deref()
@@ -253,6 +290,14 @@ fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| "pipeline".into())
     });
+    Ok((name, src))
+}
+
+/// Loads and front-end-compiles the pipeline named by `opts`, rendering
+/// DSL errors with their source span.
+fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
+    let (name, src) = load_source(opts)?;
+    let path = opts.file.as_deref().unwrap_or("pipeline");
     let dag =
         imagen_dsl::compile(&name, &src).map_err(|e| report::render_dsl_error(path, &src, &e))?;
     Ok((name, dag))
@@ -269,6 +314,7 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<(), String> {
             validate_geometry(&opts.geometry())?;
             report::run_compile(&dag, opts)
         }
+        "lint" => lint::run_lint(opts),
         "dse" => {
             let (_, dag) = load_pipeline(opts)?;
             validate_geometry(&opts.geometry())?;

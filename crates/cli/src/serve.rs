@@ -27,7 +27,15 @@
 //! samples     random-strategy budget (dse)                   [64]
 //! seed        random-strategy seed (dse)                     [0]
 //! timing      include "elapsed_us" (non-deterministic!)      [false]
+//! deny_warnings  reject compiles with lint warnings          [false]
 //! ```
+//!
+//! Every compile request is admission-checked by the cheap front half of
+//! the static analyzer ([`imagen_analysis::front_lints`]: parse, DSL
+//! lints, lower, width/overflow dataflow — no planning) before it can
+//! occupy a worker: lint *errors* always reject, lint *warnings* reject
+//! under `deny_warnings`, and successful compile responses carry the
+//! observed `lint_warnings` / `lint_notes` counts.
 //!
 //! Success: `{"id":...,"ok":true,...}`. Failure:
 //! `{"id":...,"ok":false,"error":"...","line":L,"col":C}` (span members
@@ -160,6 +168,7 @@ struct Request {
     ports: u32,
     coalesce: bool,
     emit: bool,
+    deny_warnings: bool,
     strategy: ExploreStrategy,
     strategy_label: String,
 }
@@ -215,6 +224,7 @@ fn parse_request(req: &Json) -> Result<Request, String> {
         ports,
         coalesce: get_bool(req, "coalesce")?,
         emit: get_bool(req, "emit")?,
+        deny_warnings: get_bool(req, "deny_warnings")?,
         strategy,
         strategy_label,
     })
@@ -233,15 +243,60 @@ fn error_response(id: Json, msg: String, pos: Option<imagen_dsl::Pos>) -> Json {
     b.build()
 }
 
-fn compile_response(id: Json, r: &Request, hub: &Hub) -> Json {
-    let dag = match imagen_dsl::compile(&r.name, &r.source) {
-        Ok(dag) => dag,
-        Err(e) => return error_response(id, e.to_string(), e.pos()),
+/// Runs the cheap front half of the analyzer as an admission check.
+/// Returns the rejection response, or the (warnings, notes) counts to
+/// mirror into the success payload.
+fn lint_admission(id: &Json, r: &Request, spec: &MemorySpec) -> Result<(usize, usize), Json> {
+    let aopts = imagen_analysis::AnalysisOptions {
+        geom: r.geom,
+        spec: spec.clone(),
+        widths: imagen_rtl::BitWidths {
+            pixel_bits: r.geom.pixel_bits,
+            acc_bits: (2 * r.geom.pixel_bits).min(64),
+        },
+        input_range: imagen_analysis::AnalysisOptions::default().input_range,
     };
+    let lint = imagen_analysis::front_lints(&r.name, &r.source, &aopts);
+    let pos_of = |d: &imagen_analysis::Diagnostic| match d.locus {
+        imagen_analysis::Locus::Source { line, col } => Some(imagen_dsl::Pos { line, col }),
+        _ => None,
+    };
+    if let Some(d) = lint
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == imagen_analysis::Severity::Error)
+    {
+        return Err(error_response(id.clone(), d.message.clone(), pos_of(d)));
+    }
+    if r.deny_warnings {
+        if let Some(d) = lint
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == imagen_analysis::Severity::Warning)
+        {
+            return Err(error_response(
+                id.clone(),
+                format!("denied warning[{}]: {}", d.code, d.message),
+                pos_of(d),
+            ));
+        }
+    }
+    Ok((lint.warnings(), lint.notes()))
+}
+
+fn compile_response(id: Json, r: &Request, hub: &Hub) -> Json {
     let mut spec = MemorySpec::new(r.backend, r.ports);
     if r.coalesce {
         spec = spec.with_coalescing();
     }
+    let (lint_warnings, lint_notes) = match lint_admission(&id, r, &spec) {
+        Ok(counts) => counts,
+        Err(resp) => return resp,
+    };
+    let dag = match imagen_dsl::compile(&r.name, &r.source) {
+        Ok(dag) => dag,
+        Err(e) => return error_response(id, e.to_string(), e.pos()),
+    };
     let session = hub.session(&dag, r.geom);
     let out = match session.compile(&spec, None) {
         Ok(out) => out,
@@ -275,7 +330,9 @@ fn compile_response(id: Json, r: &Request, hub: &Hub) -> Json {
         .push(
             "verilog_lines",
             Json::Num(out.verilog.lines().count() as f64),
-        );
+        )
+        .push("lint_warnings", Json::Num(lint_warnings as f64))
+        .push("lint_notes", Json::Num(lint_notes as f64));
     if r.emit {
         b = b.push("verilog", Json::Str(out.verilog.clone()));
     }
@@ -659,6 +716,35 @@ mod tests {
             let v = json::parse(resp).unwrap();
             assert_eq!(v.get("id").unwrap().as_u64(), Some(i as u64));
         }
+    }
+
+    #[test]
+    fn lint_admission_gates_and_annotates_compiles() {
+        let hub = Hub::new();
+        // Clean pipeline: zero lint counts in the success payload.
+        let resp = handle(&req(""), &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("lint_warnings").unwrap().as_u64(), Some(0));
+        assert_eq!(resp.get("lint_notes").unwrap().as_u64(), Some(0));
+        // `a << 9` truncates at the 16-bit output: a note, still admitted.
+        let noisy = r#"{"cmd":"compile","source":"input a; output b = im(x,y) a(x,y) << 9 end","width":32,"height":24}"#;
+        let resp = handle(noisy, &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("lint_notes").unwrap().as_u64(), Some(1));
+        // A constant-foldable subexpression is a warning: admitted by
+        // default, rejected (naming the code) under deny_warnings.
+        let warny = r#"{"cmd":"compile","source":"input a; output b = im(x,y) a(x,y) * (2 + 3 * 4) end","width":32,"height":24}"#;
+        let resp = handle(warny, &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("lint_warnings").unwrap().as_u64(), Some(1));
+        let denied = format!(
+            "{},\"deny_warnings\":true}}",
+            warny.strip_suffix('}').unwrap()
+        );
+        let resp = handle(&denied, &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+        let msg = resp.get("error").unwrap().as_str().unwrap();
+        assert!(msg.contains("W0105"), "{msg}");
     }
 
     #[test]

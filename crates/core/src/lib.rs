@@ -236,8 +236,8 @@ mod tests {
                 .compile_dag(&alg.build())
                 .unwrap_or_else(|e| panic!("{} failed: {e}", alg.name()));
             assert!(out.plan.design.sram_kb() > 0.0, "{}", alg.name());
-            imagen_rtl::verify_structure(&out.netlist)
-                .unwrap_or_else(|e| panic!("{} RTL: {e}", alg.name()));
+            let report = imagen_rtl::verify_all(&out.netlist);
+            assert!(report.is_clean(), "{} RTL: {:?}", alg.name(), report.errors);
         }
     }
 

@@ -449,7 +449,8 @@ mod tests {
         assert_eq!(plan.design, full.plan.design);
         let (hits, _) = session.cache().stats();
         assert_eq!(hits, 1);
-        imagen_rtl::verify_structure(&full.netlist).unwrap();
+        let report = imagen_rtl::verify_all(&full.netlist);
+        assert!(report.is_clean(), "{:?}", report.errors);
     }
 
     #[test]

@@ -76,6 +76,60 @@ pub enum AstExpr {
 }
 
 impl AstExpr {
+    /// Constant-folds the expression, returning `Some(v)` when it contains
+    /// no taps and every operator is a known built-in. The arithmetic
+    /// mirrors `imagen-ir`'s `Expr::eval` semantics exactly (wrapping
+    /// `i64` ops, division by zero yielding zero, Verilog shift rules,
+    /// `clamp` with `lo > hi` pinning to `lo`), so a folded value is the
+    /// value the lowered kernel would compute.
+    pub fn const_value(&self) -> Option<i64> {
+        match self {
+            AstExpr::Number(n) => Some(*n),
+            AstExpr::Tap { .. } => None,
+            AstExpr::Neg(e) => Some(e.const_value()?.wrapping_neg()),
+            AstExpr::Call { func, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.const_value()?);
+                }
+                match (func.as_str(), vals.as_slice()) {
+                    ("abs", [v]) => Some(v.wrapping_abs()),
+                    ("min", [a, b]) => Some(*a.min(b)),
+                    ("max", [a, b]) => Some(*a.max(b)),
+                    ("clamp", [v, lo, hi]) => Some(if lo > hi { *lo } else { *v.clamp(lo, hi) }),
+                    ("select", [c, t, e]) => Some(if *c != 0 { *t } else { *e }),
+                    _ => None,
+                }
+            }
+            AstExpr::Bin { op, lhs, rhs } => {
+                let a = lhs.const_value()?;
+                let b = rhs.const_value()?;
+                match *op {
+                    "+" => Some(a.wrapping_add(b)),
+                    "-" => Some(a.wrapping_sub(b)),
+                    "*" => Some(a.wrapping_mul(b)),
+                    "/" => Some(if b == 0 { 0 } else { a.wrapping_div(b) }),
+                    "<<" => Some(if (0..64).contains(&b) {
+                        a.wrapping_shl(b as u32)
+                    } else {
+                        0
+                    }),
+                    ">>" => {
+                        let amt = if (0..64).contains(&b) { b as u32 } else { 63 };
+                        Some(a.wrapping_shr(amt))
+                    }
+                    "<" => Some(i64::from(a < b)),
+                    "<=" => Some(i64::from(a <= b)),
+                    ">" => Some(i64::from(a > b)),
+                    ">=" => Some(i64::from(a >= b)),
+                    "==" => Some(i64::from(a == b)),
+                    "!=" => Some(i64::from(a != b)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
     /// Visits tap nodes in evaluation order.
     pub fn for_each_tap<'a>(&'a self, f: &mut impl FnMut(&'a str, i32, i32)) {
         match self {
@@ -92,5 +146,73 @@ impl AstExpr {
                 rhs.for_each_tap(f);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn num(n: i64) -> AstExpr {
+        AstExpr::Number(n)
+    }
+
+    fn bin(op: &'static str, a: AstExpr, b: AstExpr) -> AstExpr {
+        AstExpr::Bin {
+            op,
+            lhs: Box::new(a),
+            rhs: Box::new(b),
+        }
+    }
+
+    fn call(func: &str, args: Vec<AstExpr>) -> AstExpr {
+        AstExpr::Call {
+            func: func.to_string(),
+            args,
+            pos: Pos { line: 1, col: 1 },
+        }
+    }
+
+    #[test]
+    fn const_value_folds_arithmetic() {
+        assert_eq!(
+            bin("+", num(2), bin("*", num(3), num(4))).const_value(),
+            Some(14)
+        );
+        assert_eq!(AstExpr::Neg(Box::new(num(5))).const_value(), Some(-5));
+        assert_eq!(bin("<", num(1), num(2)).const_value(), Some(1));
+        assert_eq!(
+            call("clamp", vec![num(300), num(0), num(255)]).const_value(),
+            Some(255)
+        );
+        assert_eq!(
+            call("select", vec![num(0), num(7), num(9)]).const_value(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn const_value_matches_eval_edge_semantics() {
+        // Division by zero, out-of-range shifts, and inverted clamp bounds
+        // follow the kernel evaluator, not plain Rust arithmetic.
+        assert_eq!(bin("/", num(7), num(0)).const_value(), Some(0));
+        assert_eq!(bin("<<", num(1024), num(64)).const_value(), Some(0));
+        assert_eq!(bin(">>", num(-1024), num(-1)).const_value(), Some(-1));
+        assert_eq!(
+            call("clamp", vec![num(5), num(9), num(2)]).const_value(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn const_value_stops_at_taps() {
+        let tap = AstExpr::Tap {
+            stage: "a".to_string(),
+            dx: 0,
+            dy: 0,
+            pos: Pos { line: 1, col: 1 },
+        };
+        assert_eq!(tap.const_value(), None);
+        assert_eq!(bin("+", num(1), tap).const_value(), None);
     }
 }

@@ -142,7 +142,7 @@ mod tests {
     use super::*;
     use imagen_algos::Algorithm;
     use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
-    use imagen_rtl::{emit_verilog, interpret, verify_structure};
+    use imagen_rtl::{emit_verilog, interpret};
     use imagen_schedule::{plan_design, ScheduleOptions};
     use imagen_sim::simulate_and_annotate;
 
@@ -185,7 +185,12 @@ mod tests {
         let net = build_netlist(&p.dag, &p.design, &BitWidths::default());
         let gated = gate_clocks(&net);
         assert!(gated.is_gated());
-        verify_structure(&gated).expect("gated netlist is structurally sound");
+        let report = imagen_rtl::verify_all(&gated);
+        assert!(
+            report.is_clean(),
+            "gated netlist is structurally sound: {:?}",
+            report.errors
+        );
 
         let v = emit_verilog(&gated);
         assert!(v.contains("wire ren_lb_"), "gate wires are emitted");

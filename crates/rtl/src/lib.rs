@@ -27,8 +27,10 @@
 //!   cycles) that `imagen-power` prices into measured energy — and the
 //!   interpreter honors an attached clock-[`GatingPlan`], counting the
 //!   gated-off read-port cycles;
-//! * [`verify_structure`] checks the netlist structurally (port
-//!   arity/width of every instantiation, driver/undriven-net analysis);
+//! * [`verify_all`] checks the netlist structurally (port arity/width of
+//!   every instantiation, driver/undriven-net analysis), accumulating
+//!   every problem into an [`RtlReport`]; [`verify_structure`] is its
+//!   first-error `Result` facade;
 //! * [`report_resources`] inventories the instantiated hardware for
 //!   design-space exploration;
 //! * [`generate_testbench`] emits a self-checking testbench wired to the
@@ -57,7 +59,7 @@ pub use netlist::{
 };
 pub use resources::{report_resources, report_resources_for, ResourceReport};
 pub use testbench::{generate_testbench, TestVectors};
-pub use verify::{verify_structure, RtlError, RtlSummary};
+pub use verify::{verify_all, verify_structure, RtlError, RtlReport, RtlSummary};
 
 use imagen_ir::Dag;
 use imagen_mem::Design;

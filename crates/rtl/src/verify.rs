@@ -9,18 +9,25 @@
 //! * every instance connection names a real port of the target module,
 //!   no port is connected twice, and no *input* port is left open;
 //! * connection widths match the port declaration (whole-net and
-//!   array-element connections; parameterized SRAM primitives size their
-//!   ports at instantiation and are exempt from the width check);
+//!   array-element connections); parameterized SRAM primitives are
+//!   checked against their per-instance parameter values — the address
+//!   and data widths the owning line buffer instantiates them at —
+//!   rather than being exempted;
 //! * driver analysis: every net is driven exactly once — by an assign, a
 //!   register, a window-load path, an instance output, or (for input
 //!   ports) the enclosing module's instantiation — and never more than
 //!   once per array element.
 //!
+//! [`verify_all`] accumulates *every* problem into an [`RtlReport`] (the
+//! static analyzer's netlist pass builds on it); [`verify_structure`] is
+//! the original first-error `Result` facade, kept so existing callers
+//! stay source-compatible.
+//!
 //! Functional verification is the interpreter's job
 //! ([`interpret`](crate::interpret)); this pass guarantees the structure
 //! a real elaborator would reject is never emitted.
 
-use crate::netlist::{Conn, Dir, Item, Module, ModuleKind, Netlist};
+use crate::netlist::{Conn, Dir, Item, Module, ModuleKind, Net, Netlist};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -186,38 +193,90 @@ pub struct RtlSummary {
     pub registers: usize,
 }
 
+/// Everything the accumulating structural pass found.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RtlReport {
+    /// Inventory of the netlist, counted even when errors are present.
+    pub summary: RtlSummary,
+    /// Every structural error, in traversal order (modules in netlist
+    /// order, items in elaboration order, then driver analysis per net).
+    pub errors: Vec<RtlError>,
+}
+
+impl RtlReport {
+    /// True when no structural error was found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Collapses the report into the historical first-error form.
+    ///
+    /// # Errors
+    ///
+    /// The first [`RtlError`] found, if any.
+    pub fn into_result(self) -> Result<RtlSummary, RtlError> {
+        match self.errors.into_iter().next() {
+            None => Ok(self.summary),
+            Some(e) => Err(e),
+        }
+    }
+}
+
 /// Driver bookkeeping key: whole net, or one element of an array net.
 type DriveKey = (String, Option<u32>);
 
 fn record_drive(
+    errors: &mut Vec<RtlError>,
     drives: &mut HashMap<DriveKey, u32>,
     module: &Module,
     net: &str,
     index: Option<u32>,
-) -> Result<(), RtlError> {
+) {
     if module.net(net).is_none() {
-        return Err(RtlError::UnknownNet {
+        errors.push(RtlError::UnknownNet {
             net: net.to_string(),
             within: module.name.clone(),
         });
+        return;
     }
     *drives.entry((net.to_string(), index)).or_insert(0) += 1;
-    Ok(())
 }
 
-/// Verifies the structure of a netlist.
-///
-/// # Errors
-///
-/// The first [`RtlError`] found.
-pub fn verify_structure(net: &Netlist) -> Result<RtlSummary, RtlError> {
-    // Unique module names.
+/// Per-instance parameter values of an SRAM primitive instantiation: the
+/// widths the `DEPTH`/`WIDTH`/`AW` parameters resolve to inside the
+/// owning line buffer.
+#[derive(Clone, Copy)]
+struct SramParams {
+    aw: u32,
+    data_bits: u32,
+}
+
+impl SramParams {
+    /// Resolved bit width of one primitive port under these parameters.
+    fn port_bits(&self, port: &Net) -> u32 {
+        if port.name.starts_with("addr") {
+            self.aw
+        } else if port.name.contains("data") {
+            self.data_bits
+        } else {
+            port.width
+        }
+    }
+}
+
+/// Verifies the structure of a netlist, accumulating every problem.
+pub fn verify_all(net: &Netlist) -> RtlReport {
+    let mut errors = Vec::new();
+
+    // Unique module names; the first definition wins for lookups.
     let mut by_name: HashMap<&str, &Module> = HashMap::new();
     for m in &net.modules {
-        if by_name.insert(m.name.as_str(), m).is_some() {
-            return Err(RtlError::DuplicateModule {
+        if by_name.contains_key(m.name.as_str()) {
+            errors.push(RtlError::DuplicateModule {
                 name: m.name.clone(),
             });
+        } else {
+            by_name.insert(m.name.as_str(), m);
         }
     }
 
@@ -232,12 +291,23 @@ pub fn verify_structure(net: &Netlist) -> Result<RtlSummary, RtlError> {
         for n in &m.nets {
             nets += 1;
             if !seen.insert(n.name.as_str()) {
-                return Err(RtlError::DuplicateSignal {
+                errors.push(RtlError::DuplicateSignal {
                     name: n.name.clone(),
                     within: m.name.clone(),
                 });
             }
         }
+
+        // SRAM parameter values inside a line buffer: macros are
+        // instantiated at the buffer's address width and the pixel
+        // datapath width.
+        let sram_params = match &m.kind {
+            ModuleKind::LineBuffer(p) => net.buffers.get(p.buffer).map(|b| SramParams {
+                aw: b.aw,
+                data_bits: net.widths.pixel_bits,
+            }),
+            _ => None,
+        };
 
         // Driver analysis: input ports are driven by the environment.
         let mut drives: HashMap<DriveKey, u32> = HashMap::new();
@@ -249,28 +319,29 @@ pub fn verify_structure(net: &Netlist) -> Result<RtlSummary, RtlError> {
 
         for item in &m.items {
             match item {
-                Item::Assign { net } => record_drive(&mut drives, m, net, None)?,
+                Item::Assign { net } => record_drive(&mut errors, &mut drives, m, net, None),
                 Item::Register { net } => {
                     registers += 1;
-                    record_drive(&mut drives, m, net, None)?;
+                    record_drive(&mut errors, &mut drives, m, net, None);
                 }
                 Item::WindowLoad { sra, edge } => {
                     registers += 1;
                     debug_assert!(*edge < net.edges.len(), "window load names a real edge");
-                    record_drive(&mut drives, m, sra, None)?;
+                    record_drive(&mut errors, &mut drives, m, sra, None);
                 }
                 Item::Inst(inst) => {
                     instances += 1;
                     let Some(target) = by_name.get(inst.module.as_str()) else {
-                        return Err(RtlError::UndefinedModule {
+                        errors.push(RtlError::UndefinedModule {
                             name: inst.module.clone(),
                             within: m.name.clone(),
                         });
+                        continue;
                     };
                     if matches!(target.kind, ModuleKind::SramPrimitive { .. }) {
                         sram_instances += 1;
                     }
-                    verify_instance(m, inst, target, &mut drives)?;
+                    verify_instance(m, inst, target, sram_params, &mut drives, &mut errors);
                 }
             }
         }
@@ -287,15 +358,16 @@ pub fn verify_structure(net: &Netlist) -> Result<RtlSummary, RtlError> {
                 .collect();
             let elem_total: u32 = elems.iter().sum();
             if whole == 0 && elem_total == 0 {
-                return Err(RtlError::UndrivenNet {
+                errors.push(RtlError::UndrivenNet {
                     net: n.name.clone(),
                     within: m.name.clone(),
                 });
+                continue;
             }
             let conflict =
                 whole > 1 || (whole >= 1 && elem_total > 0) || elems.iter().any(|&c| c > 1);
             if conflict {
-                return Err(RtlError::MultipleDrivers {
+                errors.push(RtlError::MultipleDrivers {
                     net: n.name.clone(),
                     within: m.name.clone(),
                 });
@@ -303,47 +375,74 @@ pub fn verify_structure(net: &Netlist) -> Result<RtlSummary, RtlError> {
         }
     }
 
-    Ok(RtlSummary {
-        modules: net.modules.len(),
-        instances,
-        sram_instances,
-        nets,
-        registers,
-    })
+    RtlReport {
+        summary: RtlSummary {
+            modules: net.modules.len(),
+            instances,
+            sram_instances,
+            nets,
+            registers,
+        },
+        errors,
+    }
+}
+
+/// Verifies the structure of a netlist.
+///
+/// First-error facade over [`verify_all`], kept for source compatibility.
+///
+/// # Errors
+///
+/// The first [`RtlError`] found.
+pub fn verify_structure(net: &Netlist) -> Result<RtlSummary, RtlError> {
+    verify_all(net).into_result()
 }
 
 fn verify_instance(
     m: &Module,
     inst: &crate::netlist::Instance,
     target: &Module,
+    sram_params: Option<SramParams>,
     drives: &mut HashMap<DriveKey, u32>,
-) -> Result<(), RtlError> {
+    errors: &mut Vec<RtlError>,
+) {
     // SRAM primitives are parameterized (DEPTH/WIDTH/AW set per
-    // instance), so their port widths are checked only for shape, not
-    // bit count.
+    // instance): their port widths are checked against the enclosing
+    // line buffer's parameter values. Outside a line buffer (no known
+    // parameter binding) the check degrades to shape only.
     let parameterized = matches!(target.kind, ModuleKind::SramPrimitive { .. });
+    // `None` means "skip the bit-count check" for this instance.
+    let expected_bits = |port: &Net| -> Option<u32> {
+        if !parameterized {
+            Some(port.width)
+        } else {
+            sram_params.map(|p| p.port_bits(port))
+        }
+    };
 
     let mut connected: HashSet<&str> = HashSet::new();
     for (port_name, conn) in &inst.conns {
         let Some(port) = target.net(port_name).filter(|n| n.port.is_some()) else {
-            return Err(RtlError::UnknownPort {
+            errors.push(RtlError::UnknownPort {
                 instance: inst.name.clone(),
                 module: target.name.clone(),
                 port: port_name.clone(),
             });
+            continue;
         };
         if !connected.insert(port_name.as_str()) {
-            return Err(RtlError::UnknownPort {
+            errors.push(RtlError::UnknownPort {
                 instance: inst.name.clone(),
                 module: target.name.clone(),
                 port: port_name.clone(),
             });
+            continue;
         }
         let dir = port.port.expect("filtered to ports");
         match conn {
             Conn::Open => {
                 if dir == Dir::Input {
-                    return Err(RtlError::UnconnectedInput {
+                    errors.push(RtlError::UnconnectedInput {
                         instance: inst.name.clone(),
                         module: target.name.clone(),
                         port: port_name.clone(),
@@ -352,61 +451,68 @@ fn verify_instance(
             }
             Conn::Net(local) => {
                 let Some(n) = m.net(local) else {
-                    return Err(RtlError::UnknownNet {
+                    errors.push(RtlError::UnknownNet {
                         net: local.clone(),
                         within: m.name.clone(),
                     });
+                    continue;
                 };
-                if !parameterized && (n.width != port.width || n.array != port.array) {
-                    return Err(RtlError::WidthMismatch {
-                        instance: inst.name.clone(),
-                        port: port_name.clone(),
-                        expected: port.width * port.array.unwrap_or(1),
-                        found: n.width * n.array.unwrap_or(1),
-                    });
+                if let Some(want) = expected_bits(port) {
+                    if n.width != want || n.array != port.array {
+                        errors.push(RtlError::WidthMismatch {
+                            instance: inst.name.clone(),
+                            port: port_name.clone(),
+                            expected: want * port.array.unwrap_or(1),
+                            found: n.width * n.array.unwrap_or(1),
+                        });
+                    }
                 }
                 if dir == Dir::Output {
-                    record_drive(drives, m, local, None)?;
+                    record_drive(errors, drives, m, local, None);
                 }
             }
             Conn::NetIndex(local, idx) => {
                 let Some(n) = m.net(local) else {
-                    return Err(RtlError::UnknownNet {
+                    errors.push(RtlError::UnknownNet {
                         net: local.clone(),
                         within: m.name.clone(),
                     });
+                    continue;
                 };
                 // An element connection requires an array net and a
                 // scalar port.
                 let in_range = n.array.is_some_and(|len| *idx < len);
                 if !in_range || port.array.is_some() {
-                    return Err(RtlError::WidthMismatch {
+                    errors.push(RtlError::WidthMismatch {
                         instance: inst.name.clone(),
                         port: port_name.clone(),
                         expected: port.width,
                         found: if in_range { n.width } else { 0 },
                     });
-                }
-                if !parameterized && n.width != port.width {
-                    return Err(RtlError::WidthMismatch {
-                        instance: inst.name.clone(),
-                        port: port_name.clone(),
-                        expected: port.width,
-                        found: n.width,
-                    });
+                } else if let Some(want) = expected_bits(port) {
+                    if n.width != want {
+                        errors.push(RtlError::WidthMismatch {
+                            instance: inst.name.clone(),
+                            port: port_name.clone(),
+                            expected: want,
+                            found: n.width,
+                        });
+                    }
                 }
                 if dir == Dir::Output {
-                    record_drive(drives, m, local, Some(*idx))?;
+                    record_drive(errors, drives, m, local, Some(*idx));
                 }
             }
             Conn::Const(_, width) => {
-                if !parameterized && *width != port.width {
-                    return Err(RtlError::WidthMismatch {
-                        instance: inst.name.clone(),
-                        port: port_name.clone(),
-                        expected: port.width,
-                        found: *width,
-                    });
+                if let Some(want) = expected_bits(port) {
+                    if *width != want {
+                        errors.push(RtlError::WidthMismatch {
+                            instance: inst.name.clone(),
+                            port: port_name.clone(),
+                            expected: want,
+                            found: *width,
+                        });
+                    }
                 }
             }
             // Anonymous glue expressions are sized by context; nothing to
@@ -419,14 +525,13 @@ fn verify_instance(
     // Every input port of the target must be connected.
     for p in target.ports() {
         if matches!(p.port, Some(Dir::Input)) && !connected.contains(p.name.as_str()) {
-            return Err(RtlError::UnconnectedInput {
+            errors.push(RtlError::UnconnectedInput {
                 instance: inst.name.clone(),
                 module: target.name.clone(),
                 port: p.name.clone(),
             });
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -595,5 +700,93 @@ mod tests {
             verify_structure(&net),
             Err(RtlError::MultipleDrivers { .. })
         ));
+    }
+
+    #[test]
+    fn verify_all_accumulates_independent_errors() {
+        let mut net = netlist();
+        let top = net.top;
+        // Two unrelated breakages: an undriven output port and a bogus
+        // port connection on a stage instance.
+        net.modules[top]
+            .items
+            .retain(|i| !matches!(i, Item::Assign { net } if net == "frame_done"));
+        for item in net.modules[top].items.iter_mut() {
+            if let Item::Inst(inst) = item {
+                if inst.module.starts_with("stage_") {
+                    inst.conns
+                        .push(("bogus".to_string(), Conn::Net("cycle".to_string())));
+                    break;
+                }
+            }
+        }
+        let report = verify_all(&net);
+        assert_eq!(report.errors.len(), 2, "{:?}", report.errors);
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, RtlError::UnknownPort { .. })));
+        assert!(report
+            .errors
+            .iter()
+            .any(|e| matches!(e, RtlError::UndrivenNet { .. })));
+        // The shim surfaces the first of them.
+        assert!(verify_structure(&net).is_err());
+        // Summary counting still works on broken netlists.
+        assert_eq!(report.summary.modules, net.modules.len());
+    }
+
+    #[test]
+    fn sram_instantiations_width_checked_against_parameters() {
+        let mut net = netlist();
+        // Find a line-buffer module and rewire an SRAM address port to a
+        // 32-bit row counter: under the old blanket exemption this passed
+        // silently, now it must be a width mismatch against the macro's
+        // instantiated address width.
+        let lb = net
+            .modules
+            .iter_mut()
+            .find(|m| matches!(m.kind, ModuleKind::LineBuffer(_)))
+            .expect("generated netlist has a line buffer");
+        let mut rewired = false;
+        for item in lb.items.iter_mut() {
+            if let Item::Inst(inst) = item {
+                for (p, c) in inst.conns.iter_mut() {
+                    if p.starts_with("addr") {
+                        *c = Conn::Net("wphys".to_string());
+                        rewired = true;
+                        break;
+                    }
+                }
+            }
+            if rewired {
+                break;
+            }
+        }
+        assert!(rewired, "found an SRAM address port to rewire");
+        match verify_structure(&net) {
+            Err(RtlError::WidthMismatch {
+                port,
+                expected,
+                found,
+                ..
+            }) => {
+                assert!(port.starts_with("addr"));
+                assert_eq!(found, 32, "wphys is a 32-bit counter");
+                assert!(expected < 32, "address width comes from the macro depth");
+            }
+            other => panic!("expected a width mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_sram_connections_satisfy_parameter_widths() {
+        // The fix must not reject what the builder actually emits: every
+        // SRAM connection in a generated netlist matches the macro's
+        // parameter widths.
+        let net = netlist();
+        let report = verify_all(&net);
+        assert!(report.is_clean(), "{:?}", report.errors);
+        assert!(report.summary.sram_instances > 0);
     }
 }

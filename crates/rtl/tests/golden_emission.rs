@@ -12,7 +12,7 @@
 
 use imagen_algos::Algorithm;
 use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
-use imagen_rtl::{build_netlist, emit_verilog, verify_structure, BitWidths, Netlist};
+use imagen_rtl::{build_netlist, emit_verilog, verify_all, BitWidths, Netlist};
 use imagen_schedule::{plan_design, ScheduleOptions};
 
 fn golden_config() -> (ImageGeometry, MemorySpec) {
@@ -44,7 +44,8 @@ fn golden_netlist(alg: Algorithm) -> Netlist {
 }
 
 fn check_net(alg: Algorithm, net: &Netlist, golden: &str) {
-    verify_structure(net).unwrap();
+    let report = verify_all(net);
+    assert!(report.is_clean(), "{}: {:?}", alg.name(), report.errors);
     let emitted = emit_verilog(net);
     assert!(
         emitted == golden,

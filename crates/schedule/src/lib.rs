@@ -33,7 +33,7 @@ pub use constraints::{
     FormulationStats, OrGroup,
 };
 pub use entity::{buffer_entities, AccessEntity};
-pub use plan::{plan_design, plan_design_with, realize_design, Plan, PlanError};
+pub use plan::{plan_design, plan_design_with, realize_design, Plan, PlanError, SpecBufferParams};
 pub use solve::{
     asap_schedule, size_buffers, solve_schedule, Schedule, ScheduleError, ScheduleOptions,
     SizeObjective, SolveReport,

@@ -81,12 +81,18 @@ pub struct Plan {
     pub design: Design,
 }
 
-struct SpecParams<'a> {
-    spec: &'a MemorySpec,
-    geom: &'a ImageGeometry,
+/// [`BufferParams`] view of a [`MemorySpec`] at a given geometry — the
+/// parameter source the planner itself formulates with. Public so
+/// out-of-crate checkers (the static analyzer) can re-derive the exact
+/// constraint system a plan was solved against.
+pub struct SpecBufferParams<'a> {
+    /// The memory spec supplying ports and coalesce factors.
+    pub spec: &'a MemorySpec,
+    /// The frame geometry coalesce factors depend on.
+    pub geom: &'a ImageGeometry,
 }
 
-impl BufferParams for SpecParams<'_> {
+impl BufferParams for SpecBufferParams<'_> {
     fn ports(&self, p: StageId) -> u32 {
         self.spec.ports_for(p.index())
     }
@@ -149,7 +155,7 @@ pub fn plan_design_with(
         apply_line_coalescing(&mut working, |p| CoalesceFactor::new(factors[p]));
     }
 
-    let params = SpecParams { spec, geom };
+    let params = SpecBufferParams { spec, geom };
     let set = formulate_with(
         &working,
         geom.width,

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use imagen_algos as algos;
+pub use imagen_analysis as analysis;
 pub use imagen_baselines as baselines;
 pub use imagen_dse as dse;
 pub use imagen_dsl as dsl;

@@ -4,7 +4,7 @@
 
 use imagen::algos::{sample_pattern, Algorithm, TestPattern};
 use imagen::baselines::{generate_darkroom, generate_fixynn, generate_soda};
-use imagen::rtl::{build_netlist, emit_verilog, interpret, verify_structure, BitWidths};
+use imagen::rtl::{build_netlist, emit_verilog, interpret, verify_all, BitWidths};
 use imagen::sim::{simulate, Image};
 use imagen::{Compiler, DesignStyle, ImageGeometry, MemBackend, MemorySpec, Plan};
 
@@ -113,8 +113,9 @@ fn rtl_generates_and_verifies_for_all() {
         let out = Compiler::new(geom(), MemorySpec::new(backend(), 2))
             .compile_dag(&alg.build())
             .unwrap();
-        let summary =
-            verify_structure(&out.netlist).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        let report = verify_all(&out.netlist);
+        assert!(report.is_clean(), "{}: {:?}", alg.name(), report.errors);
+        let summary = report.summary;
         assert!(summary.modules >= alg.expected_stages(), "{}", alg.name());
         assert!(summary.sram_instances > 0, "{}", alg.name());
         assert_eq!(
