@@ -28,6 +28,14 @@
 //!    pass ([`imagen_rtl::verify_all`]) plus dead nets, dead modules,
 //!    unread SRAM read ports, combinational cycles and enable-domain
 //!    consistency.
+//! 5. **Translation validation** (`E05xx`/`W05xx`) — [`certify_netlist`]
+//!    symbolically proves, per compile, that every stage's netlist
+//!    datapath computes the lowered DSL kernel modulo declared width
+//!    truncation, and that the ILP schedule plus line-buffer/SRA
+//!    addressing delivers exactly the taps each kernel consumes. The
+//!    result is a [`Certificate`] of per-stage proof obligations
+//!    (proved / refuted-with-witness / fuzzed fallback), exposed as
+//!    `imagen certify` and `imagen lint --prove`.
 //!
 //! Diagnostics carry a stable code, a severity and a locus, render as
 //! one-line text, and are serialized to JSON by the `imagen lint`
@@ -37,10 +45,16 @@
 #![warn(missing_docs)]
 
 mod dsl_lint;
+mod equiv;
 mod netlist_lint;
 mod sched_lint;
+mod symex;
 mod width;
 
+pub use equiv::{
+    certify_dag, certify_dag_styled, certify_netlist, Certificate, Obligation, ObligationKind,
+    ProofMode, ProofStatus,
+};
 pub use netlist_lint::lint_netlist;
 pub use sched_lint::lint_plan;
 pub use width::MAX_TAP_REACH;
@@ -411,6 +425,32 @@ pub mod codes {
     pub const PORT_PHYSICAL: &str = "E0407";
     /// The design's start cycles disagree with the schedule's.
     pub const START_DRIFT: &str = "W0408";
+
+    /// Translation validation (`imagen certify`): a stage datapath was
+    /// refuted against its lowered DSL kernel, with a concrete tap
+    /// assignment as witness.
+    pub const DATAPATH_REFUTED: &str = "E0501";
+    /// A stage datapath obligation was not symbolically decidable and
+    /// fell back to directed differential sampling (which agreed).
+    pub const DATAPATH_FUZZED: &str = "W0502";
+    /// A kernel tap is not covered by its edge window / SRA storage.
+    pub const TAP_UNCOVERED: &str = "E0503";
+    /// The schedule reads a producer row before it is committed.
+    pub const TAP_STALE: &str = "E0504";
+    /// Line-buffer rotation overwrites a row a consumer still reads.
+    pub const TAP_CLOBBERED: &str = "E0505";
+    /// A clock gate turns a buffer read port off under a load that a
+    /// kernel tap later fetches.
+    pub const GATE_DEAD: &str = "E0506";
+    /// The netlist lacks the structure (stage module, kernel payload,
+    /// schedule enables) the certificate needs; nothing is statable.
+    pub const CERT_UNSTATABLE: &str = "E0507";
+    /// The declared input range wraps in the input pixel register; the
+    /// certificate holds for post-register values only.
+    pub const INPUT_WRAPS: &str = "W0508";
+    /// A gating obligation discharged by bounded enumeration: some
+    /// loads are uncovered, but provably never fetched.
+    pub const GATE_UNFETCHED: &str = "W0509";
 }
 
 #[cfg(test)]

@@ -1,0 +1,641 @@
+//! Symbolic bit-vector evaluation over kernel expressions: the term
+//! engine behind the translation-validation pass (`equiv`).
+//!
+//! Three mechanisms live here, all deterministic and solver-free:
+//!
+//! 1. **Term normalization** — a canonicalizing rewrite of
+//!    [`imagen_ir::Expr`] that is exactly semantics-preserving under the
+//!    wide (wrapping `i64`) evaluator: constant folding with
+//!    `Expr::eval`'s own operator semantics, flattening and sorting of
+//!    commutative chains (`+`, `*`, `min`, `max`), `a - b → a + (-b)`,
+//!    double-negation elimination, and `a << k → a * 2^k` for constant
+//!    in-range `k`. Two kernels with equal normal forms compute the
+//!    same wide value on every input.
+//! 2. **Truncation elimination** — an interval-refined proof that the
+//!    fixed-width datapath evaluator ([`imagen_rtl::eval_acc`], which
+//!    truncates *every* operation result to the accumulator width)
+//!    agrees with the wide evaluator modulo the final output-register
+//!    truncation. Each node is judged `exact` (its mathematical
+//!    interval fits the signed accumulator range, so the truncation is
+//!    the identity) or `congruent` (the node's value is congruent to
+//!    the wide value modulo `2^pixel_bits`, which survives ring
+//!    operations — add, sub, mul, neg, shift-left — because `trunc` to
+//!    `acc >= pixel` bits preserves residues mod `2^pixel`). A kernel
+//!    whose root is exact or congruent provably satisfies
+//!    `trunc_pixel(eval_acc(k)) = trunc_pixel(eval_wide(k))` for all
+//!    tap values inside the propagated intervals.
+//! 3. **Directed differential sampling** — the fall-back for
+//!    obligations the symbolic layer leaves unknown: deterministic
+//!    (seeded splitmix64) evaluation of both sides on interval corners
+//!    plus random interior points. A disagreement is a concrete
+//!    refutation witness; agreement downgrades the obligation to
+//!    "fuzzed", never to "proved".
+//!
+//! The intervals come from the same transfer functions as the width
+//! lint (`width::node_iv`), so the proofs rest on machinery that is
+//! already differentially tested against both evaluators.
+
+use crate::width::{children, node_iv, signed_range, Iv};
+use imagen_ir::{BinOp, Expr};
+use imagen_rtl::{eval_acc, trunc, BitWidths};
+use std::cmp::Ordering;
+
+// ---------------------------------------------------------------------
+// Term normalization
+// ---------------------------------------------------------------------
+
+/// Canonicalizes a kernel expression. The rewrite preserves
+/// [`Expr::eval`]'s wrapping-`i64` semantics exactly (for *all* inputs,
+/// not just in-range ones), so normal-form equality implies wide
+/// semantic equality.
+pub(crate) fn normalize(e: &Expr) -> Expr {
+    match e {
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Tap { slot, dx, dy } => Expr::tap(*slot, *dx, *dy),
+        Expr::Neg(a) => match normalize(a) {
+            Expr::Const(c) => Expr::Const(c.wrapping_neg()),
+            Expr::Neg(inner) => *inner,
+            n => Expr::Neg(Box::new(n)),
+        },
+        Expr::Abs(a) => match normalize(a) {
+            Expr::Const(c) => Expr::Const(c.wrapping_abs()),
+            n => Expr::Abs(Box::new(n)),
+        },
+        Expr::Bin(op, a, b) => {
+            let a = normalize(a);
+            let b = normalize(b);
+            match op {
+                BinOp::Add => normalize_chain(BinOp::Add, vec![a, b]),
+                // a - b = a + (-b) in wrapping arithmetic; folding into
+                // the additive chain merges e.g. `x - x` to 0.
+                BinOp::Sub => {
+                    let nb = match b {
+                        Expr::Const(c) => Expr::Const(c.wrapping_neg()),
+                        Expr::Neg(inner) => *inner,
+                        other => Expr::Neg(Box::new(other)),
+                    };
+                    normalize_chain(BinOp::Add, vec![a, nb])
+                }
+                BinOp::Mul => normalize_chain(BinOp::Mul, vec![a, b]),
+                BinOp::Min => normalize_chain(BinOp::Min, vec![a, b]),
+                BinOp::Max => normalize_chain(BinOp::Max, vec![a, b]),
+                // a << k with constant k: Verilog <<< zeroes the result
+                // for out-of-range amounts; in range it is a wrapping
+                // multiply by 2^k, which merges with multiplicative
+                // chains (so `x << 1` and `2 * x` normalize equal).
+                BinOp::Shl => match b {
+                    Expr::Const(k) if (0..64).contains(&k) => normalize_chain(
+                        BinOp::Mul,
+                        vec![a, Expr::Const(1i64.wrapping_shl(k as u32))],
+                    ),
+                    Expr::Const(_) => Expr::Const(0),
+                    b => fold_or_rebuild(BinOp::Shl, a, b),
+                },
+                BinOp::Div | BinOp::Shr => fold_or_rebuild(*op, a, b),
+            }
+        }
+        Expr::Cmp(op, a, b) => {
+            let a = normalize(a);
+            let b = normalize(b);
+            if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                Expr::Const(i64::from(op.apply(*x, *y)))
+            } else {
+                Expr::cmp(*op, a, b)
+            }
+        }
+        Expr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = normalize(cond);
+            let t = normalize(then);
+            let o = normalize(otherwise);
+            match c {
+                Expr::Const(0) => o,
+                Expr::Const(_) => t,
+                c => Expr::select(c, t, o),
+            }
+        }
+        Expr::Clamp { value, lo, hi } => {
+            let v = normalize(value);
+            let lo = normalize(lo);
+            let hi = normalize(hi);
+            if let (Expr::Const(x), Expr::Const(l), Expr::Const(h)) = (&v, &lo, &hi) {
+                Expr::Const(if l > h { *l } else { *x.min(h).max(l) })
+            } else {
+                Expr::Clamp {
+                    value: Box::new(v),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates `op` on two constants with `Expr::eval`'s semantics, or
+/// rebuilds the node when either side is symbolic.
+fn fold_or_rebuild(op: BinOp, a: Expr, b: Expr) -> Expr {
+    if let (Expr::Const(_), Expr::Const(_)) = (&a, &b) {
+        let e = Expr::bin(op, a, b);
+        Expr::Const(e.eval(&mut |_, _, _| 0))
+    } else {
+        Expr::bin(op, a, b)
+    }
+}
+
+/// Flattens an associative-commutative chain, folds its constants, and
+/// rebuilds it left-associated in canonical operand order.
+fn normalize_chain(op: BinOp, parts: Vec<Expr>) -> Expr {
+    let mut terms: Vec<Expr> = Vec::new();
+    let mut stack = parts;
+    while let Some(e) = stack.pop() {
+        match e {
+            Expr::Bin(o, a, b) if o == op => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            other => terms.push(other),
+        }
+    }
+    // Fold all constants into one (wrapping for ring ops, exact for
+    // min/max), applying the chain's identity/absorbing elements.
+    let mut acc: Option<i64> = None;
+    let mut rest: Vec<Expr> = Vec::new();
+    for t in terms {
+        match t {
+            Expr::Const(c) => {
+                acc = Some(match (op, acc) {
+                    (BinOp::Add, Some(a)) => a.wrapping_add(c),
+                    (BinOp::Mul, Some(a)) => a.wrapping_mul(c),
+                    (BinOp::Min, Some(a)) => a.min(c),
+                    (BinOp::Max, Some(a)) => a.max(c),
+                    (_, None) => c,
+                    _ => unreachable!("normalize_chain only sees AC ops"),
+                });
+            }
+            other => rest.push(other),
+        }
+    }
+    match (op, acc) {
+        (BinOp::Add, Some(0)) | (BinOp::Mul, Some(1)) => {}
+        (BinOp::Mul, Some(0)) => return Expr::Const(0),
+        (_, Some(c)) => rest.push(Expr::Const(c)),
+        (_, None) => {}
+    }
+    rest.sort_by(cmp_expr);
+    let mut it = rest.into_iter();
+    let first = it.next().unwrap_or(Expr::Const(match op {
+        BinOp::Mul => 1,
+        _ => 0,
+    }));
+    it.fold(first, |a, b| Expr::bin(op, a, b))
+}
+
+/// Total structural order on expressions, used to canonicalize operand
+/// order in commutative chains.
+pub(crate) fn cmp_expr(a: &Expr, b: &Expr) -> Ordering {
+    fn rank(e: &Expr) -> u8 {
+        match e {
+            Expr::Const(_) => 0,
+            Expr::Tap { .. } => 1,
+            Expr::Neg(_) => 2,
+            Expr::Abs(_) => 3,
+            Expr::Bin(..) => 4,
+            Expr::Cmp(..) => 5,
+            Expr::Select { .. } => 6,
+            Expr::Clamp { .. } => 7,
+        }
+    }
+    fn op_rank(op: BinOp) -> u8 {
+        match op {
+            BinOp::Add => 0,
+            BinOp::Sub => 1,
+            BinOp::Mul => 2,
+            BinOp::Div => 3,
+            BinOp::Min => 4,
+            BinOp::Max => 5,
+            BinOp::Shl => 6,
+            BinOp::Shr => 7,
+        }
+    }
+    match (a, b) {
+        (Expr::Const(x), Expr::Const(y)) => x.cmp(y),
+        (
+            Expr::Tap { slot, dx, dy },
+            Expr::Tap {
+                slot: s2,
+                dx: x2,
+                dy: y2,
+            },
+        ) => (slot, dy, dx).cmp(&(s2, y2, x2)),
+        (Expr::Bin(o1, ..), Expr::Bin(o2, ..)) if o1 != o2 => op_rank(*o1).cmp(&op_rank(*o2)),
+        (Expr::Cmp(o1, ..), Expr::Cmp(o2, ..)) if o1 != o2 => o1.mnemonic().cmp(o2.mnemonic()),
+        _ => {
+            let r = rank(a).cmp(&rank(b));
+            if r != Ordering::Equal {
+                return r;
+            }
+            let ka = children(a);
+            let kb = children(b);
+            for (x, y) in ka.iter().zip(&kb) {
+                let c = cmp_expr(x, y);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            ka.len().cmp(&kb.len())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Truncation elimination
+// ---------------------------------------------------------------------
+
+/// How a datapath obligation was discharged symbolically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum TruncVerdict {
+    /// Every node's interval fits the accumulator: no per-op truncation
+    /// ever fires, the datapath value equals the wide value exactly.
+    Exact,
+    /// Some intermediate escapes the accumulator, but every truncation
+    /// sits inside a ring context: the datapath value is congruent to
+    /// the wide value mod `2^pixel_bits`, so the output register agrees.
+    Modular,
+    /// Neither proof applies; the obligation falls back to directed
+    /// differential sampling.
+    Unknown,
+}
+
+struct NodeFacts {
+    iv: Iv,
+    exact: bool,
+    congruent: bool,
+}
+
+/// Proves (or declines to prove) that
+/// `trunc(eval_acc(e, acc), pixel) == trunc(e.eval(wide), pixel)` for
+/// all tap values within `slots`.
+pub(crate) fn trunc_verdict(e: &Expr, slots: &[Iv], widths: &BitWidths) -> TruncVerdict {
+    let acc = signed_range(widths.acc_bits);
+    // Residues mod 2^pixel survive the per-op accumulator truncation
+    // only when pixel <= acc (then trunc_acc is the identity on the
+    // low pixel bits). A narrower accumulator than the output register
+    // leaves only the exact route.
+    let modular_ok = widths.pixel_bits.min(64) <= widths.acc_bits.min(64);
+    let facts = judge(e, slots, acc, modular_ok);
+    if facts.exact {
+        TruncVerdict::Exact
+    } else if facts.congruent {
+        TruncVerdict::Modular
+    } else {
+        TruncVerdict::Unknown
+    }
+}
+
+fn judge(e: &Expr, slots: &[Iv], acc: (i128, i128), modular_ok: bool) -> NodeFacts {
+    let kids: Vec<NodeFacts> = children(e)
+        .into_iter()
+        .map(|k| judge(k, slots, acc, modular_ok))
+        .collect();
+    let kid_ivs: Vec<Iv> = kids.iter().map(|k| k.iv).collect();
+    let iv = node_iv(e, &kid_ivs, slots);
+    // Exactness: children exact means both evaluators hand this node
+    // its mathematical operand values; the node's own interval fitting
+    // the accumulator means neither the i64 op nor the trunc can alter
+    // the result.
+    let exact = kids.iter().all(|k| k.exact) && iv.lo >= acc.0 && iv.hi <= acc.1;
+    // Congruence mod 2^pixel: ring operations preserve residues, so an
+    // overflowing intermediate is harmless when only the low pixel bits
+    // of the root survive. Everything value-dependent in its high bits
+    // (division, right shift, comparisons, min/max, abs, clamp, select
+    // conditions, shift amounts) needs exact operands.
+    let congruent = exact
+        || (modular_ok
+            && match e {
+                Expr::Const(_) | Expr::Tap { .. } => true,
+                Expr::Neg(_) => kids[0].congruent,
+                Expr::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul, _, _) => {
+                    kids[0].congruent && kids[1].congruent
+                }
+                Expr::Bin(BinOp::Shl, _, _) => kids[0].congruent && kids[1].exact,
+                Expr::Select { .. } => kids[0].exact && kids[1].congruent && kids[2].congruent,
+                _ => false,
+            });
+    NodeFacts {
+        iv,
+        exact,
+        congruent,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Directed differential sampling
+// ---------------------------------------------------------------------
+
+/// One symbolic tap variable with its sound value interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct TapVar {
+    pub slot: usize,
+    pub dx: i32,
+    pub dy: i32,
+    pub lo: i64,
+    pub hi: i64,
+}
+
+/// Collects the distinct tap variables of a set of kernels, with
+/// intervals from the producer-slot analysis. Distinct `(slot, dx, dy)`
+/// triples are independent pixels; the same triple must be fed the same
+/// value on both sides of a differential comparison.
+pub(crate) fn tap_vars(exprs: &[&Expr], slots: &[Iv]) -> Vec<TapVar> {
+    let mut vars: Vec<TapVar> = Vec::new();
+    for e in exprs {
+        e.for_each_tap(&mut |slot, dx, dy| {
+            if !vars
+                .iter()
+                .any(|v| v.slot == slot && v.dx == dx && v.dy == dy)
+            {
+                let iv = slots.get(slot).copied().unwrap_or(Iv::new(-128, 127));
+                vars.push(TapVar {
+                    slot,
+                    dx,
+                    dy,
+                    lo: iv.lo.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+                    hi: iv.hi.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+                });
+            }
+        });
+    }
+    vars.sort_by_key(|v| (v.slot, v.dy, v.dx));
+    vars
+}
+
+/// Deterministic splitmix64 stream: the sampling is reproducible, so a
+/// refutation witness found once is found on every run.
+pub(crate) struct SplitMix(pub u64);
+
+impl SplitMix {
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        lo.wrapping_add((self.next_u64() as u128 % span) as i64)
+    }
+}
+
+/// The outcome of a directed differential run.
+pub(crate) enum SampleOutcome {
+    /// Both sides agreed on every sampled assignment.
+    Agreed { samples: usize },
+    /// A concrete disagreement: the assignment plus both output values.
+    Mismatch {
+        assignment: Vec<(TapVar, i64)>,
+        spec: i64,
+        impl_: i64,
+    },
+}
+
+/// Differentially evaluates `trunc(spec.eval(wide), pixel)` against
+/// `trunc(eval_acc(impl_, acc), pixel)` over directed assignments:
+/// per-variable interval corners (lo/hi/zero crossings) plus seeded
+/// random interior points.
+pub(crate) fn sample_datapath(
+    spec: &Expr,
+    impl_: &Expr,
+    vars: &[TapVar],
+    widths: &BitWidths,
+    samples: usize,
+    seed: u64,
+) -> SampleOutcome {
+    let mut rng = SplitMix(seed ^ 0x1a6e_5a17_ed5e_ed00);
+    let mut values = vec![0i64; vars.len()];
+    let mut tried = 0usize;
+    let check = |values: &[i64], tried: &mut usize| -> Option<(i64, i64)> {
+        *tried += 1;
+        let fetch_of = |values: &[i64]| {
+            let assigned: Vec<(usize, i32, i32, i64)> = vars
+                .iter()
+                .zip(values)
+                .map(|(v, &x)| (v.slot, v.dx, v.dy, x))
+                .collect();
+            move |slot: usize, dx: i32, dy: i32| {
+                assigned
+                    .iter()
+                    .find(|&&(s, x, y, _)| s == slot && x == dx && y == dy)
+                    .map(|&(_, _, _, v)| v)
+                    .unwrap_or(0)
+            }
+        };
+        let mut f1 = fetch_of(values);
+        let s = trunc(spec.eval(&mut f1), widths.pixel_bits);
+        let mut f2 = fetch_of(values);
+        let i = trunc(eval_acc(impl_, widths.acc_bits, &mut f2), widths.pixel_bits);
+        (s != i).then_some((s, i))
+    };
+
+    // Directed phase: every variable at each of its corner values,
+    // others at a deterministic mix of corners.
+    let corner = |v: &TapVar, pick: u8| match pick {
+        0 => v.lo,
+        1 => v.hi,
+        2 if v.lo <= 0 && v.hi >= 0 => 0,
+        _ => ((v.lo as i128 + v.hi as i128) / 2) as i64,
+    };
+    for focus in 0..vars.len() {
+        for pick in 0..4u8 {
+            for other_pick in 0..2u8 {
+                for (i, v) in vars.iter().enumerate() {
+                    values[i] = corner(v, if i == focus { pick } else { other_pick });
+                }
+                if let Some((s, i)) = check(&values, &mut tried) {
+                    return mismatch(vars, &values, s, i);
+                }
+            }
+        }
+    }
+    // Random phase.
+    while tried < samples {
+        for (i, v) in vars.iter().enumerate() {
+            values[i] = rng.in_range(v.lo, v.hi);
+        }
+        if let Some((s, i)) = check(&values, &mut tried) {
+            return mismatch(vars, &values, s, i);
+        }
+    }
+    SampleOutcome::Agreed { samples: tried }
+}
+
+fn mismatch(vars: &[TapVar], values: &[i64], spec: i64, impl_: i64) -> SampleOutcome {
+    SampleOutcome::Mismatch {
+        assignment: vars.iter().copied().zip(values.iter().copied()).collect(),
+        spec,
+        impl_,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dx: i32, dy: i32) -> Expr {
+        Expr::tap(0, dx, dy)
+    }
+
+    fn widths(pixel: u32, acc: u32) -> BitWidths {
+        BitWidths {
+            pixel_bits: pixel,
+            acc_bits: acc,
+        }
+    }
+
+    fn iv(lo: i128, hi: i128) -> Iv {
+        Iv::new(lo, hi)
+    }
+
+    #[test]
+    fn normalization_is_commutative_and_folds() {
+        let a = Expr::bin(
+            BinOp::Add,
+            t(1, 0),
+            Expr::bin(BinOp::Add, t(-1, 0), t(0, 0)),
+        );
+        let b = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, t(0, 0), t(1, 0)),
+            t(-1, 0),
+        );
+        assert_eq!(normalize(&a), normalize(&b));
+        let c = Expr::bin(
+            BinOp::Add,
+            Expr::Const(3),
+            Expr::bin(BinOp::Add, t(0, 0), Expr::Const(4)),
+        );
+        let d = Expr::bin(BinOp::Add, t(0, 0), Expr::Const(7));
+        assert_eq!(normalize(&c), normalize(&d));
+    }
+
+    #[test]
+    fn shl_by_const_merges_with_mul() {
+        let a = Expr::bin(BinOp::Shl, t(0, 0), Expr::Const(1));
+        let b = Expr::bin(BinOp::Mul, Expr::Const(2), t(0, 0));
+        assert_eq!(normalize(&a), normalize(&b));
+    }
+
+    #[test]
+    fn sub_cancels_through_the_additive_chain() {
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Add, t(0, 0), t(1, 0)),
+            Expr::bin(BinOp::Add, t(1, 0), t(0, 0)),
+        );
+        // x + y - (y + x) does not literally cancel (taps are opaque
+        // and Neg-wrapped), but the two sides normalize identically.
+        let f = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(BinOp::Add, t(1, 0), t(0, 0)),
+            Expr::bin(BinOp::Add, t(0, 0), t(1, 0)),
+        );
+        assert_eq!(normalize(&e), normalize(&f));
+    }
+
+    #[test]
+    fn normalization_preserves_wide_semantics() {
+        // Randomized check over a representative kernel shape.
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::bin(BinOp::Add, t(-1, 0), Expr::Const(3)),
+                Expr::bin(BinOp::Shl, t(0, 1), Expr::Const(2)),
+            ),
+            Expr::bin(BinOp::Div, t(1, 1), Expr::Const(5)),
+        );
+        let n = normalize(&e);
+        let mut rng = SplitMix(7);
+        for _ in 0..200 {
+            let (a, b, c) = (
+                rng.in_range(-1000, 1000),
+                rng.in_range(-1000, 1000),
+                rng.in_range(-1000, 1000),
+            );
+            let mut fetch = |_: usize, dx: i32, dy: i32| match (dx, dy) {
+                (-1, 0) => a,
+                (0, 1) => b,
+                _ => c,
+            };
+            let mut fetch2 = fetch;
+            assert_eq!(e.eval(&mut fetch), n.eval(&mut fetch2));
+        }
+    }
+
+    #[test]
+    fn small_kernel_is_exact() {
+        let e = Expr::bin(
+            BinOp::Div,
+            Expr::sum((0..9).map(|i| Expr::tap(0, i % 3 - 1, i / 3 - 1))),
+            Expr::Const(9),
+        );
+        let v = trunc_verdict(&e, &[iv(0, 127)], &widths(16, 32));
+        assert_eq!(v, TruncVerdict::Exact);
+    }
+
+    #[test]
+    fn polynomial_overflow_is_modular() {
+        // x^5 at [0,127] exceeds a 32-bit accumulator but is pure ring
+        // arithmetic: congruence mod 2^16 survives.
+        let mut e = t(0, 0);
+        for _ in 0..4 {
+            e = Expr::bin(BinOp::Mul, e, t(0, 0));
+        }
+        let v = trunc_verdict(&e, &[iv(0, 127)], &widths(16, 32));
+        assert_eq!(v, TruncVerdict::Modular);
+    }
+
+    #[test]
+    fn division_of_overflowing_numerator_is_unknown() {
+        let mut num = t(0, 0);
+        for _ in 0..4 {
+            num = Expr::bin(BinOp::Mul, num, t(0, 0));
+        }
+        let e = Expr::bin(BinOp::Div, num, Expr::Const(3));
+        let v = trunc_verdict(&e, &[iv(0, 127)], &widths(16, 32));
+        assert_eq!(v, TruncVerdict::Unknown);
+    }
+
+    #[test]
+    fn sampling_refutes_a_real_divergence() {
+        // x^5 / 3: the accumulator truncates the numerator before the
+        // divide, so 16/32 genuinely diverges from wide — the sampler
+        // must find a witness.
+        let mut num = t(0, 0);
+        for _ in 0..4 {
+            num = Expr::bin(BinOp::Mul, num, t(0, 0));
+        }
+        let e = Expr::bin(BinOp::Div, num, Expr::Const(3));
+        let vars = tap_vars(&[&e], &[iv(0, 127)]);
+        match sample_datapath(&e, &e, &vars, &widths(16, 32), 512, 42) {
+            SampleOutcome::Mismatch { spec, impl_, .. } => assert_ne!(spec, impl_),
+            SampleOutcome::Agreed { .. } => panic!("expected a refutation witness"),
+        }
+    }
+
+    #[test]
+    fn sampling_agrees_on_equivalent_kernels() {
+        let a = Expr::bin(BinOp::Add, t(0, 0), t(1, 0));
+        let b = Expr::bin(BinOp::Add, t(1, 0), t(0, 0));
+        let vars = tap_vars(&[&a, &b], &[iv(0, 127)]);
+        match sample_datapath(&a, &b, &vars, &widths(16, 32), 256, 1) {
+            SampleOutcome::Agreed { samples } => assert!(samples >= 256),
+            SampleOutcome::Mismatch { .. } => panic!("commuted add cannot diverge"),
+        }
+    }
+}

@@ -31,15 +31,18 @@ pub const MAX_TAP_REACH: i32 = 32;
 /// arithmetic below cannot overflow `i128`.
 const CAP: i128 = 1 << 100;
 
-/// A closed value interval `[lo, hi]`, saturating at ±[`CAP`].
+/// A closed value interval `[lo, hi]`, saturating at ±[`CAP`]. Shared
+/// with the symbolic certifier (`symex`), which reuses the exact same
+/// transfer functions so its truncation-elimination proofs rest on the
+/// intervals this pass is differentially tested on.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct Iv {
-    lo: i128,
-    hi: i128,
+pub(crate) struct Iv {
+    pub(crate) lo: i128,
+    pub(crate) hi: i128,
 }
 
 impl Iv {
-    fn new(lo: i128, hi: i128) -> Iv {
+    pub(crate) fn new(lo: i128, hi: i128) -> Iv {
         debug_assert!(lo <= hi);
         Iv {
             lo: lo.clamp(-CAP, CAP),
@@ -47,11 +50,11 @@ impl Iv {
         }
     }
 
-    fn exact(v: i128) -> Iv {
+    pub(crate) fn exact(v: i128) -> Iv {
         Iv::new(v, v)
     }
 
-    fn hull(a: Iv, b: Iv) -> Iv {
+    pub(crate) fn hull(a: Iv, b: Iv) -> Iv {
         Iv::new(a.lo.min(b.lo), a.hi.max(b.hi))
     }
 
@@ -83,7 +86,7 @@ impl Iv {
 }
 
 /// Signed range of a `bits`-wide two's-complement register.
-fn signed_range(bits: u32) -> (i128, i128) {
+pub(crate) fn signed_range(bits: u32) -> (i128, i128) {
     let b = bits.clamp(1, 64);
     (-(1i128 << (b - 1)), (1i128 << (b - 1)) - 1)
 }
@@ -106,52 +109,57 @@ impl Ctx<'_> {
     }
 }
 
-/// Interval transfer function, mirroring `Expr::eval` mathematically.
-fn eval_iv(e: &Expr, ctx: &mut Ctx<'_>) -> Iv {
-    let r = match e {
-        Expr::Const(c) => Iv::exact(*c as i128),
-        Expr::Tap { slot, .. } => ctx.slots.get(*slot).copied().unwrap_or(Iv::new(-CAP, CAP)),
-        Expr::Neg(a) => eval_iv(a, ctx).neg(),
-        Expr::Abs(a) => eval_iv(a, ctx).abs(),
-        Expr::Bin(op, a, b) => {
-            let a = eval_iv(a, ctx);
-            let b = eval_iv(b, ctx);
-            bin_iv(*op, a, b)
-        }
-        Expr::Cmp(_, a, b) => {
-            eval_iv(a, ctx);
-            eval_iv(b, ctx);
-            Iv::new(0, 1)
-        }
+/// Child subexpressions in a fixed order ([`node_iv`] indexes into it).
+pub(crate) fn children(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::Const(_) | Expr::Tap { .. } => Vec::new(),
+        Expr::Neg(a) | Expr::Abs(a) => vec![a],
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => vec![a, b],
         Expr::Select {
             cond,
             then,
             otherwise,
-        } => {
-            let c = eval_iv(cond, ctx);
-            let t = eval_iv(then, ctx);
-            let o = eval_iv(otherwise, ctx);
+        } => vec![cond, then, otherwise],
+        Expr::Clamp { value, lo, hi } => vec![value, lo, hi],
+    }
+}
+
+/// Per-node interval transfer function over already-computed child
+/// intervals (`kids` in [`children`] order), mirroring `Expr::eval`
+/// mathematically. The single source of truth shared by the width lint
+/// and the symbolic certifier.
+pub(crate) fn node_iv(e: &Expr, kids: &[Iv], slots: &[Iv]) -> Iv {
+    match e {
+        Expr::Const(c) => Iv::exact(*c as i128),
+        Expr::Tap { slot, .. } => slots.get(*slot).copied().unwrap_or(Iv::new(-CAP, CAP)),
+        Expr::Neg(_) => kids[0].neg(),
+        Expr::Abs(_) => kids[0].abs(),
+        Expr::Bin(op, _, _) => bin_iv(*op, kids[0], kids[1]),
+        Expr::Cmp(_, _, _) => Iv::new(0, 1),
+        Expr::Select { .. } => {
+            let c = kids[0];
             if c.lo > 0 || c.hi < 0 {
-                t
+                kids[1]
             } else if c == Iv::exact(0) {
-                o
+                kids[2]
             } else {
-                Iv::hull(t, o)
+                Iv::hull(kids[1], kids[2])
             }
         }
-        Expr::Clamp { value, lo, hi } => {
-            eval_iv(value, ctx);
-            let lo = eval_iv(lo, ctx);
-            let hi = eval_iv(hi, ctx);
-            // `lo > hi` pins to `lo`; otherwise the result lies between
-            // the smallest lower limit and the largest upper limit.
-            Iv::new(lo.lo, hi.hi.max(lo.hi))
-        }
-    };
+        // `lo > hi` pins to `lo`; otherwise the result lies between
+        // the smallest lower limit and the largest upper limit.
+        Expr::Clamp { .. } => Iv::new(kids[1].lo, kids[2].hi.max(kids[1].hi)),
+    }
+}
+
+/// Interval transfer function, mirroring `Expr::eval` mathematically.
+fn eval_iv(e: &Expr, ctx: &mut Ctx<'_>) -> Iv {
+    let kids: Vec<Iv> = children(e).into_iter().map(|k| eval_iv(k, ctx)).collect();
+    let r = node_iv(e, &kids, ctx.slots);
     ctx.check(r)
 }
 
-fn bin_iv(op: BinOp, a: Iv, b: Iv) -> Iv {
+pub(crate) fn bin_iv(op: BinOp, a: Iv, b: Iv) -> Iv {
     match op {
         BinOp::Add => Iv::new(a.lo.saturating_add(b.lo), a.hi.saturating_add(b.hi)),
         BinOp::Sub => Iv::new(a.lo.saturating_sub(b.hi), a.hi.saturating_sub(b.lo)),
@@ -211,6 +219,21 @@ fn bin_iv(op: BinOp, a: Iv, b: Iv) -> Iv {
 
 /// Runs the width/overflow pass over a lowered DAG.
 pub(crate) fn lint_dag(dag: &Dag, opts: &AnalysisOptions) -> Vec<Diagnostic> {
+    analyze_widths(dag, opts).0
+}
+
+/// The per-stage output intervals the width pass propagates, in stage
+/// order. Flagged (overflowing/truncating) stages report the full pixel
+/// range — the sound assumption for the register downstream consumers
+/// actually read — so these intervals bound the values a hardware
+/// producer register can hold regardless of whether the stage is clean.
+pub(crate) fn stage_intervals(dag: &Dag, opts: &AnalysisOptions) -> Vec<Iv> {
+    analyze_widths(dag, opts).1
+}
+
+/// The width/overflow dataflow: diagnostics plus the propagated
+/// per-stage output intervals.
+fn analyze_widths(dag: &Dag, opts: &AnalysisOptions) -> (Vec<Diagnostic>, Vec<Iv>) {
     let pixel = signed_range(opts.widths.pixel_bits);
     let acc = signed_range(opts.widths.acc_bits);
     let input_iv = Iv::new(
@@ -274,7 +297,7 @@ pub(crate) fn lint_dag(dag: &Dag, opts: &AnalysisOptions) -> Vec<Diagnostic> {
         // range, so that is the sound downstream assumption.
         out.push(if flagged { full_pixel } else { root });
     }
-    diags
+    (diags, out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,72 @@
+//! Lint coverage over the gated paper corpus.
+//!
+//! The structural netlist lints and the schedule invariants were
+//! developed against ungated netlists; the power pass's clock gating
+//! rewrites the enable fabric, so this suite pins that every Tbl. 3
+//! pipeline stays lint-clean *with a [`imagen_rtl::GatingPlan`]
+//! attached* — at both datapath widths — and that the schedule lint is
+//! equally clean on the plans the netlists came from.
+
+use imagen_algos::Algorithm;
+use imagen_analysis::{lint_netlist, lint_plan, AnalysisOptions, Severity};
+use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+use imagen_rtl::{build_netlist, BitWidths};
+use imagen_schedule::{plan_design, ScheduleOptions};
+
+fn geom() -> ImageGeometry {
+    ImageGeometry {
+        width: 32,
+        height: 24,
+        pixel_bits: 16,
+    }
+}
+
+fn spec() -> MemorySpec {
+    MemorySpec::new(MemBackend::Asic { block_bits: 32768 }, 2)
+}
+
+#[test]
+fn gated_corpus_stays_lint_clean_at_both_widths() {
+    for alg in Algorithm::all() {
+        let dag = alg.build();
+        let plan = plan_design(
+            &dag,
+            &geom(),
+            &spec(),
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+
+        let sched = lint_plan(&plan, &geom(), &spec());
+        assert!(
+            sched.iter().all(|d| d.severity != Severity::Error),
+            "{}: schedule lint errors: {sched:?}",
+            alg.name()
+        );
+
+        for widths in [BitWidths::default(), BitWidths::wide()] {
+            let net = build_netlist(&plan.dag, &plan.design, &widths);
+            let gated = imagen_power::gate_clocks(&net);
+            assert!(
+                gated.is_gated(),
+                "{}: gating pass attached no plan",
+                alg.name()
+            );
+            let opts = AnalysisOptions {
+                geom: geom(),
+                spec: spec(),
+                widths,
+                ..AnalysisOptions::default()
+            };
+            let diags = lint_netlist(&gated, &opts);
+            assert!(
+                diags.is_empty(),
+                "{} gated @ {}/{}: {diags:?}",
+                alg.name(),
+                widths.pixel_bits,
+                widths.acc_bits
+            );
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Machine-readable benchmark snapshot (`BENCH_7.json`).
+//!
+//! Re-runs scaled-down versions of the three hot-loop criterion benches
+//! — `netlist_interp`, `activity_interp` and `dse_sweep` — and emits one
+//! JSON object with the median wall-clock of each micro-run plus enough
+//! environment metadata to interpret the numbers later (rustc, target
+//! arch/OS, thread count, smoke mode, geometry). CI archives the output
+//! so perf regressions show up as a diffable artifact rather than a
+//! scrollback of criterion text.
+//!
+//! Usage: `exp_bench_snapshot [-o BENCH_7.json]` — prints the JSON to
+//! stdout unless `-o` names a file. Honors `IMAGEN_SMOKE` (fewer reps,
+//! smaller frame).
+
+use imagen_algos::{sample_pattern, Algorithm, TestPattern};
+use imagen_bench::smoke_mode;
+use imagen_core::Compiler;
+use imagen_dse::{explore, ExploreOptions, ExploreStrategy};
+use imagen_mem::{ImageGeometry, MemBackend, MemorySpec};
+use imagen_power::gate_clocks;
+use imagen_rtl::{build_netlist, emit_verilog, interpret, interpret_with_trace, BitWidths};
+use imagen_sim::Image;
+use std::time::Instant;
+
+/// Median wall-clock (ms) of `reps` timed runs after one warm-up.
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new(std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into()))
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                i += 1;
+                out_path = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("error: -o needs a file name");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: exp_bench_snapshot [-o BENCH_7.json]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let smoke = smoke_mode();
+    let reps = if smoke { 3 } else { 7 };
+    let geom = if smoke {
+        ImageGeometry {
+            width: 48,
+            height: 32,
+            pixel_bits: 16,
+        }
+    } else {
+        ImageGeometry {
+            width: 120,
+            height: 80,
+            pixel_bits: 16,
+        }
+    };
+    let backend = MemBackend::asic_default();
+    let spec = MemorySpec::new(backend, 2);
+
+    // netlist_interp mirror: elaborate / emit / interpret Unsharp-m.
+    let dag = Algorithm::UnsharpM.build();
+    let out = Compiler::new(geom, spec).compile_dag(&dag).unwrap();
+    let input = Image::from_fn(geom.width, geom.height, |x, y| {
+        sample_pattern(TestPattern::Noise, 3, x, y)
+    });
+    let net = build_netlist(&out.plan.dag, &out.plan.design, &BitWidths::default());
+    let build_ms = median_ms(reps, || {
+        std::hint::black_box(build_netlist(
+            &out.plan.dag,
+            &out.plan.design,
+            &BitWidths::default(),
+        ));
+    });
+    let emit_ms = median_ms(reps, || {
+        std::hint::black_box(emit_verilog(&net));
+    });
+    let interp_ms = median_ms(reps, || {
+        std::hint::black_box(interpret(&net, std::slice::from_ref(&input)).unwrap());
+    });
+
+    // activity_interp mirror: traced and gated-traced interpretation.
+    let gated = gate_clocks(&net);
+    let traced_ms = median_ms(reps, || {
+        std::hint::black_box(interpret_with_trace(&net, std::slice::from_ref(&input)).unwrap());
+    });
+    let gated_traced_ms = median_ms(reps, || {
+        std::hint::black_box(interpret_with_trace(&gated, std::slice::from_ref(&input)).unwrap());
+    });
+
+    // dse_sweep mirror: the memoized exhaustive engine, one worker.
+    let dse_ms = median_ms(reps, || {
+        std::hint::black_box(
+            explore(
+                &dag,
+                &geom,
+                backend,
+                ExploreOptions {
+                    strategy: ExploreStrategy::Exhaustive,
+                    threads: 1,
+                },
+            )
+            .unwrap(),
+        );
+    });
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\"schema\":\"imagen-bench-snapshot/1\",\"env\":{{\"rustc\":{},\"arch\":{},\"os\":{},\"threads\":{},\"smoke\":{},\"geometry\":{{\"width\":{},\"height\":{},\"pixel_bits\":{}}},\"reps\":{}}},\"median_ms\":{{\"netlist_interp\":{{\"build\":{:.4},\"emit\":{:.4},\"interpret\":{:.4}}},\"activity_interp\":{{\"interpret_traced\":{:.4},\"interpret_gated_traced\":{:.4}}},\"dse_sweep\":{{\"session_sequential\":{:.4}}}}}}}",
+        json_str(&rustc_version()),
+        json_str(std::env::consts::ARCH),
+        json_str(std::env::consts::OS),
+        threads,
+        smoke,
+        geom.width,
+        geom.height,
+        geom.pixel_bits,
+        reps,
+        build_ms,
+        emit_ms,
+        interp_ms,
+        traced_ms,
+        gated_traced_ms,
+        dse_ms,
+    );
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

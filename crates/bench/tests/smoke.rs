@@ -37,6 +37,7 @@ macro_rules! smoke_tests {
 
 smoke_tests! {
     tbl3 => "Tbl. 3";
+    exp_bench_snapshot => "imagen-bench-snapshot/1";
     exp_energy => "analytic vs measured";
     exp_throughput => "Sec. 8.1";
     exp_compile_speed => "Sec. 8.2";

@@ -38,6 +38,9 @@ COMMANDS:
                             netlist resources (and Verilog via --emit / -o)
     lint <file.imagen>      run the static analyzer: DSL lints, width/overflow
                             dataflow, schedule invariants, netlist lints
+    certify <file.imagen>   translation validation: symbolically prove the
+                            compiled netlist computes the DSL semantics
+                            (per-stage datapath + stream-alignment proofs)
     dse <file.imagen>       explore per-stage DP/DPLC memory configurations
     sim <file.imagen>       differential-test the generated netlist against
                             the golden software model on a seeded frame
@@ -62,17 +65,20 @@ COMPILE OPTIONS:
     -o FILE          write the generated Verilog to FILE
     --timing         print compile-phase timings (non-deterministic output)
 
-LINT OPTIONS:
+LINT / CERTIFY OPTIONS:
     --deny warnings  exit nonzero on warnings, not just errors
     --format F       text | json                      [default: text]
     --input-range L:H  inclusive input pixel range    [default: 0:127]
     --wide           certify against 64/64 datapath widths
+    --prove          (lint) also run translation validation and merge the
+                     certificate's E05xx/W05xx diagnostics into the report
 
 DSE OPTIONS:
     --strategy S     exhaustive | greedy | random     [default: exhaustive]
     --samples N      random-strategy point budget     [default: 64]
     --seed N         random-strategy seed             [default: 0]
     --threads N      worker threads (0 = all cores)   [default: 0]
+    --certify        run translation validation on every Pareto point
 
 SIM / ENERGY OPTIONS:
     --seed N         seed of the generated input frame [default: 0]
@@ -83,9 +89,40 @@ SERVE OPTIONS:
     --threads N      worker threads (0 = all cores)   [default: 0]
     --tcp ADDR       listen on ADDR (e.g. 127.0.0.1:7878) instead of stdin
 
+EXIT CODES:
+    0   success / nothing found
+    1   findings: lint or certificate diagnostics, a refuted proof
+        obligation, or a failed differential
+    2   usage or I/O errors: bad flags, unreadable files, bad geometry
+
 The JSONL protocol served by `imagen serve` is documented in README.md
 (\"Using the CLI\").
 ";
+
+/// A CLI failure, split by exit code: `Usage` (bad flags, unreadable
+/// input, impossible geometry — exit 2) vs `Findings` (the tools ran and
+/// found something wrong with the pipeline — exit 1), so scripts can
+/// tell "you invoked me wrong" from "your design is broken".
+pub enum CliError {
+    /// Operator error: exit code 2.
+    Usage(String),
+    /// Analysis/differential findings: exit code 1.
+    Findings(String),
+}
+
+impl CliError {
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Findings(m) => m,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
 
 /// Everything parsed from the command line.
 pub struct Options {
@@ -111,6 +148,8 @@ pub struct Options {
     pub deny_warnings: bool,
     pub format: String,
     pub input_range: Option<(i64, i64)>,
+    pub prove: bool,
+    pub certify: bool,
 }
 
 impl Default for Options {
@@ -141,6 +180,8 @@ impl Default for Options {
             deny_warnings: false,
             format: "text".into(),
             input_range: None,
+            prove: false,
+            certify: false,
         }
     }
 }
@@ -249,6 +290,8 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 opts.deny_warnings = true;
             }
             "--format" => opts.format = value(arg, &mut it)?.clone(),
+            "--prove" => opts.prove = true,
+            "--certify" => opts.certify = true,
             "--input-range" => {
                 let raw = value(arg, &mut it)?;
                 let (lo, hi) = raw
@@ -303,7 +346,7 @@ fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
     Ok((name, dag))
 }
 
-fn dispatch(cmd: &str, opts: &Options) -> Result<(), String> {
+fn dispatch(cmd: &str, opts: &Options) -> Result<(), CliError> {
     match cmd {
         "help" => {
             print!("{USAGE}");
@@ -312,9 +355,10 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<(), String> {
         "compile" => {
             let (_, dag) = load_pipeline(opts)?;
             validate_geometry(&opts.geometry())?;
-            report::run_compile(&dag, opts)
+            Ok(report::run_compile(&dag, opts)?)
         }
         "lint" => lint::run_lint(opts),
+        "certify" => lint::run_certify(opts),
         "dse" => {
             let (_, dag) = load_pipeline(opts)?;
             validate_geometry(&opts.geometry())?;
@@ -330,10 +374,12 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<(), String> {
             let (_, dag) = load_pipeline(opts)?;
             validate_geometry(&opts.geometry())?;
             validate_frame_budget(&opts.geometry())?;
-            report::run_energy(&dag, opts)
+            Ok(report::run_energy(&dag, opts)?)
         }
-        "serve" => serve::run(opts),
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        "serve" => Ok(serve::run(opts)?),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -343,19 +389,23 @@ fn main() -> ExitCode {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     match dispatch(&cmd, &opts) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(err) => {
+            let e = err.message();
             // Span-rendered errors already end in a newline-formatted block.
             if e.starts_with("error:") {
                 eprintln!("{e}");
             } else {
                 eprintln!("error: {e}");
             }
-            ExitCode::FAILURE
+            match err {
+                CliError::Findings(_) => ExitCode::from(1),
+                CliError::Usage(_) => ExitCode::from(2),
+            }
         }
     }
 }

@@ -6,7 +6,8 @@
 //! the CLI integration tests pin `compile` and `dse` text against golden
 //! files.
 
-use crate::Options;
+use crate::{CliError, Options};
+use imagen_analysis::certify_dag_styled;
 use imagen_core::Compiler;
 use imagen_dse::{explore, ExploreOptions, ExploreStrategy};
 use imagen_ir::{Dag, StageId};
@@ -195,8 +196,9 @@ pub(crate) fn check_exhaustive_size(
 }
 
 /// `imagen dse`: walk the per-stage DP/DPLC space, print every point and
-/// the Pareto frontier.
-pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), String> {
+/// the Pareto frontier; with `--certify`, translation-validate each
+/// frontier design before reporting it.
+pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), CliError> {
     let strategy = parse_strategy(&opts.strategy, opts.samples, opts.seed)?;
     check_exhaustive_size(strategy, dag.buffered_stages().len())?;
     let res = explore(
@@ -260,7 +262,48 @@ pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), String> {
             .collect::<Vec<_>>()
             .join(", ")
     ));
+
+    // --certify: translation-validate every frontier design. Each point
+    // chooses its own memory spec (DP vs DPLC per buffer), so the
+    // certificate runs against that point's spec and design style.
+    let mut refuted_points = 0usize;
+    if opts.certify {
+        text.push_str(&format!(
+            "\n## Frontier certificates ({} points)\n\n",
+            frontier.len()
+        ));
+        for &i in &frontier {
+            let point = &res.points[i];
+            let mut aopts = crate::lint::analysis_options(opts);
+            aopts.spec = res.spec_of(point, opts.backend());
+            let line = match certify_dag_styled(dag, &aopts, point.design.style) {
+                Ok(cert) => {
+                    if cert.refuted() > 0 {
+                        refuted_points += 1;
+                    }
+                    format!(
+                        "  point {i:>5}  {:<8}  {} proved, {} fuzzed, {} refuted",
+                        cert.status(),
+                        cert.proved(),
+                        cert.fuzzed(),
+                        cert.refuted()
+                    )
+                }
+                Err(d) => {
+                    refuted_points += 1;
+                    format!("  point {i:>5}  error     {}", d.render())
+                }
+            };
+            text.push_str(&line);
+            text.push('\n');
+        }
+    }
     print!("{text}");
+    if refuted_points > 0 {
+        return Err(CliError::Findings(format!(
+            "{refuted_points} frontier point(s) failed certification"
+        )));
+    }
     Ok(())
 }
 
@@ -309,7 +352,7 @@ fn input_frames(dag: &Dag, opts: &Options, bits: u32) -> Vec<Image> {
 }
 
 /// `imagen sim`: golden executor vs netlist interpreter on a seeded frame.
-pub fn run_sim(dag: &Dag, opts: &Options) -> Result<(), String> {
+pub fn run_sim(dag: &Dag, opts: &Options) -> Result<(), CliError> {
     check_frame_contains_stencil(dag, opts)?;
     let out = Compiler::new(opts.geometry(), opts.memory_spec())
         .compile_dag(dag)
@@ -368,9 +411,9 @@ pub fn run_sim(dag: &Dag, opts: &Options) -> Result<(), String> {
     ));
     print!("{text}");
     if mismatched > 0 {
-        return Err(format!(
+        return Err(CliError::Findings(format!(
             "netlist diverges from the golden model on {mismatched} pixel(s)"
-        ));
+        )));
     }
     Ok(())
 }

@@ -37,7 +37,11 @@
 //! under `deny_warnings`, and successful compile responses carry the
 //! observed `lint_warnings` / `lint_notes` counts.
 //!
-//! Success: `{"id":...,"ok":true,...}`. Failure:
+//! Success: `{"id":...,"ok":true,...}`, including the translation-
+//! validation verdict for the compiled design (`certificate_status`
+//! plus the full per-obligation `certificate` object; certificates are
+//! memoized per (pipeline, geometry, spec) alongside the compile
+//! cache). Failure:
 //! `{"id":...,"ok":false,"error":"...","line":L,"col":C}` (span members
 //! only when the error has one).
 
@@ -56,6 +60,10 @@ use std::time::Instant;
 /// Session map key: (pipeline fingerprint, width, height, pixel bits).
 type SessionKey = (u64, u32, u32, u32);
 
+/// Certificate memo key: session key + the memory-spec identity the
+/// request chose (backend kind, block bits, ports, coalescing).
+type CertKey = (SessionKey, bool, u64, u32, bool);
+
 /// Live sessions a long-running server keeps at most. Every session
 /// pins its DAG, constraint skeleton and memoized design points (via
 /// the shared cache), so a client streaming ever-new pipelines must not
@@ -73,6 +81,11 @@ pub struct Hub {
 struct HubState {
     cache: Arc<CompileCache>,
     sessions: HashMap<SessionKey, Arc<Session>>,
+    /// Memoized translation-validation certificates, keyed by
+    /// (session key, memory-spec identity). A certificate is a pure
+    /// function of (dag, geometry, spec), so warm recompiles reuse it
+    /// instead of re-proving — the warm path stays microseconds.
+    certs: HashMap<CertKey, Json>,
     /// Bumped on every rollover, so a session built (outside the lock)
     /// against a retired cache is never installed into the new
     /// generation.
@@ -85,6 +98,7 @@ impl Hub {
             state: Mutex::new(HubState {
                 cache: Arc::new(CompileCache::new()),
                 sessions: HashMap::new(),
+                certs: HashMap::new(),
                 generation: 0,
             }),
         }
@@ -93,6 +107,27 @@ impl Hub {
     /// `(hits, misses)` of the current-generation cache.
     pub fn cache_stats(&self) -> (usize, usize) {
         self.state.lock().expect("hub state").cache.stats()
+    }
+
+    /// The memoized certificate for `key`, if this generation proved
+    /// one already.
+    fn cert(&self, key: &CertKey) -> Option<Json> {
+        self.state
+            .lock()
+            .expect("hub state")
+            .certs
+            .get(key)
+            .cloned()
+    }
+
+    /// Memoizes a freshly proved certificate (bounded with the session
+    /// map: the rollover that clears sessions clears these too).
+    fn remember_cert(&self, key: CertKey, cert: Json) {
+        let mut state = self.state.lock().expect("hub state");
+        if state.certs.len() >= 4 * MAX_LIVE_SESSIONS {
+            state.certs.clear();
+        }
+        state.certs.insert(key, cert);
     }
 
     /// Number of live sessions (bounded by [`MAX_LIVE_SESSIONS`]).
@@ -117,6 +152,7 @@ impl Hub {
         let mut state = self.state.lock().expect("hub state");
         if state.sessions.len() >= MAX_LIVE_SESSIONS {
             state.sessions.clear();
+            state.certs.clear();
             state.cache = Arc::new(CompileCache::new());
             state.generation += 1;
         }
@@ -333,6 +369,48 @@ fn compile_response(id: Json, r: &Request, hub: &Hub) -> Json {
         )
         .push("lint_warnings", Json::Num(lint_warnings as f64))
         .push("lint_notes", Json::Num(lint_notes as f64));
+    // Translation validation: every compile response carries the
+    // certificate verdict for the netlist it just handed back. The dag
+    // must be the *planned* dag (relay stages included), and the widths
+    // come from the netlist itself. Certificates are pure in
+    // (dag, geometry, spec), so the hub memoizes them alongside the
+    // compile cache and warm recompiles skip the prover.
+    let (is_fpga, block_bits) = match r.backend {
+        MemBackend::Fpga => (true, 0),
+        MemBackend::Asic { block_bits } => (false, block_bits),
+    };
+    let cert_key: CertKey = (
+        (
+            dag.fingerprint(),
+            r.geom.width,
+            r.geom.height,
+            r.geom.pixel_bits,
+        ),
+        is_fpga,
+        block_bits,
+        r.ports,
+        r.coalesce,
+    );
+    let cert_json = hub.cert(&cert_key).unwrap_or_else(|| {
+        let aopts = imagen_analysis::AnalysisOptions {
+            geom: r.geom,
+            spec: spec.clone(),
+            widths: out.netlist.widths,
+            input_range: imagen_analysis::AnalysisOptions::default().input_range,
+        };
+        let cert = imagen_analysis::certify_netlist(&out.plan.dag, &out.netlist, &aopts);
+        let j = crate::lint::certificate_json(&cert);
+        hub.remember_cert(cert_key, j.clone());
+        j
+    });
+    let status = cert_json
+        .get("status")
+        .and_then(|s| s.as_str())
+        .unwrap_or("unknown")
+        .to_string();
+    b = b
+        .push("certificate_status", Json::Str(status))
+        .push("certificate", cert_json);
     if r.emit {
         b = b.push("verilog", Json::Str(out.verilog.clone()));
     }

@@ -205,3 +205,97 @@ fn degenerate_geometry_is_a_clean_error() {
         assert!(!stderr.contains("panicked"), "{args:?} panicked:\n{stderr}");
     }
 }
+
+/// Exit-code contract: 0 = clean, 1 = findings (lint/certify/sim), 2 =
+/// usage or I/O errors. Pinned through the real binary so scripts and CI
+/// can branch on the distinction.
+#[test]
+fn exit_codes_split_findings_from_usage_errors() {
+    let dir = std::env::temp_dir().join(format!("imagen_cli_exit_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dirty = dir.join("dirty.imagen");
+    std::fs::write(
+        &dirty,
+        "input a;\ndead = im(x,y) a(x,y) + 0 end\noutput b = im(x,y) a(x,y) end\n",
+    )
+    .unwrap();
+
+    // Findings (unused stage + x+0 identity) under --deny warnings -> 1.
+    let out = imagen(&["lint", dirty.to_str().unwrap(), "--deny", "warnings"]);
+    assert_eq!(out.status.code(), Some(1), "lint findings must exit 1");
+
+    // The same file without --deny lints clean -> 0.
+    let out = imagen(&["lint", dirty.to_str().unwrap()]);
+    let code = out.status.code();
+    assert!(
+        code == Some(0) || code == Some(1),
+        "lint exit code out of contract: {code:?}"
+    );
+
+    // Missing file -> 2 (I/O, not a finding).
+    let out = imagen(&["lint", "examples/no_such_file.imagen"]);
+    assert_eq!(out.status.code(), Some(2), "missing file must exit 2");
+
+    // Unknown flag -> 2 (usage).
+    let out = imagen(&["lint", dirty.to_str().unwrap(), "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+
+    // Bad --format value -> 2 (usage).
+    let out = imagen(&["lint", dirty.to_str().unwrap(), "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2), "bad --format must exit 2");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `imagen certify` proves the whole obligation set on a Tbl. 3 pipeline
+/// and reports it per obligation; JSON mode carries the same verdicts.
+#[test]
+fn certify_proves_an_example_in_both_formats() {
+    let out = imagen(&["certify", "examples/unsharp_m.imagen"]);
+    let text = stdout_of(&out);
+    assert!(text.contains("proved"), "{text}");
+    assert!(!text.contains("refuted: 1"), "{text}");
+
+    let out = imagen(&["certify", "examples/unsharp_m.imagen", "--format", "json"]);
+    let line = stdout_of(&out);
+    assert!(line.contains("\"ok\":true"), "{line}");
+    assert!(line.contains("\"status\":\"proved\""), "{line}");
+    assert!(line.contains("\"refuted\":0"), "{line}");
+    assert!(line.contains("\"obligations\":["), "{line}");
+}
+
+/// `imagen lint --prove` folds the certificate into the lint report and
+/// stays clean (exit 0) on the paper corpus.
+#[test]
+fn lint_prove_merges_certificate_into_report() {
+    let out = imagen(&["lint", "examples/harris_s.imagen", "--prove"]);
+    let text = stdout_of(&out);
+    assert!(text.contains("certificate: proved"), "{text}");
+
+    let out = imagen(&[
+        "lint",
+        "examples/harris_s.imagen",
+        "--prove",
+        "--format",
+        "json",
+    ]);
+    let line = stdout_of(&out);
+    assert!(line.contains("\"certificate\":{"), "{line}");
+    assert!(line.contains("\"status\":\"proved\""), "{line}");
+}
+
+/// `imagen dse --certify` certifies every Pareto-frontier design.
+#[test]
+fn dse_certify_validates_the_frontier() {
+    let out = imagen(&[
+        "dse",
+        "examples/unsharp_m.imagen",
+        "--block-bits",
+        "2048",
+        "--certify",
+    ]);
+    let text = stdout_of(&out);
+    assert!(text.contains("## Frontier certificates"), "{text}");
+    assert!(text.contains("proved"), "{text}");
+    assert!(!text.contains("refuted: 1"), "{text}");
+}

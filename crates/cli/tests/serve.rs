@@ -171,3 +171,19 @@ fn tcp_mode_serves_concurrent_connections() {
         }
     }
 }
+
+/// Every successful compile response carries the translation-validation
+/// certificate: an overall status plus the per-obligation verdicts.
+#[test]
+fn compile_responses_carry_a_proved_certificate() {
+    let line = format!(
+        r#"{{"id":0,"cmd":"compile","name":"blur","source":"{BLUR}","width":32,"height":24}}"#
+    );
+    let responses = serve_stdin(&[line], "1");
+    let resp = &responses[0];
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"certificate_status\":\"proved\""), "{resp}");
+    assert!(resp.contains("\"certificate\":{"), "{resp}");
+    assert!(resp.contains("\"refuted\":0"), "{resp}");
+    assert!(resp.contains("\"obligations\":["), "{resp}");
+}

@@ -196,6 +196,13 @@ impl DseResult {
         front.indices()
     }
 
+    /// The per-stage memory spec a point was explored with — what a
+    /// front end needs to replan (and, e.g., certify) any point of the
+    /// sweep outside of it.
+    pub fn spec_of(&self, point: &DsePoint, backend: MemBackend) -> MemorySpec {
+        spec_for(backend, &self.buffered_stages, &point.choices)
+    }
+
     /// Populates (and returns) the measured energy of point `index` by
     /// interpreting its netlist — fetched from `session`'s cache, built
     /// without Verilog if absent — on `input`, under both the ungated

@@ -45,7 +45,7 @@ mod token;
 pub use ast::{AstExpr, Item, Program};
 pub use lower::{lower, LowerError};
 pub use parser::{parse_program, ParseError, MAX_EXPR_CHAIN, MAX_EXPR_DEPTH};
-pub use print::to_dsl;
+pub use print::{expr_to_dsl, to_dsl};
 pub use token::{lex, LexError, LexErrorKind, Pos, Spanned, Token};
 
 use std::fmt;

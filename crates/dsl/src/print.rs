@@ -32,6 +32,17 @@ pub fn to_dsl(dag: &Dag) -> String {
     out
 }
 
+/// Renders a single kernel expression in DSL surface syntax, with
+/// `names[slot]` naming each producer. This is the printer the
+/// translation-validation pass uses to quote kernels and refutation
+/// witnesses back to the user in the language they wrote, rather than
+/// in raw IR notation.
+pub fn expr_to_dsl(e: &Expr, names: &[&str]) -> String {
+    let mut out = String::new();
+    render(e, names, &mut out);
+    out
+}
+
 fn coord(base: &str, off: i32) -> String {
     match off.cmp(&0) {
         std::cmp::Ordering::Equal => base.to_string(),

@@ -95,7 +95,11 @@ pub struct InterpReport {
 }
 
 /// Sign-truncates `v` to `bits` bits (identity for `bits >= 64`).
-fn trunc(v: i64, bits: u32) -> i64 {
+///
+/// Public because the symbolic certifier (`imagen-analysis`) proves its
+/// obligations against *this* function and [`eval_acc`] — the pinned
+/// semantics of the generated datapath.
+pub fn trunc(v: i64, bits: u32) -> i64 {
     if bits >= 64 {
         v
     } else {
@@ -108,7 +112,7 @@ fn trunc(v: i64, bits: u32) -> i64 {
 /// is truncated to `acc` bits, mirroring the fixed-width datapath of the
 /// generated hardware. At `acc = 64` this coincides exactly with
 /// [`Expr::eval`]'s wrapping-`i64` semantics.
-fn eval_acc(e: &Expr, acc: u32, fetch: &mut impl FnMut(usize, i32, i32) -> i64) -> i64 {
+pub fn eval_acc(e: &Expr, acc: u32, fetch: &mut impl FnMut(usize, i32, i32) -> i64) -> i64 {
     use imagen_ir::BinOp;
     let v = match e {
         Expr::Const(c) => *c,

@@ -52,10 +52,11 @@ mod verify;
 
 pub use activity::{ActivityTrace, BufferActivity, SraActivity, StageActivity};
 pub use emit::emit_verilog;
-pub use interp::{interpret, interpret_with_trace, InterpError, InterpReport};
+pub use interp::{eval_acc, interpret, interpret_with_trace, trunc, InterpError, InterpReport};
 pub use netlist::{
-    build_netlist, BitWidths, BufferGate, Conn, Dir, GatingPlan, Instance, Item, LineBufPayload,
-    Module, ModuleKind, Net, NetBuffer, NetEdge, NetStage, Netlist, StagePayload,
+    build_netlist, sra_cells, sra_columns, BitWidths, BufferGate, Conn, Dir, GatingPlan, Instance,
+    Item, LineBufPayload, Module, ModuleKind, Net, NetBuffer, NetEdge, NetStage, Netlist,
+    StagePayload,
 };
 pub use resources::{report_resources, report_resources_for, ResourceReport};
 pub use testbench::{generate_testbench, TestVectors};

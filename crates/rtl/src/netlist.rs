@@ -204,6 +204,14 @@ impl Module {
     pub fn net(&self, name: &str) -> Option<&Net> {
         self.nets.iter().find(|n| n.name == name)
     }
+
+    /// The stage payload, when this is a stage compute module.
+    pub fn stage_payload(&self) -> Option<&StagePayload> {
+        match &self.kind {
+            ModuleKind::Stage(p) => Some(p),
+            _ => None,
+        }
+    }
 }
 
 /// Per-stage control/schedule information mirrored into the netlist.
@@ -397,6 +405,47 @@ impl Netlist {
             .collect()
     }
 
+    /// The compute module of a stage, by DAG stage index (`None` for
+    /// input stages).
+    pub fn stage_module(&self, stage: usize) -> Option<&Module> {
+        let m = self.stages.iter().find(|s| s.index == stage)?.module?;
+        self.modules.get(m)
+    }
+
+    /// The kernel expression a stage's datapath evaluates, by DAG stage
+    /// index — the term the translation-validation pass certifies
+    /// against the lowered DSL kernel.
+    pub fn stage_kernel(&self, stage: usize) -> Option<&Expr> {
+        self.stage_module(stage)?.stage_payload().map(|p| &p.kernel)
+    }
+
+    /// Edges consumed by a stage: `(edge index, edge)`, in edge order.
+    pub fn consumer_edges(&self, consumer: usize) -> impl Iterator<Item = (usize, &NetEdge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.consumer == consumer)
+    }
+
+    /// The line buffer owned by a producer stage, with its index into
+    /// [`Netlist::buffers`].
+    pub fn buffer_of_stage(&self, stage: usize) -> Option<(usize, &NetBuffer)> {
+        self.buffers
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.stage == stage)
+    }
+
+    /// The half-open cycle window `[start, start + frame)` during which a
+    /// stage is enabled — the netlist's mirror of the ILP `Plan` enables,
+    /// which the stream-alignment prover replays symbolically.
+    pub fn enable_window(&self, stage: usize) -> Option<(u64, u64)> {
+        self.stages
+            .iter()
+            .find(|s| s.index == stage)
+            .map(|s| (s.start_cycle, s.start_cycle + self.frame))
+    }
+
     /// Output streams: `(stream index, stage index, start cycle)`, in
     /// stage order (the order the `stream_out_*` ports are declared).
     pub fn output_streams(&self) -> Vec<(usize, usize, u64)> {
@@ -421,13 +470,16 @@ pub(crate) fn sanitize(name: &str) -> String {
 /// `dx_max < 0`, because the load path always shifts the just-read pixel
 /// in at the right edge — the same storage the cycle-level simulator
 /// models. For the common `dx_max = 0` window this equals `width()`.
-pub(crate) fn sra_columns(w: &Window) -> u32 {
+///
+/// Public so the symbolic certifier can cross-check declared SRA nets
+/// against the windows they were sized from.
+pub fn sra_columns(w: &Window) -> u32 {
     (-w.dx_min + 1).max(1) as u32
 }
 
 /// Cells of the shift-register array serving one window
 /// (`height × sra_columns`).
-pub(crate) fn sra_cells(w: &Window) -> u32 {
+pub fn sra_cells(w: &Window) -> u32 {
     w.height * sra_columns(w)
 }
 
