@@ -9,7 +9,9 @@
 //! * `session_sequential` — shared constraint skeleton + memoized
 //!   session + skip-RTL pricing, one worker;
 //! * `session_parallel` — the same engine fanned out over all available
-//!   cores.
+//!   cores;
+//! * `session_parallel_measured` — the shipping default: measured energy
+//!   (two netlist interpretations per point) folded into the sweep.
 //!
 //! A summary line prints the measured end-to-end speedup of the parallel
 //! memoized engine over the per-point compiler loop.
@@ -17,7 +19,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use imagen_algos::Algorithm;
 use imagen_core::Compiler;
-use imagen_dse::{explore, ExploreOptions, ExploreStrategy, StageChoice};
+use imagen_dse::{explore, ExploreOptions, ExploreStrategy, MeasureMode, StageChoice};
 use imagen_ir::Dag;
 use imagen_mem::{ImageGeometry, MemBackend, MemorySpec, StageMemConfig};
 use std::time::Instant;
@@ -50,7 +52,13 @@ fn per_point_compiler_sweep(dag: &Dag, geom: ImageGeometry, backend: MemBackend)
     }
 }
 
-fn engine_sweep(dag: &Dag, geom: ImageGeometry, backend: MemBackend, threads: usize) {
+fn engine_sweep(
+    dag: &Dag,
+    geom: ImageGeometry,
+    backend: MemBackend,
+    threads: usize,
+    measure: MeasureMode,
+) {
     let res = explore(
         dag,
         &geom,
@@ -58,6 +66,7 @@ fn engine_sweep(dag: &Dag, geom: ImageGeometry, backend: MemBackend, threads: us
         ExploreOptions {
             strategy: ExploreStrategy::Exhaustive,
             threads,
+            measure,
         },
     )
     .unwrap();
@@ -74,11 +83,19 @@ fn bench_dse_sweep(c: &mut Criterion) {
     group.bench_function("per_point_compiler", |b| {
         b.iter(|| per_point_compiler_sweep(&dag, geom, backend))
     });
+    // Pricing-only variants, apples-to-apples with the per-point loop
+    // (which never measures).
     group.bench_function("session_sequential", |b| {
-        b.iter(|| engine_sweep(&dag, geom, backend, 1))
+        b.iter(|| engine_sweep(&dag, geom, backend, 1, MeasureMode::Off))
     });
     group.bench_function("session_parallel", |b| {
-        b.iter(|| engine_sweep(&dag, geom, backend, 0))
+        b.iter(|| engine_sweep(&dag, geom, backend, 0, MeasureMode::Off))
+    });
+    // The shipping default: every point's netlist interpreted (ungated +
+    // gated) during the sweep — affordable because the interpreter
+    // compiles each netlist to a flat evaluation program.
+    group.bench_function("session_parallel_measured", |b| {
+        b.iter(|| engine_sweep(&dag, geom, backend, 0, MeasureMode::default()))
     });
     group.finish();
 
@@ -95,7 +112,7 @@ fn bench_dse_sweep(c: &mut Criterion) {
             .unwrap()
     };
     let old = best(&|| per_point_compiler_sweep(&dag, geom, backend));
-    let new = best(&|| engine_sweep(&dag, geom, backend, 0));
+    let new = best(&|| engine_sweep(&dag, geom, backend, 0, MeasureMode::Off));
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);

@@ -1,4 +1,4 @@
-//! Machine-readable benchmark snapshot (`BENCH_7.json`).
+//! Machine-readable benchmark snapshot (`BENCH_8.json`).
 //!
 //! Re-runs scaled-down versions of the three hot-loop criterion benches
 //! — `netlist_interp`, `activity_interp` and `dse_sweep` — and emits one
@@ -8,14 +8,15 @@
 //! so perf regressions show up as a diffable artifact rather than a
 //! scrollback of criterion text.
 //!
-//! Usage: `exp_bench_snapshot [-o BENCH_7.json]` — prints the JSON to
+//! Usage: `exp_bench_snapshot [-o BENCH_8.json]` — prints the JSON to
 //! stdout unless `-o` names a file. Honors `IMAGEN_SMOKE` (fewer reps,
-//! smaller frame).
+//! smaller frame). `imagen bench diff <old> <new>` compares two
+//! snapshots and flags regressions.
 
 use imagen_algos::{sample_pattern, Algorithm, TestPattern};
 use imagen_bench::smoke_mode;
 use imagen_core::Compiler;
-use imagen_dse::{explore, ExploreOptions, ExploreStrategy};
+use imagen_dse::{explore, ExploreOptions, ExploreStrategy, MeasureMode};
 use imagen_mem::{ImageGeometry, MemBackend, MemorySpec};
 use imagen_power::gate_clocks;
 use imagen_rtl::{build_netlist, emit_verilog, interpret, interpret_with_trace, BitWidths};
@@ -75,7 +76,7 @@ fn main() {
             }
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: exp_bench_snapshot [-o BENCH_7.json]");
+                eprintln!("usage: exp_bench_snapshot [-o BENCH_8.json]");
                 std::process::exit(2);
             }
         }
@@ -130,7 +131,9 @@ fn main() {
         std::hint::black_box(interpret_with_trace(&gated, std::slice::from_ref(&input)).unwrap());
     });
 
-    // dse_sweep mirror: the memoized exhaustive engine, one worker.
+    // dse_sweep mirror: the memoized exhaustive engine, one worker —
+    // pricing-only, and the shipping default with measured energy
+    // (two netlist interpretations per point) folded in.
     let dse_ms = median_ms(reps, || {
         std::hint::black_box(
             explore(
@@ -140,6 +143,22 @@ fn main() {
                 ExploreOptions {
                     strategy: ExploreStrategy::Exhaustive,
                     threads: 1,
+                    measure: MeasureMode::Off,
+                },
+            )
+            .unwrap(),
+        );
+    });
+    let dse_measured_ms = median_ms(reps, || {
+        std::hint::black_box(
+            explore(
+                &dag,
+                &geom,
+                backend,
+                ExploreOptions {
+                    strategy: ExploreStrategy::Exhaustive,
+                    threads: 1,
+                    measure: MeasureMode::default(),
                 },
             )
             .unwrap(),
@@ -150,7 +169,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let json = format!(
-        "{{\"schema\":\"imagen-bench-snapshot/1\",\"env\":{{\"rustc\":{},\"arch\":{},\"os\":{},\"threads\":{},\"smoke\":{},\"geometry\":{{\"width\":{},\"height\":{},\"pixel_bits\":{}}},\"reps\":{}}},\"median_ms\":{{\"netlist_interp\":{{\"build\":{:.4},\"emit\":{:.4},\"interpret\":{:.4}}},\"activity_interp\":{{\"interpret_traced\":{:.4},\"interpret_gated_traced\":{:.4}}},\"dse_sweep\":{{\"session_sequential\":{:.4}}}}}}}",
+        "{{\"schema\":\"imagen-bench-snapshot/1\",\"env\":{{\"rustc\":{},\"arch\":{},\"os\":{},\"threads\":{},\"smoke\":{},\"geometry\":{{\"width\":{},\"height\":{},\"pixel_bits\":{}}},\"reps\":{}}},\"median_ms\":{{\"netlist_interp\":{{\"build\":{:.4},\"emit\":{:.4},\"interpret\":{:.4}}},\"activity_interp\":{{\"interpret_traced\":{:.4},\"interpret_gated_traced\":{:.4}}},\"dse_sweep\":{{\"session_sequential\":{:.4},\"session_sequential_measured\":{:.4}}}}}}}",
         json_str(&rustc_version()),
         json_str(std::env::consts::ARCH),
         json_str(std::env::consts::OS),
@@ -166,6 +185,7 @@ fn main() {
         traced_ms,
         gated_traced_ms,
         dse_ms,
+        dse_measured_ms,
     );
     match out_path {
         Some(path) => {

@@ -1,0 +1,180 @@
+//! `imagen bench diff` — the benchmark-trajectory comparator.
+//!
+//! `exp_bench_snapshot` emits one `imagen-bench-snapshot/1` JSON object
+//! per PR (`BENCH_<n>.json` at the repository root). This subcommand
+//! diffs two snapshots, prints a per-bench table of old/new medians, and
+//! exits nonzero when any shared bench slowed down by more than the
+//! threshold — the regression gate CI runs against the committed
+//! snapshot.
+//!
+//! Benches present in only one snapshot are reported informationally
+//! (the suite is allowed to grow) and never gate. Snapshots taken under
+//! different environments (geometry, smoke mode, architecture) are
+//! compared with a warning: the numbers are printed but regressions in
+//! incomparable runs do not fail the command.
+
+use crate::json::{self, Json};
+use crate::{CliError, Options};
+
+/// One flattened bench entry: `group.name` → median ms.
+fn flatten(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Obj(members) => {
+            for (k, child) in members {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&key, child, out);
+            }
+        }
+        Json::Num(n) => out.push((prefix.to_string(), *n)),
+        _ => {}
+    }
+}
+
+struct Snapshot {
+    benches: Vec<(String, f64)>,
+    env_line: String,
+    comparable_key: String,
+}
+
+fn load_snapshot(path: &str) -> Result<Snapshot, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = json::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    let schema = v.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "imagen-bench-snapshot/1" {
+        return Err(format!(
+            "{path}: not an imagen-bench-snapshot/1 file (schema: `{schema}`)"
+        ));
+    }
+    let mut benches = Vec::new();
+    match v.get("median_ms") {
+        Some(m) => flatten("", m, &mut benches),
+        None => return Err(format!("{path}: missing `median_ms`")),
+    }
+    if benches.is_empty() {
+        return Err(format!("{path}: no benches under `median_ms`"));
+    }
+    let env = v.get("env");
+    let field = |key: &str| -> String {
+        env.and_then(|e| e.get(key))
+            .map(|j| match j {
+                Json::Str(s) => s.clone(),
+                other => other.to_line(),
+            })
+            .unwrap_or_else(|| "?".into())
+    };
+    let geom = env
+        .and_then(|e| e.get("geometry"))
+        .map(Json::to_line)
+        .unwrap_or_else(|| "?".into());
+    Ok(Snapshot {
+        benches,
+        env_line: format!(
+            "{} {} smoke={} geometry={}",
+            field("arch"),
+            field("os"),
+            field("smoke"),
+            geom
+        ),
+        // Numbers are only comparable when measured on the same kind of
+        // run: same ISA, same smoke flag, same frame geometry.
+        comparable_key: format!("{}|{}|{}", field("arch"), field("smoke"), geom),
+    })
+}
+
+/// `imagen bench diff <old.json> <new.json> [--threshold PCT]`.
+pub fn run_bench(opts: &Options) -> Result<(), CliError> {
+    let sub = opts.file.as_deref().unwrap_or("");
+    if sub != "diff" {
+        return Err(CliError::Usage(
+            "usage: imagen bench diff <old.json> <new.json> [--threshold PCT]".into(),
+        ));
+    }
+    let [old_path, new_path] = match opts.extra.as_slice() {
+        [a, b] => [a.as_str(), b.as_str()],
+        _ => {
+            return Err(CliError::Usage(
+                "bench diff needs exactly two snapshot files".into(),
+            ))
+        }
+    };
+    let old = load_snapshot(old_path).map_err(CliError::Usage)?;
+    let new = load_snapshot(new_path).map_err(CliError::Usage)?;
+    let threshold = opts.threshold;
+
+    let comparable = old.comparable_key == new.comparable_key;
+    println!("# bench diff — threshold {threshold}%\n");
+    println!("old: {old_path} ({})", old.env_line);
+    println!("new: {new_path} ({})", new.env_line);
+    if !comparable {
+        println!("warning: snapshots come from different environments; regressions are reported but do not gate");
+    }
+    println!();
+
+    let name_w = old
+        .benches
+        .iter()
+        .chain(&new.benches)
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(8)
+        .max("bench".len());
+    println!(
+        "  {:<name_w$}  {:>10}  {:>10}  {:>8}",
+        "bench", "old ms", "new ms", "delta"
+    );
+
+    let mut regressions = Vec::new();
+    for (key, old_ms) in &old.benches {
+        let Some((_, new_ms)) = new.benches.iter().find(|(k, _)| k == key) else {
+            println!("  {key:<name_w$}  {old_ms:>10.4}  {:>10}  removed", "-");
+            continue;
+        };
+        let delta_pct = if *old_ms > 0.0 {
+            100.0 * (new_ms - old_ms) / old_ms
+        } else {
+            0.0
+        };
+        let flag = if delta_pct > threshold {
+            regressions.push(format!(
+                "{key}: {old_ms:.4} -> {new_ms:.4} ms (+{delta_pct:.1}%)"
+            ));
+            "  !! regression"
+        } else {
+            ""
+        };
+        println!("  {key:<name_w$}  {old_ms:>10.4}  {new_ms:>10.4}  {delta_pct:>+7.1}%{flag}");
+    }
+    for (key, new_ms) in &new.benches {
+        if !old.benches.iter().any(|(k, _)| k == key) {
+            println!("  {key:<name_w$}  {:>10}  {new_ms:>10.4}  added", "-");
+        }
+    }
+
+    println!();
+    if regressions.is_empty() {
+        println!(
+            "no regressions beyond {threshold}% across {} shared bench(es)",
+            old.benches
+                .iter()
+                .filter(|(k, _)| new.benches.iter().any(|(nk, _)| nk == k))
+                .count()
+        );
+        Ok(())
+    } else if comparable {
+        Err(CliError::Findings(format!(
+            "{} bench(es) regressed beyond {threshold}%:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        )))
+    } else {
+        println!(
+            "{} regression(s) in incomparable environments (not gating)",
+            regressions.len()
+        );
+        Ok(())
+    }
+}

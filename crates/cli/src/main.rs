@@ -19,6 +19,7 @@
 //! Everything is `std`-only; concurrency is `std::thread::scope`, not an
 //! async runtime.
 
+mod bench;
 mod json;
 mod lint;
 mod report;
@@ -48,6 +49,8 @@ COMMANDS:
     serve                   answer JSONL compile/dse requests in batch over
                             stdin/stdout (or TCP with --tcp), fanned over a
                             worker pool sharing one compile cache
+    bench diff <old> <new>  compare two exp_bench_snapshot JSON files and
+                            flag benches that regressed beyond --threshold
     help                    print this text
 
 COMMON OPTIONS:
@@ -88,6 +91,9 @@ SIM / ENERGY OPTIONS:
 SERVE OPTIONS:
     --threads N      worker threads (0 = all cores)   [default: 0]
     --tcp ADDR       listen on ADDR (e.g. 127.0.0.1:7878) instead of stdin
+
+BENCH OPTIONS:
+    --threshold PCT  slowdown (%) that counts as a regression [default: 10]
 
 EXIT CODES:
     0   success / nothing found
@@ -150,6 +156,11 @@ pub struct Options {
     pub input_range: Option<(i64, i64)>,
     pub prove: bool,
     pub certify: bool,
+    /// Trailing positionals beyond `file` — only the `bench` command
+    /// accepts any (the two snapshot paths of `bench diff`).
+    pub extra: Vec<String>,
+    /// `bench diff` regression threshold in percent.
+    pub threshold: f64,
 }
 
 impl Default for Options {
@@ -182,6 +193,8 @@ impl Default for Options {
             input_range: None,
             prove: false,
             certify: false,
+            extra: Vec::new(),
+            threshold: 10.0,
         }
     }
 }
@@ -290,6 +303,12 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 opts.deny_warnings = true;
             }
             "--format" => opts.format = value(arg, &mut it)?.clone(),
+            "--threshold" => {
+                opts.threshold = num(arg, value(arg, &mut it)?)?;
+                if opts.threshold.is_nan() || opts.threshold < 0.0 {
+                    return Err(format!("--threshold: `{}` must be >= 0", opts.threshold));
+                }
+            }
             "--prove" => opts.prove = true,
             "--certify" => opts.certify = true,
             "--input-range" => {
@@ -309,10 +328,19 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             _ => positional.push(arg.clone()),
         }
     }
-    if positional.len() > 1 {
-        return Err(format!("unexpected argument `{}`", positional[1]));
+    // `bench` is the one command with trailing positionals (the two
+    // snapshot paths of `bench diff`); everything else takes at most a
+    // single source file.
+    let max_positional = if cmd == "bench" { 3 } else { 1 };
+    if positional.len() > max_positional {
+        return Err(format!(
+            "unexpected argument `{}`",
+            positional[max_positional]
+        ));
     }
-    opts.file = positional.into_iter().next();
+    let mut positional = positional.into_iter();
+    opts.file = positional.next();
+    opts.extra = positional.collect();
     if opts.ports == 0 {
         return Err("--ports must be at least 1".into());
     }
@@ -377,6 +405,7 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<(), CliError> {
             Ok(report::run_energy(&dag, opts)?)
         }
         "serve" => Ok(serve::run(opts)?),
+        "bench" => bench::run_bench(opts),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),

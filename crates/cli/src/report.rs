@@ -9,7 +9,7 @@
 use crate::{CliError, Options};
 use imagen_analysis::certify_dag_styled;
 use imagen_core::Compiler;
-use imagen_dse::{explore, ExploreOptions, ExploreStrategy};
+use imagen_dse::{explore, ExploreOptions, ExploreStrategy, MeasureMode};
 use imagen_ir::{Dag, StageId};
 use imagen_rtl::{build_netlist, interpret, report_resources, BitWidths};
 use imagen_sim::{execute, Image};
@@ -201,6 +201,7 @@ pub(crate) fn check_exhaustive_size(
 pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), CliError> {
     let strategy = parse_strategy(&opts.strategy, opts.samples, opts.seed)?;
     check_exhaustive_size(strategy, dag.buffered_stages().len())?;
+    let bits = opts.input_bits.unwrap_or(4);
     let res = explore(
         dag,
         &opts.geometry(),
@@ -208,6 +209,10 @@ pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), CliError> {
         ExploreOptions {
             strategy,
             threads: opts.threads,
+            measure: MeasureMode::Noise {
+                seed: opts.seed,
+                bits,
+            },
         },
     )
     .map_err(|e| e.to_string())?;
@@ -234,16 +239,25 @@ pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), CliError> {
         .unwrap_or(8)
         .max("choices".len());
     text.push_str(&format!(
-        "  point  {:<cw$}  {:>9}  {:>9}  {:>9}  pareto\n",
+        "  point  {:<cw$}  {:>9}  {:>9}  {:>9}  {:>10}  {:>9}  pareto\n",
         "choices",
         "SRAM KB",
         "area mm2",
         "power mW",
+        "meas mW",
+        "gated mW",
         cw = choice_width
     ));
     for (i, p) in res.points.iter().enumerate() {
+        let (meas, gated) = match p.measured {
+            Some(m) => (
+                format!("{:.3}", m.power_mw),
+                format!("{:.3}", m.gated_power_mw),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
         text.push_str(&format!(
-            "  {i:>5}  {:<cw$}  {:>9.3}  {:>9.4}  {:>9.3}  {}\n",
+            "  {i:>5}  {:<cw$}  {:>9.3}  {:>9.4}  {:>9.3}  {meas:>10}  {gated:>9}  {}\n",
             choices_label(p),
             p.sram_kb,
             p.area_mm2,
@@ -262,6 +276,26 @@ pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), CliError> {
             .collect::<Vec<_>>()
             .join(", ")
     ));
+    // The measured-energy axis (netlist-interpreted, default-on) has its
+    // own frontier: area vs measured energy per frame.
+    let measured_front = res.pareto_front_by(|p| {
+        (
+            p.area_mm2,
+            p.measured.map_or(f64::NAN, |m| m.energy_pj_per_frame),
+        )
+    });
+    if !measured_front.is_empty() {
+        text.push_str(&format!(
+            "Measured frontier (area vs pJ/frame): {} of {} points ({})\n",
+            measured_front.len(),
+            res.points.len(),
+            measured_front
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
 
     // --certify: translation-validate every frontier design. Each point
     // chooses its own memory spec (DP vs DPLC per buffer), so the

@@ -434,6 +434,7 @@ fn dse_response(id: Json, r: &Request, hub: &Hub) -> Json {
         ExploreOptions {
             strategy: r.strategy,
             threads: 1,
+            ..ExploreOptions::default()
         },
     ) {
         Ok(res) => res,
@@ -465,6 +466,21 @@ fn dse_response(id: Json, r: &Request, hub: &Hub) -> Json {
                 .push("sram_kb", Json::Num(p.sram_kb))
                 .push("area_mm2", Json::Num(p.area_mm2))
                 .push("power_mw", Json::Num(p.power_mw))
+                // Measured (netlist-interpreted) energy, default-on.
+                .push(
+                    "measured_power_mw",
+                    p.measured.map_or(Json::Null, |m| Json::Num(m.power_mw)),
+                )
+                .push(
+                    "measured_gated_mw",
+                    p.measured
+                        .map_or(Json::Null, |m| Json::Num(m.gated_power_mw)),
+                )
+                .push(
+                    "energy_pj_per_frame",
+                    p.measured
+                        .map_or(Json::Null, |m| Json::Num(m.energy_pj_per_frame)),
+                )
                 .build()
         })
         .collect();

@@ -299,3 +299,62 @@ fn dse_certify_validates_the_frontier() {
     assert!(text.contains("proved"), "{text}");
     assert!(!text.contains("refuted: 1"), "{text}");
 }
+
+/// `imagen bench diff`: no-regression self-diff exits 0, a slowed-down
+/// bench beyond the threshold exits 1 naming the offender, and benches
+/// only present on one side never gate.
+#[test]
+fn bench_diff_flags_regressions() {
+    let dir = std::env::temp_dir().join(format!("imagen_cli_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = |interp: f64, extra: &str| {
+        format!(
+            "{{\"schema\":\"imagen-bench-snapshot/1\",\
+             \"env\":{{\"rustc\":\"rustc x\",\"arch\":\"x86_64\",\"os\":\"linux\",\
+             \"threads\":8,\"smoke\":false,\
+             \"geometry\":{{\"width\":120,\"height\":80,\"pixel_bits\":16}},\"reps\":7}},\
+             \"median_ms\":{{\"netlist_interp\":{{\"build\":1.0,\"interpret\":{interp}}},\
+             \"activity_interp\":{{\"interpret_traced\":4.0{extra}}}}}}}"
+        )
+    };
+    let old = dir.join("old.json");
+    let new_ok = dir.join("new_ok.json");
+    let new_bad = dir.join("new_bad.json");
+    std::fs::write(&old, snap(2.0, "")).unwrap();
+    // +5% on interpret plus a brand-new bench: under the 10% default, passes.
+    std::fs::write(&new_ok, snap(2.1, ",\"interpret_gated_traced\":5.0")).unwrap();
+    // +50% on interpret: a regression.
+    std::fs::write(&new_bad, snap(3.0, "")).unwrap();
+    let (old, new_ok, new_bad) = (
+        old.to_str().unwrap().to_string(),
+        new_ok.to_str().unwrap().to_string(),
+        new_bad.to_str().unwrap().to_string(),
+    );
+
+    let out = imagen(&["bench", "diff", &old, &new_ok]);
+    let text = stdout_of(&out);
+    assert!(text.contains("no regressions"), "{text}");
+    assert!(text.contains("added"), "{text}");
+
+    let out = imagen(&["bench", "diff", &old, &new_bad]);
+    assert_eq!(out.status.code(), Some(1), "regression must exit 1");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("netlist_interp.interpret"), "{err}");
+
+    // A looser threshold waves the same pair through.
+    let out = imagen(&["bench", "diff", &old, &new_bad, "--threshold", "75"]);
+    assert!(out.status.success(), "75% threshold should pass");
+
+    // Usage errors: wrong arity, wrong subcommand, wrong schema.
+    assert_eq!(imagen(&["bench", "diff", &old]).status.code(), Some(2));
+    assert_eq!(imagen(&["bench", &old, &new_ok]).status.code(), Some(2));
+    let junk = dir.join("junk.json");
+    std::fs::write(&junk, "{\"schema\":\"nope\"}").unwrap();
+    assert_eq!(
+        imagen(&["bench", "diff", junk.to_str().unwrap(), &old])
+            .status
+            .code(),
+        Some(2)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

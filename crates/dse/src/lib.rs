@@ -43,7 +43,7 @@
 use imagen_core::{CompileError, Session};
 use imagen_ir::Dag;
 use imagen_mem::{Design, DesignStyle, ImageGeometry, MemBackend, MemorySpec, StageMemConfig};
-use imagen_rtl::{report_resources_for, BitWidths, InterpError, ResourceReport};
+use imagen_rtl::{build_netlist, report_resources_for, BitWidths, InterpError, ResourceReport};
 use imagen_schedule::Plan;
 use imagen_sim::Image;
 use rand::rngs::StdRng;
@@ -87,9 +87,10 @@ pub struct DsePoint {
     /// to the analytic area/power models. Derived from the same netlist
     /// the RTL is printed from, without generating any Verilog text.
     pub resources: ResourceReport,
-    /// Measured (netlist-interpreted) energy, populated on demand by
-    /// [`DseResult::measure_point`] — `None` until someone pays for the
-    /// interpretation.
+    /// Measured (netlist-interpreted) energy. Populated during the sweep
+    /// itself under the default [`MeasureMode::Noise`]; `None` only when
+    /// the sweep ran with [`MeasureMode::Off`] and nobody has paid for an
+    /// on-demand [`DseResult::measure_point`] yet.
     pub measured: Option<MeasuredEnergy>,
     /// The priced design.
     pub design: Design,
@@ -261,6 +262,37 @@ pub enum ExploreStrategy {
     },
 }
 
+/// Whether [`explore`] measures each point's energy while sweeping.
+///
+/// The netlist interpreter compiles each point to a flat evaluation
+/// program and streams the frame through it, which makes full measured
+/// sweeps cheap enough to be the default: every [`DsePoint`] comes back
+/// with [`DsePoint::measured`] populated, so the measured-energy
+/// frontier (`pareto_front_by` over `(area, energy)`) is available
+/// without a second pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MeasureMode {
+    /// Interpret every point's netlist (ungated and clock-gated) on
+    /// deterministic seeded noise frames — one frame per input stream,
+    /// stream `i` seeded with `seed + i` (the `imagen_algos::noise_bits`
+    /// stimulus convention shared with the CLI).
+    Noise {
+        /// Base seed of the per-input noise streams.
+        seed: u64,
+        /// Unsigned bits per noise pixel.
+        bits: u32,
+    },
+    /// Skip measurement: points carry `measured: None` until someone
+    /// pays for an on-demand [`DseResult::measure_point`].
+    Off,
+}
+
+impl Default for MeasureMode {
+    fn default() -> Self {
+        MeasureMode::Noise { seed: 1, bits: 4 }
+    }
+}
+
 /// Options for [`explore`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ExploreOptions {
@@ -269,6 +301,9 @@ pub struct ExploreOptions {
     /// Worker threads for fan-out; `0` uses the machine's available
     /// parallelism. Results do not depend on this value.
     pub threads: usize,
+    /// Measured-energy policy; [`MeasureMode::Noise`] (default) measures
+    /// every point during the sweep.
+    pub measure: MeasureMode,
 }
 
 impl Default for ExploreOptions {
@@ -276,6 +311,7 @@ impl Default for ExploreOptions {
         ExploreOptions {
             strategy: ExploreStrategy::Exhaustive,
             threads: 0,
+            measure: MeasureMode::default(),
         }
     }
 }
@@ -309,18 +345,33 @@ fn choices_for(mask: u64, n: usize) -> Vec<StageChoice> {
         .collect()
 }
 
-fn point_from(plan: &Plan, choices: Vec<StageChoice>) -> DsePoint {
+fn point_from(plan: &Plan, choices: Vec<StageChoice>, inputs: Option<&[Image]>) -> DsePoint {
     let design = plan.design.clone();
     // The fast path: same numbers as walking the full netlist (pinned by
     // test in imagen-rtl), no per-point elaboration in the pricing loop.
     let resources = report_resources_for(&plan.dag, &design, &BitWidths::default());
+    // Measured-energy default-on: elaborate and interpret the point's
+    // netlist right here in the pricing loop. The interpreter's compiled
+    // evaluation program makes this cheap; the netlist is transient (not
+    // cached), so a 2^N sweep does not pin 2^N netlists.
+    let measured = inputs.map(|inputs| {
+        let net = build_netlist(&plan.dag, &design, &BitWidths::default());
+        let pm = imagen_power::measure_netlist(&net, &design, inputs)
+            .expect("sweep inputs are built to the sweep geometry");
+        MeasuredEnergy {
+            energy_pj_per_frame: pm.ungated.energy_pj_per_frame(),
+            power_mw: pm.ungated.total_mw(),
+            gated_power_mw: pm.gated.total_mw(),
+            gated_off_cycles: pm.gated_off_cycles(),
+        }
+    });
     DsePoint {
         choices,
         area_mm2: design.total_area_mm2(),
         power_mw: design.total_power_mw(),
         sram_kb: design.sram_kb(),
         resources,
-        measured: None,
+        measured,
         design,
     }
 }
@@ -335,6 +386,7 @@ fn evaluate_masks(
     buffered: &[usize],
     masks: &[u64],
     threads: usize,
+    inputs: Option<&[Image]>,
 ) -> Result<Vec<DsePoint>, CompileError> {
     let n = buffered.len();
     // Exhaustive/random mask lists never repeat, so memoizing every plan
@@ -343,7 +395,7 @@ fn evaluate_masks(
         let choices = choices_for(mask, n);
         let spec = spec_for(backend, buffered, &choices);
         let plan = session.price_transient(&spec, None)?;
-        Ok(point_from(&plan, choices))
+        Ok(point_from(&plan, choices, inputs))
     };
 
     let threads = if threads == 0 {
@@ -397,23 +449,47 @@ pub fn explore(
     // walk's dedup keys, sample_masks).
     assert!(n <= 64, "{n} buffered stages exceed the u64 mask width");
 
+    let inputs = measure_inputs(dag, geom, opts.measure);
+    let inputs = inputs.as_deref();
+
     let points = match opts.strategy {
         ExploreStrategy::Exhaustive => {
             assert!(n <= 20, "sweep of 2^{n} points is impractical");
             let masks: Vec<u64> = (0..(1u64 << n)).collect();
-            evaluate_masks(&session, backend, &buffered, &masks, opts.threads)?
+            evaluate_masks(&session, backend, &buffered, &masks, opts.threads, inputs)?
         }
         ExploreStrategy::Random { samples, seed } => {
             let masks = sample_masks(n, samples, seed);
-            evaluate_masks(&session, backend, &buffered, &masks, opts.threads)?
+            evaluate_masks(&session, backend, &buffered, &masks, opts.threads, inputs)?
         }
-        ExploreStrategy::Greedy => greedy_walk(&session, backend, &buffered)?.points,
+        ExploreStrategy::Greedy => greedy_walk(&session, backend, &buffered, inputs)?.points,
     };
 
     Ok(DseResult {
         buffered_stages: buffered,
         points,
     })
+}
+
+/// The sweep's measurement stimulus: one seeded noise frame per input
+/// stream (`None` under [`MeasureMode::Off`]).
+fn measure_inputs(dag: &Dag, geom: &ImageGeometry, mode: MeasureMode) -> Option<Vec<Image>> {
+    match mode {
+        MeasureMode::Off => None,
+        MeasureMode::Noise { seed, bits } => {
+            let n_inputs = dag.stages().filter(|(_, s)| s.is_input()).count();
+            Some(
+                (0..n_inputs)
+                    .map(|i| {
+                        let seed = seed.wrapping_add(i as u64);
+                        Image::from_fn(geom.width, geom.height, move |x, y| {
+                            imagen_algos::noise_bits(seed, x, y, bits)
+                        })
+                    })
+                    .collect(),
+            )
+        }
+    }
 }
 
 /// Budget-capped deterministic mask sample: the all-DP and all-DPLC
@@ -476,6 +552,7 @@ fn greedy_walk(
     session: &Session,
     backend: MemBackend,
     buffered: &[usize],
+    inputs: Option<&[Image]>,
 ) -> Result<GreedyOutcome, CompileError> {
     let n = buffered.len();
     assert!(n <= 64, "{n} buffered stages exceed the u64 mask width");
@@ -494,7 +571,7 @@ fn greedy_walk(
         let spec = spec_for(backend, buffered, choices);
         let plan = session.price(&spec, Some(DesignStyle::OursLc))?;
         if recorded.insert(mask_of(choices)) {
-            points.push(point_from(&plan, choices.to_vec()));
+            points.push(point_from(&plan, choices.to_vec(), inputs));
         }
         Ok(plan)
     };
@@ -546,7 +623,8 @@ pub fn judicious_lc(
 ) -> Result<(Vec<(usize, StageChoice)>, imagen_core::CompileOutput), CompileError> {
     let session = Session::new(dag, *geom);
     let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
-    let outcome = greedy_walk(&session, backend, &buffered)?;
+    // Probe points are pricing-only; nobody reads their measured energy.
+    let outcome = greedy_walk(&session, backend, &buffered, None)?;
     // The winner's plan is a cache hit; this only adds codegen.
     let out = session.compile(
         &spec_for(backend, &buffered, &outcome.choices),
@@ -755,11 +833,53 @@ mod tests {
     }
 
     #[test]
+    fn sweep_measures_every_point_by_default() {
+        let dag = Algorithm::XcorrM.build();
+        let res = sweep(&dag, &geom(), backend()).unwrap();
+        for (i, p) in res.points.iter().enumerate() {
+            let m = p.measured.expect("default sweep measures every point");
+            assert!(m.energy_pj_per_frame > 0.0, "point {i}");
+            assert!(m.power_mw > 0.0, "point {i}");
+            assert!(
+                m.gated_power_mw < m.power_mw,
+                "gating saves measured power on point {i}"
+            );
+        }
+        // The measured frontier is available straight off the sweep.
+        let front = res.pareto_front_by(|p| (p.area_mm2, p.measured.unwrap().energy_pj_per_frame));
+        assert!(!front.is_empty());
+        // The stimulus is deterministic: a second sweep measures
+        // identically, bit for bit.
+        let again = sweep(&dag, &geom(), backend()).unwrap();
+        for (a, b) in res.points.iter().zip(&again.points) {
+            let (ma, mb) = (a.measured.unwrap(), b.measured.unwrap());
+            assert_eq!(
+                ma.energy_pj_per_frame.to_bits(),
+                mb.energy_pj_per_frame.to_bits()
+            );
+            assert_eq!(ma.gated_power_mw.to_bits(), mb.gated_power_mw.to_bits());
+            assert_eq!(ma.gated_off_cycles, mb.gated_off_cycles);
+        }
+    }
+
+    #[test]
     fn measure_point_populates_energy_on_demand() {
         let dag = Algorithm::XcorrM.build();
         let session = Session::new(&dag, geom());
-        let mut res = sweep(&dag, &geom(), backend()).unwrap();
-        assert!(res.points.iter().all(|p| p.measured.is_none()));
+        let mut res = explore(
+            &dag,
+            &geom(),
+            backend(),
+            ExploreOptions {
+                measure: MeasureMode::Off,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            res.points.iter().all(|p| p.measured.is_none()),
+            "MeasureMode::Off defers measurement"
+        );
         let input = Image::from_fn(geom().width, geom().height, |x, y| {
             ((x * 3 + y * 7) % 97) as i64
         });
@@ -892,6 +1012,7 @@ mod tests {
                 seed: 7,
             },
             threads: 1,
+            measure: MeasureMode::Off,
         };
         let a = explore(&dag, &geom(), backend(), opts).unwrap();
         let b = explore(&dag, &geom(), backend(), opts).unwrap();
@@ -920,6 +1041,7 @@ mod tests {
                 seed: 3,
             },
             threads: 1,
+            measure: MeasureMode::Off,
         };
         let res = explore(&dag, &geom(), backend(), opts).unwrap();
         assert_eq!(res.points.len(), 4, "budget beyond the space: enumerate");
@@ -936,6 +1058,7 @@ mod tests {
             ExploreOptions {
                 strategy: ExploreStrategy::Greedy,
                 threads: 1,
+                measure: MeasureMode::Off,
             },
         )
         .unwrap();
@@ -973,7 +1096,7 @@ mod tests {
             ];
             let spec = spec_for(backend(), &buffered, &choices);
             let plan = session.price(&spec, None).unwrap();
-            points.push(point_from(&plan, choices));
+            points.push(point_from(&plan, choices, None));
         }
         DseResult {
             buffered_stages: buffered,

@@ -54,6 +54,28 @@ fn assert_byte_identical(a: &DseResult, b: &DseResult) -> Result<(), TestCaseErr
             "sram differs at point {}",
             i
         );
+        // Measured energy is default-on and part of the determinism
+        // contract: the interpreter stimulus is seeded, so the measured
+        // values must be bit-identical too.
+        let (ma, mb) = (pa.measured.unwrap(), pb.measured.unwrap());
+        prop_assert_eq!(
+            ma.energy_pj_per_frame.to_bits(),
+            mb.energy_pj_per_frame.to_bits(),
+            "measured energy differs at point {}",
+            i
+        );
+        prop_assert_eq!(
+            ma.gated_power_mw.to_bits(),
+            mb.gated_power_mw.to_bits(),
+            "gated power differs at point {}",
+            i
+        );
+        prop_assert_eq!(
+            ma.gated_off_cycles,
+            mb.gated_off_cycles,
+            "gated-off cycles differ at point {}",
+            i
+        );
         prop_assert_eq!(&pa.design, &pb.design, "design differs at point {}", i);
     }
     Ok(())
@@ -70,10 +92,12 @@ proptest! {
         let sequential = explore(&dag, &geom(), backend(), ExploreOptions {
             strategy: ExploreStrategy::Exhaustive,
             threads: 1,
+            ..ExploreOptions::default()
         }).unwrap();
         let parallel = explore(&dag, &geom(), backend(), ExploreOptions {
             strategy: ExploreStrategy::Exhaustive,
             threads,
+            ..ExploreOptions::default()
         }).unwrap();
         assert_byte_identical(&sequential, &parallel)?;
         prop_assert_eq!(sequential.pareto_front(), parallel.pareto_front());

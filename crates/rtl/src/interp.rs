@@ -199,12 +199,20 @@ struct SraState {
 /// order), returning the streamed output frames and netlist-level memory
 /// access totals.
 ///
+/// Since the program compiler landed this routes through
+/// [`EvalProgram`](crate::EvalProgram): the netlist is lowered once into
+/// a flat evaluation program, which then streams the frame. Results are
+/// bit-identical to the reference graph-walking path
+/// ([`interpret_legacy`]), pinned by the program differential suite. To
+/// amortize compilation over many frames of the same netlist, hold an
+/// [`EvalProgram`](crate::EvalProgram) directly.
+///
 /// # Errors
 ///
 /// [`InterpError`] for structural problems; the interpretation itself
 /// cannot fail (the netlist is a closed system once inputs are bound).
 pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, InterpError> {
-    run(net, inputs, None)
+    crate::program::EvalProgram::compile(net)?.run(inputs)
 }
 
 /// Like [`interpret`], but additionally collects an [`ActivityTrace`]:
@@ -212,12 +220,42 @@ pub fn interpret(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, Interp
 /// read-port enable duty, register-array shift/toggle totals and stage
 /// enable duty. The returned [`InterpReport`] is identical to the
 /// untraced one — tracing observes the execution, it never changes it
-/// (pinned by test).
+/// (pinned by test). Routes through the compiled program, like
+/// [`interpret`].
 ///
 /// # Errors
 ///
 /// See [`interpret`].
 pub fn interpret_with_trace(
+    net: &Netlist,
+    inputs: &[Image],
+) -> Result<(InterpReport, ActivityTrace), InterpError> {
+    crate::program::EvalProgram::compile(net)?.run_with_trace(inputs)
+}
+
+/// The reference graph-walking interpreter — executes the netlist by
+/// re-traversing its structure every cycle, with no compiled program in
+/// between.
+///
+/// This is the semantic baseline the program path is differentially
+/// pinned against (`crates/rtl/tests/program_differential.rs`); prefer
+/// [`interpret`] everywhere else — it is an order of magnitude faster
+/// and bit-identical.
+///
+/// # Errors
+///
+/// See [`interpret`].
+pub fn interpret_legacy(net: &Netlist, inputs: &[Image]) -> Result<InterpReport, InterpError> {
+    run(net, inputs, None)
+}
+
+/// The reference traced interpreter — [`interpret_with_trace`]'s
+/// graph-walking baseline, see [`interpret_legacy`].
+///
+/// # Errors
+///
+/// See [`interpret`].
+pub fn interpret_with_trace_legacy(
     net: &Netlist,
     inputs: &[Image],
 ) -> Result<(InterpReport, ActivityTrace), InterpError> {
@@ -227,23 +265,33 @@ pub fn interpret_with_trace(
 }
 
 /// Per-cycle activity scratch, one slot per netlist buffer.
+///
+/// Historically `cycle_reads` was deduplicated with a linear scan per
+/// read and the per-block counters were an associative list scanned per
+/// bump — O(accesses²) per cycle. Reads are now collected unchecked and
+/// merged with one sort+dedup at end of cycle (the unique set is
+/// order-independent, so the result is identical), and the counters are
+/// dense per-block arrays with a touched list for O(1) bump and reset.
 struct TraceScratch {
-    /// Same-address read dedup for the current cycle: `(block, row, x)`
-    /// — the cycle simulator's merge key.
+    /// Same-address merge candidates for the current cycle:
+    /// `(block, row, x)` — the cycle simulator's merge key, deduplicated
+    /// at end of cycle.
     cycle_reads: Vec<Vec<(usize, i64, i64)>>,
-    /// Per-block access counters for the current cycle.
-    cycle_counts: Vec<Vec<(usize, u32)>>,
+    /// Dense per-block access counters for the current cycle.
+    cycle_counts: Vec<Vec<u32>>,
+    /// Blocks touched this cycle (reset list for `cycle_counts`).
+    touched: Vec<Vec<usize>>,
     /// Whether any consumer loaded from the buffer this cycle.
     consumed: Vec<bool>,
     /// Previous output-register value per stage (toggle counting).
     prev_out: Vec<i64>,
 }
 
-fn bump(counts: &mut Vec<(usize, u32)>, block: usize) {
-    match counts.iter_mut().find(|(b, _)| *b == block) {
-        Some((_, c)) => *c += 1,
-        None => counts.push((block, 1)),
+fn bump(counts: &mut [u32], touched: &mut Vec<usize>, block: usize) {
+    if counts[block] == 0 {
+        touched.push(block);
     }
+    counts[block] += 1;
 }
 
 /// Toggled bits between two register values at `bits` width.
@@ -315,7 +363,12 @@ fn run(
 
     let mut scratch = trace.as_ref().map(|_| TraceScratch {
         cycle_reads: vec![Vec::new(); net.buffers.len()],
-        cycle_counts: vec![Vec::new(); net.buffers.len()],
+        cycle_counts: net
+            .buffers
+            .iter()
+            .map(|b| vec![0u32; b.phys_blocks])
+            .collect(),
+        touched: vec![Vec::new(); net.buffers.len()],
         consumed: vec![false; net.buffers.len()],
         prev_out: vec![0; net.stages.len()],
     });
@@ -445,13 +498,9 @@ fn run(
                                     // Reads merge on identical (block,
                                     // row, column) within one cycle —
                                     // the cycle simulator's convention.
-                                    let dup = ts.cycle_reads[bufidx]
-                                        .iter()
-                                        .any(|&(bk, r2, x2)| bk == block && r2 == row && x2 == x);
-                                    if !dup {
-                                        ts.cycle_reads[bufidx].push((block, row, x));
-                                        bump(&mut ts.cycle_counts[bufidx], block);
-                                    }
+                                    // Candidates are collected here and
+                                    // deduplicated once at end of cycle.
+                                    ts.cycle_reads[bufidx].push((block, row, x));
                                 }
                             }
                         }
@@ -517,7 +566,7 @@ fn run(
                     if !nb.fifo {
                         if let Some(block) = nb.block_of(y as u64, x as u32, geom.pixel_bits) {
                             tr.buffers[bufidx].block_writes[block] += 1;
-                            bump(&mut ts.cycle_counts[bufidx], block);
+                            bump(&mut ts.cycle_counts[bufidx], &mut ts.touched[bufidx], block);
                         }
                     }
                 }
@@ -546,16 +595,25 @@ fn run(
         }
         if let (Some(tr), Some(ts)) = (trace.as_deref_mut(), scratch.as_mut()) {
             for (i, gate) in gates.iter().enumerate() {
-                for &(block, _, _) in &ts.cycle_reads[i] {
-                    tr.buffers[i].block_reads[block] += 1;
+                if !ts.cycle_reads[i].is_empty() {
+                    ts.cycle_reads[i].sort_unstable();
+                    ts.cycle_reads[i].dedup();
+                    for k in 0..ts.cycle_reads[i].len() {
+                        let (block, _, _) = ts.cycle_reads[i][k];
+                        tr.buffers[i].block_reads[block] += 1;
+                        bump(&mut ts.cycle_counts[i], &mut ts.touched[i], block);
+                    }
+                    ts.cycle_reads[i].clear();
                 }
-                for &(block, count) in &ts.cycle_counts[i] {
+                for k in 0..ts.touched[i].len() {
+                    let block = ts.touched[i][k];
+                    let count = ts.cycle_counts[i][block];
                     if count > tr.buffers[i].block_peaks[block] {
                         tr.buffers[i].block_peaks[block] = count;
                     }
+                    ts.cycle_counts[i][block] = 0;
                 }
-                ts.cycle_reads[i].clear();
-                ts.cycle_counts[i].clear();
+                ts.touched[i].clear();
                 let nb = &net.buffers[i];
                 if nb.phys_blocks > 0 && !nb.fifo {
                     let enabled = gate.is_none_or(|g| g.enabled_at(t as u64));

@@ -21,7 +21,11 @@
 //! * [`interpret`] **executes** the netlist cycle by cycle — the
 //!   verification loop no synthesis tool in this environment could close:
 //!   the emitted design itself is run and checked bit-exact against the
-//!   golden executor and the cycle-level simulator;
+//!   golden executor and the cycle-level simulator. It compiles the
+//!   netlist once into a flat evaluation program ([`EvalProgram`]) and
+//!   streams the frame through that — an order of magnitude faster than
+//!   the reference graph-walking path ([`interpret_legacy`]), which
+//!   remains available as the differential baseline;
 //! * [`interpret_with_trace`] additionally collects an [`ActivityTrace`]
 //!   (per-SRAM-bank access counts, register toggle totals, enable duty
 //!   cycles) that `imagen-power` prices into measured energy — and the
@@ -46,18 +50,23 @@ mod activity;
 mod emit;
 mod interp;
 mod netlist;
+mod program;
 mod resources;
 mod testbench;
 mod verify;
 
 pub use activity::{ActivityTrace, BufferActivity, SraActivity, StageActivity};
 pub use emit::emit_verilog;
-pub use interp::{eval_acc, interpret, interpret_with_trace, trunc, InterpError, InterpReport};
+pub use interp::{
+    eval_acc, interpret, interpret_legacy, interpret_with_trace, interpret_with_trace_legacy,
+    trunc, InterpError, InterpReport,
+};
 pub use netlist::{
     build_netlist, sra_cells, sra_columns, BitWidths, BufferGate, Conn, Dir, GatingPlan, Instance,
     Item, LineBufPayload, Module, ModuleKind, Net, NetBuffer, NetEdge, NetStage, Netlist,
     StagePayload,
 };
+pub use program::EvalProgram;
 pub use resources::{report_resources, report_resources_for, ResourceReport};
 pub use testbench::{generate_testbench, TestVectors};
 pub use verify::{verify_all, verify_structure, RtlError, RtlReport, RtlSummary};

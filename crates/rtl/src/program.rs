@@ -1,0 +1,1425 @@
+//! One-time netlist → flat evaluation program compiler.
+//!
+//! The reference interpreter ([`crate::interpret_legacy`]) re-walks the
+//! netlist graph every cycle: it scans every stage against every edge,
+//! recomputes `x`/`y` with `div_euclid`/`rem_euclid` per access, and
+//! evaluates kernels by recursing over the [`Expr`] tree behind a fetch
+//! closure. [`EvalProgram::compile`] pays all of that once, lowering a
+//! [`Netlist`] into a flat program the executor streams through:
+//!
+//! * **register-tape bytecode** — each kernel tree is linearized into a
+//!   [`TapeOp`] sequence evaluated into a dense register file, with
+//!   common subexpressions hash-consed away and tap operands resolved to
+//!   `(window row, column offset)` pairs at compile time;
+//! * **stage-at-a-time streaming** — the compiler proves from the ILP
+//!   schedule that every window load happens at least one cycle after
+//!   the producer wrote the word and before the rotating buffer reuses
+//!   its slot (the `streamable` margins). Under that proof the lockstep
+//!   cycle loop is unnecessary: stages execute one *whole frame* at a
+//!   time in start-cycle order, each tap reading the producer's dense
+//!   output image directly — `image[min(y+lag+j, h-1)][max(x+dx, 0)]`
+//!   is exactly the value the shift-register array would have delivered,
+//!   with clock-gated read ports zeroing the affected load columns. The
+//!   kernel tape then runs op-by-op over column tiles, so each bytecode
+//!   instruction becomes a tight (auto-vectorizable) loop instead of a
+//!   per-pixel dispatch;
+//! * **closed-form + single-pass activity** — every trace quantity is
+//!   either precomputed at compile time (enable duty, gated-off cycles,
+//!   shift/write totals, SRAM access totals) or recovered from the dense
+//!   images in one linear pass: output-register toggles walk the output
+//!   stream, shift-register toggles use the delay-line identity (each
+//!   consecutive-load toggle re-appears once per column as it shifts
+//!   through, so the per-cycle sum telescopes into a windowed sum over
+//!   the load stream), and per-block SRAM read/write/peak counters come
+//!   from an event sweep over spans where every participant's row,
+//!   bank segment and gate state are constant;
+//! * **pathology fallback** — a netlist whose schedule violates the
+//!   streaming margins (never produced by the planner, but representable)
+//!   keeps a copy of itself and routes execution through the reference
+//!   interpreter, trading speed for unconditional exactness.
+//!
+//! The program is *semantics-preserving by construction and pinned by
+//! test*: [`crate::interpret`] routes through it, and the differential
+//! suite (`crates/rtl/tests/program_differential.rs`) checks report,
+//! images and the full [`ActivityTrace`] field-for-field against the
+//! legacy path on the whole algorithm corpus at both width regimes,
+//! gated and ungated.
+
+use crate::activity::ActivityTrace;
+use crate::interp::{trunc, InterpError, InterpReport};
+use crate::netlist::{sra_columns, ModuleKind, NetBuffer, Netlist};
+use imagen_ir::{BinOp, CmpOp, Expr};
+use imagen_sim::Image;
+use std::collections::HashMap;
+
+/// Column-tile width of the vectorized tape evaluator: one bytecode
+/// dispatch covers this many raster columns, and the per-op inner loops
+/// stay resident in L1 (`max_regs × TILE × 8` bytes).
+const TILE: usize = 64;
+
+/// One bytecode instruction of a linearized kernel. Instruction `i`
+/// writes register `i`; operands name earlier registers. Every result is
+/// truncated to the accumulator width, mirroring [`crate::eval_acc`]'s
+/// truncate-after-every-node datapath semantics exactly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum TapeOp {
+    /// Integer literal.
+    Const(i64),
+    /// Stencil tap: window row `vrow` (stage-local virtual-row index) at
+    /// column `x + dx`, clamped to the left edge.
+    Load {
+        /// Stage-local virtual-row index (edge window rows, flattened).
+        vrow: u32,
+        /// Horizontal tap offset (`<= 0` after window normalization).
+        dx: i32,
+    },
+    /// Wrapping negation.
+    Neg(u32),
+    /// Wrapping absolute value.
+    Abs(u32),
+    /// Binary arithmetic with the interpreter's pinned semantics
+    /// (div-by-zero → 0, Verilog shift behaviour).
+    Bin(BinOp, u32, u32),
+    /// Three-way wrapping sum — fusion of two single-use `Add` nodes
+    /// (wrapping addition is associative, and the fused-away
+    /// intermediate was not demanded exact, so the value is unchanged).
+    Add3(u32, u32, u32),
+    /// Four-way wrapping sum (see [`TapeOp::Add3`]).
+    Add4(u32, u32, u32, u32),
+    /// Comparison producing 0 or 1.
+    Cmp(CmpOp, u32, u32),
+    /// `if c != 0 { t } else { o }` — both arms are evaluated eagerly,
+    /// which is value-identical because every operation is pure and
+    /// total.
+    Select(u32, u32, u32),
+    /// `clamp(v, lo, hi)` with the `lo > hi → lo` convention.
+    Clamp(u32, u32, u32),
+}
+
+impl TapeOp {
+    /// Calls `f` with each operand register.
+    fn for_each_operand(&self, f: &mut impl FnMut(u32)) {
+        match *self {
+            TapeOp::Const(_) | TapeOp::Load { .. } => {}
+            TapeOp::Neg(a) | TapeOp::Abs(a) => f(a),
+            TapeOp::Bin(_, a, b) | TapeOp::Cmp(_, a, b) => {
+                f(a);
+                f(b);
+            }
+            TapeOp::Add3(a, b, c) | TapeOp::Select(a, b, c) | TapeOp::Clamp(a, b, c) => {
+                f(a);
+                f(b);
+                f(c);
+            }
+            TapeOp::Add4(a, b, c, d) => {
+                f(a);
+                f(b);
+                f(c);
+                f(d);
+            }
+        }
+    }
+
+    /// Rewrites each operand register through `remap`.
+    fn remap_operands(&mut self, remap: &[u32]) {
+        match self {
+            TapeOp::Const(_) | TapeOp::Load { .. } => {}
+            TapeOp::Neg(a) | TapeOp::Abs(a) => *a = remap[*a as usize],
+            TapeOp::Bin(_, a, b) | TapeOp::Cmp(_, a, b) => {
+                *a = remap[*a as usize];
+                *b = remap[*b as usize];
+            }
+            TapeOp::Add3(a, b, c) | TapeOp::Select(a, b, c) | TapeOp::Clamp(a, b, c) => {
+                *a = remap[*a as usize];
+                *b = remap[*b as usize];
+                *c = remap[*c as usize];
+            }
+            TapeOp::Add4(a, b, c, d) => {
+                *a = remap[*a as usize];
+                *b = remap[*b as usize];
+                *c = remap[*c as usize];
+                *d = remap[*d as usize];
+            }
+        }
+    }
+}
+
+/// A linearized kernel: evaluate `ops` in order, read `root`.
+#[derive(Clone, Debug, Default)]
+struct Tape {
+    ops: Vec<TapeOp>,
+    root: u32,
+    /// Per-register "demanded exactness": whether this register must
+    /// hold the accumulator-truncated value. Wrapping `Add`/`Sub`/`Mul`,
+    /// `Neg` and the shifted operand of `Shl` are ring homomorphisms
+    /// modulo `2^acc`, so a register consumed only in such positions can
+    /// skip its truncation — the final truncated root is unchanged.
+    /// Sign/magnitude-sensitive positions (`Abs`, `Div`, `Min`/`Max`,
+    /// `Shr`, shift amounts, comparisons, `Clamp`, select conditions)
+    /// demand the exact value, and a `Select` passes its own demand
+    /// through to both value arms.
+    exact: Vec<bool>,
+}
+
+/// Tape construction with hash-consing: structurally identical
+/// instructions (same op, same operand registers) share one register.
+#[derive(Default)]
+struct TapeBuilder {
+    ops: Vec<TapeOp>,
+    memo: HashMap<TapeOp, u32>,
+}
+
+impl TapeBuilder {
+    fn push(&mut self, op: TapeOp) -> u32 {
+        if let Some(&r) = self.memo.get(&op) {
+            return r;
+        }
+        let r = self.ops.len() as u32;
+        self.ops.push(op);
+        self.memo.insert(op, r);
+        r
+    }
+
+    /// Lowers `e`, mapping taps through `tap`.
+    fn lower(&mut self, e: &Expr, tap: &impl Fn(usize, i32, i32) -> TapeOp) -> u32 {
+        let op = match e {
+            Expr::Const(c) => TapeOp::Const(*c),
+            Expr::Tap { slot, dx, dy } => tap(*slot, *dx, *dy),
+            Expr::Neg(a) => TapeOp::Neg(self.lower(a, tap)),
+            Expr::Abs(a) => TapeOp::Abs(self.lower(a, tap)),
+            Expr::Bin(op, a, b) => {
+                let a = self.lower(a, tap);
+                let b = self.lower(b, tap);
+                TapeOp::Bin(*op, a, b)
+            }
+            Expr::Cmp(op, a, b) => {
+                let a = self.lower(a, tap);
+                let b = self.lower(b, tap);
+                TapeOp::Cmp(*op, a, b)
+            }
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let c = self.lower(cond, tap);
+                let t = self.lower(then, tap);
+                let o = self.lower(otherwise, tap);
+                TapeOp::Select(c, t, o)
+            }
+            Expr::Clamp { value, lo, hi } => {
+                let v = self.lower(value, tap);
+                let lo = self.lower(lo, tap);
+                let hi = self.lower(hi, tap);
+                TapeOp::Clamp(v, lo, hi)
+            }
+        };
+        self.push(op)
+    }
+
+    fn finish(self, root: u32) -> Tape {
+        let (ops, root) = fuse_adds(self.ops, root);
+        let mut exact = vec![false; ops.len()];
+        if let Some(e) = exact.get_mut(root as usize) {
+            *e = true;
+        }
+        // Reverse pass: operands always precede their op, so one sweep
+        // settles the Select pass-through inheritance too.
+        for i in (0..ops.len()).rev() {
+            let need = exact[i];
+            let mut demand = |r: u32| exact[r as usize] = true;
+            match ops[i] {
+                TapeOp::Const(_)
+                | TapeOp::Load { .. }
+                | TapeOp::Neg(_)
+                | TapeOp::Add3(..)
+                | TapeOp::Add4(..) => {}
+                TapeOp::Abs(a) => demand(a),
+                TapeOp::Bin(op, a, b) => match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul => {}
+                    BinOp::Shl => demand(b),
+                    BinOp::Div | BinOp::Min | BinOp::Max | BinOp::Shr => {
+                        demand(a);
+                        demand(b);
+                    }
+                },
+                TapeOp::Cmp(_, a, b) => {
+                    demand(a);
+                    demand(b);
+                }
+                TapeOp::Select(c, t, o) => {
+                    demand(c);
+                    if need {
+                        demand(t);
+                        demand(o);
+                    }
+                }
+                TapeOp::Clamp(v, lo, hi) => {
+                    demand(v);
+                    demand(lo);
+                    demand(hi);
+                }
+            }
+        }
+        Tape { ops, root, exact }
+    }
+}
+
+/// Rewrites chains of single-use `Add` nodes into [`TapeOp::Add3`] /
+/// [`TapeOp::Add4`] reductions. A node is absorbed into its consumer
+/// when it is an `Add` referenced exactly once, by another `Add`:
+/// wrapping addition is associative, the intermediate cannot have been
+/// demanded exact (its only consumer is truncation-insensitive and it
+/// is not the root), so flattening preserves the value while removing
+/// the intermediate's register-file round trip.
+fn fuse_adds(ops: Vec<TapeOp>, root: u32) -> (Vec<TapeOp>, u32) {
+    let n = ops.len();
+    let is_add = |i: u32| matches!(ops[i as usize], TapeOp::Bin(BinOp::Add, _, _));
+    let mut uses = vec![0u32; n];
+    let mut add_uses = vec![0u32; n];
+    for op in ops.iter() {
+        let adder = matches!(op, TapeOp::Bin(BinOp::Add, _, _));
+        op.for_each_operand(&mut |r| {
+            uses[r as usize] += 1;
+            if adder {
+                add_uses[r as usize] += 1;
+            }
+        });
+    }
+    uses[root as usize] += 1;
+    let absorbed: Vec<bool> = (0..n as u32)
+        .map(|i| is_add(i) && uses[i as usize] == 1 && add_uses[i as usize] == 1)
+        .collect();
+
+    let mut out: Vec<TapeOp> = Vec::with_capacity(n);
+    let mut remap = vec![u32::MAX; n];
+    for i in 0..n {
+        if absorbed[i] {
+            continue;
+        }
+        if let TapeOp::Bin(BinOp::Add, a, b) = ops[i] {
+            // Flatten the absorbed subtree into a term list (left to
+            // right), then reduce it with the widest ops available,
+            // accumulating left-to-right for determinism.
+            let mut terms: Vec<u32> = Vec::new();
+            let mut stack = vec![b, a];
+            while let Some(t) = stack.pop() {
+                if absorbed[t as usize] {
+                    if let TapeOp::Bin(BinOp::Add, x, y) = ops[t as usize] {
+                        stack.push(y);
+                        stack.push(x);
+                    }
+                } else {
+                    terms.push(remap[t as usize]);
+                }
+            }
+            let mut cur = terms[0];
+            let mut k = 1;
+            while k < terms.len() {
+                let op = match terms.len() - k {
+                    rem if rem >= 3 => TapeOp::Add4(cur, terms[k], terms[k + 1], terms[k + 2]),
+                    2 => TapeOp::Add3(cur, terms[k], terms[k + 1]),
+                    _ => TapeOp::Bin(BinOp::Add, cur, terms[k]),
+                };
+                k += match op {
+                    TapeOp::Add4(..) => 3,
+                    TapeOp::Add3(..) => 2,
+                    _ => 1,
+                };
+                out.push(op);
+                cur = (out.len() - 1) as u32;
+            }
+            remap[i] = cur;
+        } else {
+            let mut op = ops[i];
+            op.remap_operands(&remap);
+            out.push(op);
+            remap[i] = (out.len() - 1) as u32;
+        }
+    }
+    let root = remap[root as usize];
+    (out, root)
+}
+
+/// Evaluates a tape over exactly [`TILE`] consecutive columns starting
+/// at `x0` (rows are padded to a multiple of [`TILE`], so every tile is
+/// full). Each op becomes one tight loop with a compile-time trip
+/// count, which the optimizer turns into branch- and remainder-free
+/// SIMD; `sh` is the truncation shift (`64 - acc`, zero at full width)
+/// applied after every demanded-exact node.
+fn eval_tile(tape: &Tape, regs: &mut [i64], vrows: &[&[i64]], sh: u32, x0: usize) {
+    for (i, op) in tape.ops.iter().enumerate() {
+        let (done, rest) = regs.split_at_mut(i * TILE);
+        let done = &*done;
+        let dst = &mut rest[..TILE];
+        // Truncation shift for this register: demanded-exact registers
+        // truncate to the accumulator width, the rest stay un-truncated
+        // (sound per the [`Tape::exact`] analysis).
+        let sh = if tape.exact[i] { sh } else { 0 };
+        match *op {
+            TapeOp::Const(c) => dst.fill((c << sh) >> sh),
+            TapeOp::Load { vrow, dx } => {
+                let row = vrows[vrow as usize];
+                let off = x0 as i64 + dx as i64;
+                // Taps satisfy `dx <= 0` (window normalization), so only
+                // the left edge clamps: the first `k` lanes read column
+                // 0, the rest shift-copy (`x + dx` stays in range on the
+                // right).
+                let k = (-off).clamp(0, TILE as i64) as usize;
+                let src = &row[(off + k as i64).max(0) as usize..][..TILE - k];
+                if sh == 0 {
+                    dst[..k].fill(row[0]);
+                    dst[k..].copy_from_slice(src);
+                } else {
+                    dst[..k].fill((row[0] << sh) >> sh);
+                    for (d, &s) in dst[k..].iter_mut().zip(src) {
+                        *d = (s << sh) >> sh;
+                    }
+                }
+            }
+            TapeOp::Neg(a) => {
+                let ra = &done[a as usize * TILE..][..TILE];
+                for (d, &a) in dst.iter_mut().zip(ra) {
+                    *d = (a.wrapping_neg() << sh) >> sh;
+                }
+            }
+            TapeOp::Abs(a) => {
+                let ra = &done[a as usize * TILE..][..TILE];
+                for (d, &a) in dst.iter_mut().zip(ra) {
+                    *d = (a.wrapping_abs() << sh) >> sh;
+                }
+            }
+            TapeOp::Bin(op, a, b) => {
+                let ra = &done[a as usize * TILE..][..TILE];
+                let rb = &done[b as usize * TILE..][..TILE];
+                macro_rules! lanes {
+                    ($f:expr) => {
+                        if sh == 0 {
+                            for l in 0..TILE {
+                                dst[l] = $f(ra[l], rb[l]);
+                            }
+                        } else {
+                            for l in 0..TILE {
+                                let v: i64 = $f(ra[l], rb[l]);
+                                dst[l] = (v << sh) >> sh;
+                            }
+                        }
+                    };
+                }
+                match op {
+                    BinOp::Add => lanes!(i64::wrapping_add),
+                    BinOp::Sub => lanes!(i64::wrapping_sub),
+                    BinOp::Mul => lanes!(i64::wrapping_mul),
+                    BinOp::Min => lanes!(|a: i64, b: i64| a.min(b)),
+                    BinOp::Max => lanes!(|a: i64, b: i64| a.max(b)),
+                    // Branchless forms of the pinned Verilog shift
+                    // semantics so the lanes stay vectorizable:
+                    // out-of-range left shifts zero via the 0/1 factor,
+                    // out-of-range right shifts saturate the amount at 63
+                    // (negative amounts wrap to huge u64s and hit the min).
+                    BinOp::Shl => {
+                        lanes!(
+                            |a: i64, b: i64| a.wrapping_shl(b as u32) * i64::from((b as u64) < 64)
+                        )
+                    }
+                    BinOp::Shr => {
+                        lanes!(|a: i64, b: i64| a.wrapping_shr((b as u64).min(63) as u32))
+                    }
+                    BinOp::Div => {
+                        lanes!(|a: i64, b: i64| if b == 0 { 0 } else { a.wrapping_div(b) })
+                    }
+                }
+            }
+            TapeOp::Add3(a, b, c) => {
+                let ra = &done[a as usize * TILE..][..TILE];
+                let rb = &done[b as usize * TILE..][..TILE];
+                let rc = &done[c as usize * TILE..][..TILE];
+                if sh == 0 {
+                    for l in 0..TILE {
+                        dst[l] = ra[l].wrapping_add(rb[l]).wrapping_add(rc[l]);
+                    }
+                } else {
+                    for l in 0..TILE {
+                        let v = ra[l].wrapping_add(rb[l]).wrapping_add(rc[l]);
+                        dst[l] = (v << sh) >> sh;
+                    }
+                }
+            }
+            TapeOp::Add4(a, b, c, d) => {
+                let ra = &done[a as usize * TILE..][..TILE];
+                let rb = &done[b as usize * TILE..][..TILE];
+                let rc = &done[c as usize * TILE..][..TILE];
+                let rd = &done[d as usize * TILE..][..TILE];
+                if sh == 0 {
+                    for l in 0..TILE {
+                        dst[l] = ra[l]
+                            .wrapping_add(rb[l])
+                            .wrapping_add(rc[l].wrapping_add(rd[l]));
+                    }
+                } else {
+                    for l in 0..TILE {
+                        let v = ra[l]
+                            .wrapping_add(rb[l])
+                            .wrapping_add(rc[l].wrapping_add(rd[l]));
+                        dst[l] = (v << sh) >> sh;
+                    }
+                }
+            }
+            TapeOp::Cmp(op, a, b) => {
+                let ra = &done[a as usize * TILE..][..TILE];
+                let rb = &done[b as usize * TILE..][..TILE];
+                // 0/1 survives any truncation width; one monomorphic loop
+                // per operator keeps the compare+zext vectorizable.
+                macro_rules! cmp_lanes {
+                    ($f:expr) => {
+                        for l in 0..TILE {
+                            dst[l] = i64::from($f(&ra[l], &rb[l]));
+                        }
+                    };
+                }
+                match op {
+                    CmpOp::Lt => cmp_lanes!(i64::lt),
+                    CmpOp::Le => cmp_lanes!(i64::le),
+                    CmpOp::Gt => cmp_lanes!(i64::gt),
+                    CmpOp::Ge => cmp_lanes!(i64::ge),
+                    CmpOp::Eq => cmp_lanes!(i64::eq),
+                    CmpOp::Ne => cmp_lanes!(i64::ne),
+                }
+            }
+            TapeOp::Select(c, t, o) => {
+                let rc = &done[c as usize * TILE..][..TILE];
+                let rt = &done[t as usize * TILE..][..TILE];
+                let ro = &done[o as usize * TILE..][..TILE];
+                for l in 0..TILE {
+                    // Operands are already truncated; select passes one
+                    // through unchanged.
+                    dst[l] = if rc[l] != 0 { rt[l] } else { ro[l] };
+                }
+            }
+            TapeOp::Clamp(v, lo, hi) => {
+                let rv = &done[v as usize * TILE..][..TILE];
+                let rl = &done[lo as usize * TILE..][..TILE];
+                let rh = &done[hi as usize * TILE..][..TILE];
+                for l in 0..TILE {
+                    let (v, lo, hi) = (rv[l], rl[l], rh[l]);
+                    dst[l] = if lo > hi { lo } else { v.clamp(lo, hi) };
+                }
+            }
+        }
+    }
+}
+
+/// Compiled window-load path of one consumer edge.
+#[derive(Clone, Debug)]
+struct EdgeProg {
+    /// Netlist edge index (trace attribution).
+    edge: usize,
+    /// Producer's netlist buffer index (gating, trace attribution).
+    buf: usize,
+    /// Producer's netlist stage index (dense-image source).
+    prod_stage: usize,
+    /// SRA rows.
+    height: usize,
+    /// SRA columns.
+    width: usize,
+    /// Window row lag.
+    lag: u32,
+    /// First stage-local virtual-row index of this edge's window rows.
+    vrow_base: usize,
+    /// Read-enable window `[start, end)` of the producer buffer's clock
+    /// gate, `None` when ungated.
+    gate: Option<(u64, u64)>,
+}
+
+/// Compiled form of one pipeline stage.
+#[derive(Clone, Debug)]
+struct StageProg {
+    /// Netlist stage index.
+    stage: usize,
+    /// ILP start cycle.
+    start: u64,
+    /// Input-stream index for source stages.
+    input: Option<usize>,
+    /// Whether the stage owns a compute module (output register).
+    has_module: bool,
+    /// This stage's consumer edges: a contiguous range of
+    /// [`EvalProgram::edges`].
+    edges: std::ops::Range<usize>,
+    /// Linearized kernel.
+    tape: Tape,
+    /// Virtual rows consumed by the tape (sum of edge window heights).
+    n_vrows: usize,
+}
+
+/// Per-buffer metadata plus the closed-form activity quantities
+/// precomputed at compile time.
+#[derive(Clone, Debug)]
+struct BufMeta {
+    nb: NetBuffer,
+    read_enabled_cycles: u64,
+    idle_read_cycles: u64,
+    gated_off_cycles: u64,
+    /// Columns at which the bank segment changes (only populated when
+    /// `blocks_per_row > 1`), used as span cuts by the block sweep.
+    seg_cuts: Vec<u64>,
+}
+
+/// A [`Netlist`] lowered to a flat evaluation program.
+///
+/// Compile once with [`EvalProgram::compile`], then execute frames with
+/// [`EvalProgram::run`] / [`EvalProgram::run_with_trace`] — both produce
+/// bit-identical results to the reference interpreter
+/// ([`crate::interpret_legacy`]), at a fraction of the cost. The
+/// public entry points [`crate::interpret`] and
+/// [`crate::interpret_with_trace`] compile-and-run internally; hold an
+/// `EvalProgram` directly to amortize compilation over repeated frames
+/// (the DSE measurement loop does).
+#[derive(Clone, Debug)]
+pub struct EvalProgram {
+    w: i64,
+    h: i64,
+    width_px: u32,
+    height_px: u32,
+    frame: u64,
+    end: u64,
+    done_cycle: u64,
+    pixel: u32,
+    acc: u32,
+    geom_pixel_bits: u32,
+    n_inputs: usize,
+    /// Stages sorted by start cycle (ties by netlist index).
+    stages: Vec<StageProg>,
+    /// Consumer edges grouped per stage, in sorted-stage order.
+    edges: Vec<EdgeProg>,
+    /// Netlist-buffer metadata, in netlist buffer order.
+    buffers: Vec<BufMeta>,
+    /// Start cycle per netlist stage index (block-sweep writer lookup).
+    start_of: Vec<u64>,
+    n_net_stages: usize,
+    n_net_edges: usize,
+    /// Output stages in netlist order (slot -> netlist stage index).
+    outputs: Vec<usize>,
+    max_regs: usize,
+    /// Closed-form totals (identical to what the legacy interpreter
+    /// counts cycle by cycle).
+    sram_reads: u64,
+    sram_writes: u64,
+    gated_off_cycles: u64,
+    /// Reference netlist for schedules that violate the streaming
+    /// margins; execution falls back to the cycle-accurate interpreter.
+    fallback: Option<Box<Netlist>>,
+}
+
+/// Total length of `[lo, hi)` clipped against the merged union of
+/// `windows` (each `[start, end)`), used for the closed-form idle-read
+/// accounting.
+fn overlap_with_union(lo: u64, hi: u64, windows: &mut [(u64, u64)]) -> u64 {
+    windows.sort_unstable();
+    let mut covered = 0u64;
+    let mut cursor = lo;
+    for &(s, e) in windows.iter() {
+        let s = s.max(cursor).min(hi);
+        let e = e.min(hi);
+        if e > s {
+            covered += e - s;
+            cursor = e;
+        }
+    }
+    covered
+}
+
+impl EvalProgram {
+    /// Lowers `net` into a flat evaluation program.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::MissingBuffer`] when a windowed producer owns no
+    /// line buffer (the same structural check the reference interpreter
+    /// performs up front).
+    pub fn compile(net: &Netlist) -> Result<EvalProgram, InterpError> {
+        let geom = net.geometry;
+        let (w, h) = (geom.width as i64, geom.height as i64);
+        let frame = net.frame;
+
+        let mut bufidx_of_stage: Vec<Option<usize>> = vec![None; net.stages.len()];
+        for (i, b) in net.buffers.iter().enumerate() {
+            bufidx_of_stage[b.stage] = Some(i);
+        }
+        for e in &net.edges {
+            if bufidx_of_stage[e.producer].is_none() {
+                return Err(InterpError::MissingBuffer { stage: e.producer });
+            }
+        }
+
+        // Per-buffer gate windows (FIFO chains are dataflow-clocked; the
+        // gating pass never targets them — same filter as the legacy
+        // path).
+        let gates: Vec<Option<(u64, u64)>> = (0..net.buffers.len())
+            .map(|i| {
+                net.gating
+                    .as_ref()
+                    .and_then(|g| g.gate_for(i))
+                    .filter(|_| !net.buffers[i].fifo)
+                    .map(|g| (g.read_start, g.read_end))
+            })
+            .collect();
+
+        // Stage order: sorted by ILP start cycle, so producers stream
+        // before their consumers (the write-lead margin below proves the
+        // starts are strictly ordered along every edge).
+        let mut order: Vec<usize> = (0..net.stages.len()).collect();
+        order.sort_by_key(|&i| (net.stages[i].start_cycle, i));
+
+        let streams = net.input_streams();
+        let mut input_of: Vec<Option<usize>> = vec![None; net.stages.len()];
+        for (k, stage, _) in &streams {
+            input_of[*stage] = Some(*k);
+        }
+
+        let outputs: Vec<usize> = net
+            .stages
+            .iter()
+            .filter(|s| s.is_output)
+            .map(|s| s.index)
+            .collect();
+
+        let end = net
+            .stages
+            .iter()
+            .map(|s| s.start_cycle + frame)
+            .max()
+            .unwrap_or(frame);
+
+        // Streaming-margin proof: frame-at-a-time execution with direct
+        // image reads is exact iff, for every edge, (a) the producer
+        // writes each window row at least one cycle before the earliest
+        // load of it (write lead — also covers clamp-to-edge reads of
+        // the last row, whose loads happen strictly later), and (b) the
+        // rotating buffer does not reuse a slot until the load has
+        // happened (read-first ties allowed). Every planner schedule
+        // satisfies both; a hand-built netlist that does not falls back
+        // to the reference interpreter.
+        let mut streamable = true;
+        for e in &net.edges {
+            let sc = net.stages[e.consumer].start_cycle as i64;
+            let sp = net.stages[e.producer].start_cycle as i64;
+            let lag = e.window.lag as i64;
+            let height = e.window.height as i64;
+            let rows = net.buffers[bufidx_of_stage[e.producer].expect("checked above")].storage_rows
+                as i64;
+            let write_lead = sc - sp - (lag + height - 1) * w;
+            let reuse = (lag + rows) * w - (sc - sp);
+            if write_lead < 1 || reuse < 0 {
+                streamable = false;
+            }
+        }
+
+        let mut stages = Vec::with_capacity(net.stages.len());
+        let mut edges: Vec<EdgeProg> = Vec::with_capacity(net.edges.len());
+        let mut max_regs = 0usize;
+        let mut sram_reads = 0u64;
+
+        for &si in &order {
+            let s = &net.stages[si];
+            let first_edge = edges.len();
+            // This stage's consumer edges, with slot -> local index for
+            // kernel taps.
+            let mut slot_local: Vec<usize> = Vec::new();
+            let mut n_vrows = 0usize;
+            for (eidx, e) in net.edges.iter().enumerate() {
+                if e.consumer != si {
+                    continue;
+                }
+                let width = sra_columns(&e.window) as usize;
+                let height = e.window.height as usize;
+                let bufidx = bufidx_of_stage[e.producer].expect("checked above");
+                if slot_local.len() <= e.slot {
+                    slot_local.resize(e.slot + 1, usize::MAX);
+                }
+                slot_local[e.slot] = edges.len() - first_edge;
+                let gate = gates[bufidx];
+                // Closed-form SRAM read total: `height` words per
+                // non-gated active cycle of this edge.
+                let (astart, aend) = (s.start_cycle, s.start_cycle + frame);
+                let enabled = match gate {
+                    Some((gs, ge)) => ge.min(aend).saturating_sub(gs.max(astart)),
+                    None => frame,
+                };
+                sram_reads += height as u64 * enabled;
+                edges.push(EdgeProg {
+                    edge: eidx,
+                    buf: bufidx,
+                    prod_stage: e.producer,
+                    height,
+                    width,
+                    lag: e.window.lag,
+                    vrow_base: n_vrows,
+                    gate,
+                });
+                n_vrows += height;
+            }
+            let edge_range = first_edge..edges.len();
+
+            // Linearize the kernel; taps resolve to (virtual row, dx).
+            let kernel = s.module.map(|m| match &net.modules[m].kind {
+                ModuleKind::Stage(p) => &p.kernel,
+                other => unreachable!("stage module of wrong kind: {other:?}"),
+            });
+            let tape = match kernel {
+                Some(k) => {
+                    let mut tb = TapeBuilder::default();
+                    let root = tb.lower(k, &|slot, dx, dy| {
+                        let le = &edges[edge_range.start + slot_local[slot]];
+                        // Same row selection as the legacy fetch closure.
+                        let j = (dy as u32).saturating_sub(le.lag) as usize;
+                        assert!(j < le.height, "tap dy={dy} reaches outside the edge window");
+                        TapeOp::Load {
+                            vrow: (le.vrow_base + j) as u32,
+                            dx,
+                        }
+                    });
+                    tb.finish(root)
+                }
+                None => Tape::default(),
+            };
+            max_regs = max_regs.max(tape.ops.len());
+
+            stages.push(StageProg {
+                stage: si,
+                start: s.start_cycle,
+                input: input_of[si],
+                has_module: s.module.is_some(),
+                edges: edge_range,
+                tape,
+                n_vrows,
+            });
+        }
+
+        let sram_writes = frame * net.buffers.len() as u64;
+        let gated_off_cycles: u64 = gates
+            .iter()
+            .flatten()
+            .map(|&(gs, ge)| end - ge.min(end).saturating_sub(gs.min(end)))
+            .sum();
+
+        // Per-buffer closed-form read-port duty: enabled cycles are the
+        // gate window (whole run when ungated); a cycle is *idle* when
+        // the port is enabled but no consumer edge loads — exactly the
+        // legacy `consumed` bookkeeping, folded into interval arithmetic.
+        let buffers: Vec<BufMeta> = net
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, nb)| {
+                let track = nb.phys_blocks > 0 && !nb.fifo;
+                let (en_lo, en_hi) = match gates[i] {
+                    Some((gs, ge)) => (gs.min(end), ge.min(end)),
+                    None => (0, end),
+                };
+                let read_enabled_cycles = en_hi - en_lo;
+                let mut consumers: Vec<(u64, u64)> = Vec::new();
+                for e in &net.edges {
+                    if bufidx_of_stage[e.producer] == Some(i) {
+                        let cs = net.stages[e.consumer].start_cycle;
+                        consumers.push((cs, cs + frame));
+                    }
+                }
+                let consumed = overlap_with_union(en_lo, en_hi, &mut consumers);
+                let mut seg_cuts = Vec::new();
+                if nb.blocks_per_row > 1 {
+                    let cap = nb.block_capacity_bits.max(1);
+                    let mut prev_seg = 0u64;
+                    for x in 1..geom.width as u64 {
+                        let seg = x * geom.pixel_bits as u64 / cap;
+                        if seg != prev_seg {
+                            seg_cuts.push(x);
+                            prev_seg = seg;
+                        }
+                    }
+                }
+                BufMeta {
+                    nb: nb.clone(),
+                    read_enabled_cycles: if track { read_enabled_cycles } else { 0 },
+                    idle_read_cycles: if track {
+                        read_enabled_cycles - consumed
+                    } else {
+                        0
+                    },
+                    gated_off_cycles: gates[i]
+                        .map_or(0, |(gs, ge)| end - ge.min(end).saturating_sub(gs.min(end))),
+                    seg_cuts,
+                }
+            })
+            .collect();
+
+        Ok(EvalProgram {
+            w,
+            h,
+            width_px: geom.width,
+            height_px: geom.height,
+            frame,
+            end,
+            done_cycle: net.done_cycle,
+            pixel: net.widths.pixel_bits,
+            acc: net.widths.acc_bits,
+            geom_pixel_bits: geom.pixel_bits,
+            n_inputs: streams.len(),
+            stages,
+            edges,
+            buffers,
+            start_of: net.stages.iter().map(|s| s.start_cycle).collect(),
+            n_net_stages: net.stages.len(),
+            n_net_edges: net.edges.len(),
+            outputs,
+            max_regs,
+            sram_reads,
+            sram_writes,
+            gated_off_cycles,
+            fallback: (!streamable).then(|| Box::new(net.clone())),
+        })
+    }
+
+    /// Executes one frame without tracing — the fastest path.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError`] on input count/geometry mismatch.
+    pub fn run(&self, inputs: &[Image]) -> Result<InterpReport, InterpError> {
+        if let Some(net) = &self.fallback {
+            return crate::interp::interpret_legacy(net, inputs);
+        }
+        self.check_inputs(inputs)?;
+        let mut tr = TraceAcc::empty();
+        Ok(self.exec::<false>(inputs, &mut tr))
+    }
+
+    /// Executes one frame, additionally collecting an [`ActivityTrace`]
+    /// identical to the reference interpreter's.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalProgram::run`].
+    pub fn run_with_trace(
+        &self,
+        inputs: &[Image],
+    ) -> Result<(InterpReport, ActivityTrace), InterpError> {
+        if let Some(net) = &self.fallback {
+            return crate::interp::interpret_with_trace_legacy(net, inputs);
+        }
+        self.check_inputs(inputs)?;
+        let mut tr = TraceAcc::for_program(self);
+        let report = self.exec::<true>(inputs, &mut tr);
+        let trace = self.assemble_trace(tr);
+        Ok((report, trace))
+    }
+
+    fn check_inputs(&self, inputs: &[Image]) -> Result<(), InterpError> {
+        if self.n_inputs != inputs.len() {
+            return Err(InterpError::InputCount {
+                expected: self.n_inputs,
+                provided: inputs.len(),
+            });
+        }
+        if inputs
+            .iter()
+            .any(|i| i.width() != self.width_px || i.height() != self.height_px)
+        {
+            return Err(InterpError::GeometryMismatch);
+        }
+        Ok(())
+    }
+
+    /// Columns of row `y` of a consumer active since `start` whose loads
+    /// fall inside the gate window: `[en_lo, en_hi)` (the whole row when
+    /// ungated). Loaded values outside it are zero.
+    /// Padded row stride of the dense stage images: raster width rounded
+    /// up to a whole number of evaluation tiles.
+    fn wstride(&self) -> usize {
+        (self.w as usize).next_multiple_of(TILE)
+    }
+
+    fn gate_cols(&self, gate: Option<(u64, u64)>, start: u64, y: usize) -> (usize, usize) {
+        let w = self.w as usize;
+        match gate {
+            None => (0, w),
+            Some((gs, ge)) => {
+                let base = start + (y * w) as u64;
+                let lo = gs.saturating_sub(base).min(w as u64) as usize;
+                let hi = ge.saturating_sub(base).min(w as u64) as usize;
+                (lo, hi.max(lo))
+            }
+        }
+    }
+
+    /// The frame-at-a-time executor. Stages stream whole frames in
+    /// start-cycle order into dense images; with `TRACED = true` the
+    /// activity passes run over those images afterwards.
+    fn exec<const TRACED: bool>(&self, inputs: &[Image], tr: &mut TraceAcc) -> InterpReport {
+        let pixel = self.pixel;
+        let (w, h) = (self.w as usize, self.h as usize);
+        // Rows are stored at a stride padded to a whole number of
+        // tiles, so every tile evaluation is full-width; the padding
+        // lanes hold don't-care values that no in-frame column ever
+        // reads back (taps satisfy `dx <= 0`).
+        let ws = self.wstride();
+
+        let in_rast: Vec<Vec<i64>> = inputs
+            .iter()
+            .map(|img| {
+                let mut r = vec![0i64; h * ws];
+                let mut it = img.raster();
+                for y in 0..h {
+                    for v in r[y * ws..y * ws + w].iter_mut() {
+                        *v = trunc(it.next().unwrap_or(0), pixel);
+                    }
+                }
+                r
+            })
+            .collect();
+
+        // Dense per-stage output images, indexed by netlist stage.
+        let mut images: Vec<Vec<i64>> = vec![Vec::new(); self.n_net_stages];
+        // Shared workspaces across stages.
+        let mut regs = vec![0i64; self.max_regs * TILE];
+        let mut scratch: Vec<Vec<i64>> = Vec::new();
+
+        for st in &self.stages {
+            let img = match st.input {
+                Some(k) => in_rast[k].clone(),
+                None => {
+                    let mut out = vec![0i64; h * ws];
+                    self.eval_stage(st, &images, &mut out, &mut regs, &mut scratch);
+                    out
+                }
+            };
+            if TRACED {
+                if st.has_module {
+                    // Adjacent-pair form of the toggle chain (vectorizes).
+                    let mut tg = 0u64;
+                    let mut prev = 0i64;
+                    for y in 0..h {
+                        let row = &img[y * ws..y * ws + w];
+                        tg += toggles(prev, row[0], pixel);
+                        tg += row
+                            .windows(2)
+                            .map(|p| toggles(p[0], p[1], pixel))
+                            .sum::<u64>();
+                        prev = row[w - 1];
+                    }
+                    tr.out_toggles[st.stage] = tg;
+                }
+                for (lei, ep) in self.edges[st.edges.clone()].iter().enumerate() {
+                    tr.sra_toggles[st.edges.start + lei] =
+                        self.edge_bit_toggles(st.start, ep, &images);
+                }
+            }
+            images[st.stage] = img;
+        }
+
+        if TRACED {
+            self.block_sweep(tr);
+        }
+        let output_images = self
+            .outputs
+            .iter()
+            .map(|&stage| {
+                let img = &images[stage];
+                let mut dense = vec![0i64; self.frame as usize];
+                for y in 0..h {
+                    dense[y * w..(y + 1) * w].copy_from_slice(&img[y * ws..y * ws + w]);
+                }
+                (
+                    stage,
+                    Image::from_raster(self.width_px, self.height_px, dense),
+                )
+            })
+            .collect();
+
+        InterpReport {
+            cycles: self.end,
+            latency: self.done_cycle,
+            output_images,
+            sram_reads: self.sram_reads,
+            sram_writes: self.sram_writes,
+            gated_off_cycles: self.gated_off_cycles,
+        }
+    }
+
+    /// Streams one compute stage's whole frame into `out`.
+    fn eval_stage(
+        &self,
+        st: &StageProg,
+        images: &[Vec<i64>],
+        out: &mut [i64],
+        regs: &mut [i64],
+        scratch: &mut Vec<Vec<i64>>,
+    ) {
+        let (w, h) = (self.w as usize, self.h as usize);
+        let ws = self.wstride();
+        let sh = 64 - self.acc.min(64);
+        let pixel = self.pixel;
+        if scratch.len() < st.n_vrows {
+            scratch.resize(st.n_vrows, Vec::new());
+        }
+
+        for y in 0..h {
+            // Resolve the virtual SRA rows: producer image rows with the
+            // bottom clamp, gate-zeroed per load column. Scratch copies
+            // are only made on partially-gated rows (adversarial plans).
+            for ep in &self.edges[st.edges.clone()] {
+                let (en_lo, en_hi) = self.gate_cols(ep.gate, st.start, y);
+                if en_lo == 0 && en_hi == w {
+                    continue;
+                }
+                let prod = &images[ep.prod_stage];
+                for j in 0..ep.height {
+                    let r = (y + ep.lag as usize + j).min(h - 1);
+                    let s = &mut scratch[ep.vrow_base + j];
+                    s.clear();
+                    s.resize(ws, 0);
+                    if en_hi > en_lo {
+                        s[en_lo..en_hi].copy_from_slice(&prod[r * ws + en_lo..r * ws + en_hi]);
+                    }
+                }
+            }
+            let mut vrows: Vec<&[i64]> = Vec::with_capacity(st.n_vrows);
+            for ep in &self.edges[st.edges.clone()] {
+                let (en_lo, en_hi) = self.gate_cols(ep.gate, st.start, y);
+                let prod = &images[ep.prod_stage];
+                for j in 0..ep.height {
+                    if en_lo == 0 && en_hi == w {
+                        let r = (y + ep.lag as usize + j).min(h - 1);
+                        vrows.push(&prod[r * ws..(r + 1) * ws]);
+                    } else {
+                        vrows.push(&scratch[ep.vrow_base + j][..ws]);
+                    }
+                }
+            }
+
+            let orow = &mut out[y * ws..(y + 1) * ws];
+            // The whole row runs through the vectorized tile path; the
+            // tile loader handles the left-edge column clamp itself and
+            // the padding lanes compute don't-care values.
+            for x0 in (0..ws).step_by(TILE) {
+                eval_tile(&st.tape, regs, &vrows, sh, x0);
+                let root = &regs[st.tape.root as usize * TILE..][..TILE];
+                for (o, &v) in orow[x0..x0 + TILE].iter_mut().zip(root) {
+                    *o = trunc(v, pixel);
+                }
+            }
+        }
+    }
+
+    /// Total shift-register bit toggles of one edge, recovered from the
+    /// load stream. The SRA is a delay line: every toggle between two
+    /// consecutively loaded values re-appears once per column as it
+    /// shifts through, so the legacy per-cycle sum telescopes to
+    /// `Σ_u T(u) · min(width, frame - u)` over the load stream `T` (the
+    /// tail loads retire before completing the full traversal).
+    fn edge_bit_toggles(&self, start: u64, ep: &EdgeProg, images: &[Vec<i64>]) -> u64 {
+        let (w, h) = (self.w as usize, self.h as usize);
+        let ws = self.wstride();
+        let frame = self.frame;
+        let width = ep.width as u64;
+        let prod = &images[ep.prod_stage];
+        let mask = if self.pixel >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.pixel) - 1
+        };
+        let tail_start = frame.saturating_sub(width - 1);
+        let mut total = 0u64;
+        for j in 0..ep.height {
+            let mut prev = 0i64;
+            let mut full_sum = 0u64;
+            for y in 0..h {
+                let r = (y + ep.lag as usize + j).min(h - 1);
+                let row = &prod[r * ws..r * ws + w];
+                let (en_lo, en_hi) = self.gate_cols(ep.gate, start, y);
+                let row_t = (y * w) as u64;
+                let xsplit = (tail_start.saturating_sub(row_t) as usize).min(w);
+                if en_lo == 0 && en_hi == w && xsplit == w {
+                    // Fully enabled, fully ahead of the retirement tail
+                    // (the common case: every row but the frame's last
+                    // few cycles, ungated or inside the gate window).
+                    // The chain against `prev` reduces to adjacent
+                    // pairs, which vectorizes.
+                    full_sum += (((prev ^ row[0]) as u64) & mask).count_ones() as u64;
+                    full_sum += row
+                        .windows(2)
+                        .map(|p| (((p[0] ^ p[1]) as u64) & mask).count_ones() as u64)
+                        .sum::<u64>();
+                    prev = row[w - 1];
+                } else {
+                    for (x, &cell) in row.iter().enumerate() {
+                        let v = if x >= en_lo && x < en_hi { cell } else { 0 };
+                        let tg = (((prev ^ v) as u64) & mask).count_ones() as u64;
+                        prev = v;
+                        if x < xsplit {
+                            full_sum += tg;
+                        } else {
+                            total += tg * (frame - (row_t + x as u64));
+                        }
+                    }
+                }
+            }
+            total += full_sum * width;
+        }
+        total
+    }
+
+    /// Per-block SRAM read/write/peak accounting, reproduced without a
+    /// cycle loop: for each buffer, sweep spans of cycles over which
+    /// every participant (the writer and each consumer edge) keeps its
+    /// raster row, bank segment and gate state — per-cycle counts are
+    /// constant across such a span. Reads merge on identical
+    /// `(block, row, column)` within a cycle, which across edges can
+    /// only collide when two consumers run phase-aligned (start cycles
+    /// congruent mod `w`); the sweep merges their window rows first.
+    fn block_sweep(&self, tr: &mut TraceAcc) {
+        let w = self.w as u64;
+        let h = self.h as u64;
+        let frame = self.frame;
+
+        // Consumer edges per buffer: (consumer start, lag, height, gate).
+        type ReaderEdge = (u64, u32, u64, Option<(u64, u64)>);
+        let mut readers: Vec<Vec<ReaderEdge>> = vec![Vec::new(); self.buffers.len()];
+        for st in &self.stages {
+            for ep in &self.edges[st.edges.clone()] {
+                readers[ep.buf].push((st.start, ep.lag, ep.height as u64, ep.gate));
+            }
+        }
+
+        for (bi, meta) in self.buffers.iter().enumerate() {
+            let nb = &meta.nb;
+            if nb.phys_blocks == 0 || nb.fifo {
+                continue;
+            }
+            let ws = self.start_of[nb.stage];
+            let rd = &readers[bi];
+            let t0 = rd.iter().map(|r| r.0).min().unwrap_or(ws).min(ws);
+            let tend = rd
+                .iter()
+                .map(|r| r.0 + frame)
+                .max()
+                .unwrap_or(ws + frame)
+                .max(ws + frame);
+
+            let mut rcnt = vec![0u32; nb.phys_blocks];
+            let mut wcnt = vec![0u32; nb.phys_blocks];
+            let mut touched: Vec<usize> = Vec::new();
+            // Merged unique window rows per phase class: (column phase,
+            // rows).
+            let mut classes: Vec<(u64, Vec<u64>)> = Vec::new();
+
+            // Position of a participant active since `start` at cycle
+            // `t`, shrinking the span end `se` to the next boundary at
+            // which its row / segment / liveness changes.
+            let span_for = |start: u64, t: u64, se: &mut u64| -> Option<(u64, u64)> {
+                if t < start {
+                    *se = (*se).min(start);
+                    return None;
+                }
+                if t >= start + frame {
+                    return None;
+                }
+                let k = t - start;
+                let (y, x) = (k / w, k % w);
+                *se = (*se).min(t + (w - x)).min(start + frame);
+                if nb.blocks_per_row > 1 {
+                    let cut = meta.seg_cuts.iter().find(|&&c| c > x).copied().unwrap_or(w) - x;
+                    *se = (*se).min(t + cut);
+                }
+                Some((y, x))
+            };
+
+            let mut t = t0;
+            while t < tend {
+                let mut se = tend;
+                let writer_at = span_for(ws, t, &mut se);
+                let mut live: Vec<(u64, u64, u32, u64)> = Vec::new();
+                for &(rs, lag, height, gate) in rd {
+                    let pos = span_for(rs, t, &mut se);
+                    let mut enabled = true;
+                    if let Some((gs, ge)) = gate {
+                        if t < gs {
+                            se = se.min(gs);
+                            enabled = false;
+                        } else if t < ge {
+                            se = se.min(ge);
+                        } else {
+                            enabled = false;
+                        }
+                    }
+                    if let Some((y, x)) = pos {
+                        if enabled {
+                            live.push((x, y, lag, height));
+                        }
+                    }
+                }
+                let len = se - t;
+
+                // Per-cycle counts for this span: merged unique rows per
+                // phase class, then the write.
+                classes.clear();
+                for &(x, y, lag, height) in &live {
+                    let ci = match classes.iter().position(|(cx, _)| *cx == x) {
+                        Some(i) => i,
+                        None => {
+                            classes.push((x, Vec::new()));
+                            classes.len() - 1
+                        }
+                    };
+                    let class = &mut classes[ci].1;
+                    for j in 0..height {
+                        let r = (y + lag as u64 + j).min(h - 1);
+                        if !class.contains(&r) {
+                            class.push(r);
+                        }
+                    }
+                }
+                for (x, rows) in &classes {
+                    for &r in rows {
+                        if let Some(b) = nb.block_of(r, *x as u32, self.geom_pixel_bits) {
+                            if rcnt[b] == 0 && wcnt[b] == 0 {
+                                touched.push(b);
+                            }
+                            rcnt[b] += 1;
+                        }
+                    }
+                }
+                if let Some((y, x)) = writer_at {
+                    if let Some(b) = nb.block_of(y, x as u32, self.geom_pixel_bits) {
+                        if rcnt[b] == 0 && wcnt[b] == 0 {
+                            touched.push(b);
+                        }
+                        wcnt[b] += 1;
+                    }
+                }
+                for &b in &touched {
+                    tr.block_reads[bi][b] += rcnt[b] as u64 * len;
+                    tr.block_writes[bi][b] += wcnt[b] as u64 * len;
+                    let peak = rcnt[b] + wcnt[b];
+                    if peak > tr.block_peaks[bi][b] {
+                        tr.block_peaks[bi][b] = peak;
+                    }
+                    rcnt[b] = 0;
+                    wcnt[b] = 0;
+                }
+                touched.clear();
+                t = se;
+            }
+        }
+    }
+
+    /// Builds the final [`ActivityTrace`] from the pass results plus the
+    /// compile-time closed forms.
+    fn assemble_trace(&self, tr: TraceAcc) -> ActivityTrace {
+        let mut trace = ActivityTrace {
+            run_cycles: self.end,
+            frame: self.frame,
+            buffers: Vec::with_capacity(self.buffers.len()),
+            stages: vec![Default::default(); self.n_net_stages],
+            sras: vec![Default::default(); self.n_net_edges],
+        };
+        for (bi, meta) in self.buffers.iter().enumerate() {
+            let nb = &meta.nb;
+            let mut b = crate::activity::BufferActivity {
+                stage: nb.stage,
+                block_reads: tr.block_reads[bi].clone(),
+                block_writes: tr.block_writes[bi].clone(),
+                block_peaks: tr.block_peaks[bi].clone(),
+                read_enabled_cycles: meta.read_enabled_cycles,
+                idle_read_cycles: meta.idle_read_cycles,
+                gated_off_cycles: meta.gated_off_cycles,
+                fifo: nb.fifo,
+            };
+            if nb.fifo {
+                // FIFO chains: one push and one pop per segment per live
+                // cycle — the cycle simulator's synthetic SODA accounting.
+                for r in b.block_reads.iter_mut() {
+                    *r = self.frame;
+                }
+                for wr in b.block_writes.iter_mut() {
+                    *wr = self.frame;
+                }
+                for p in b.block_peaks.iter_mut() {
+                    *p = 2;
+                }
+            }
+            trace.buffers.push(b);
+        }
+        for st in &self.stages {
+            let sa = &mut trace.stages[st.stage];
+            sa.active_cycles = self.frame;
+            if st.has_module {
+                sa.out_reg_writes = self.frame;
+                sa.out_reg_toggles = tr.out_toggles[st.stage];
+            }
+            for (lei, ep) in self.edges[st.edges.clone()].iter().enumerate() {
+                let ea = &mut trace.sras[ep.edge];
+                ea.shift_cycles = self.frame;
+                ea.cell_writes = (ep.height * ep.width) as u64 * self.frame;
+                ea.bit_toggles = tr.sra_toggles[st.edges.start + lei];
+            }
+        }
+        trace
+    }
+}
+
+/// Toggled bits between two register values at `bits` width.
+#[inline]
+fn toggles(old: i64, new: i64, bits: u32) -> u64 {
+    let mask = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    (((old ^ new) as u64) & mask).count_ones() as u64
+}
+
+/// Per-run activity accumulators for the traced instantiation. The
+/// untraced loop carries an empty one that is never touched.
+struct TraceAcc {
+    /// Bit toggles per edge program (sorted-stage edge order).
+    sra_toggles: Vec<u64>,
+    /// Output-register toggles per netlist stage.
+    out_toggles: Vec<u64>,
+    block_reads: Vec<Vec<u64>>,
+    block_writes: Vec<Vec<u64>>,
+    block_peaks: Vec<Vec<u32>>,
+}
+
+impl TraceAcc {
+    fn empty() -> TraceAcc {
+        TraceAcc {
+            sra_toggles: Vec::new(),
+            out_toggles: Vec::new(),
+            block_reads: Vec::new(),
+            block_writes: Vec::new(),
+            block_peaks: Vec::new(),
+        }
+    }
+
+    fn for_program(p: &EvalProgram) -> TraceAcc {
+        TraceAcc {
+            sra_toggles: vec![0; p.edges.len()],
+            out_toggles: vec![0; p.n_net_stages],
+            block_reads: p
+                .buffers
+                .iter()
+                .map(|b| vec![0u64; b.nb.phys_blocks])
+                .collect(),
+            block_writes: p
+                .buffers
+                .iter()
+                .map(|b| vec![0u64; b.nb.phys_blocks])
+                .collect(),
+            block_peaks: p
+                .buffers
+                .iter()
+                .map(|b| vec![0u32; b.nb.phys_blocks])
+                .collect(),
+        }
+    }
+}
