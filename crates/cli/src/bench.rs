@@ -12,6 +12,13 @@
 //! different environments (geometry, smoke mode, architecture) are
 //! compared with a warning: the numbers are printed but regressions in
 //! incomparable runs do not fail the command.
+//!
+//! With **three or more** snapshots the command switches to a history
+//! view: one column per snapshot, one row per bench, plus the total
+//! drift from the first to the last snapshot. A slow leak — +4% per PR,
+//! under any pairwise threshold — is invisible to two-file diffs but
+//! obvious across the trajectory. The history view is informational and
+//! never gates (gating stays pairwise, against the committed baseline).
 
 use crate::json::{self, Json};
 use crate::{CliError, Options};
@@ -85,19 +92,21 @@ fn load_snapshot(path: &str) -> Result<Snapshot, String> {
     })
 }
 
-/// `imagen bench diff <old.json> <new.json> [--threshold PCT]`.
+/// `imagen bench diff <old.json> <new.json> [more.json ..] [--threshold PCT]`.
 pub fn run_bench(opts: &Options) -> Result<(), CliError> {
     let sub = opts.file.as_deref().unwrap_or("");
     if sub != "diff" {
         return Err(CliError::Usage(
-            "usage: imagen bench diff <old.json> <new.json> [--threshold PCT]".into(),
+            "usage: imagen bench diff <old.json> <new.json> [more.json ..] [--threshold PCT]"
+                .into(),
         ));
     }
     let [old_path, new_path] = match opts.extra.as_slice() {
         [a, b] => [a.as_str(), b.as_str()],
+        many if many.len() >= 3 => return run_history(many, opts.threshold),
         _ => {
             return Err(CliError::Usage(
-                "bench diff needs exactly two snapshot files".into(),
+                "bench diff needs at least two snapshot files".into(),
             ))
         }
     };
@@ -177,4 +186,101 @@ pub fn run_bench(opts: &Options) -> Result<(), CliError> {
         );
         Ok(())
     }
+}
+
+/// The ≥3-snapshot history view: per-bench medians across the whole
+/// trajectory and the cumulative first→last drift. Informational only.
+fn run_history(paths: &[String], threshold: f64) -> Result<(), CliError> {
+    let snaps: Vec<(String, Snapshot)> = paths
+        .iter()
+        .map(|p| {
+            load_snapshot(p)
+                .map(|s| (p.clone(), s))
+                .map_err(CliError::Usage)
+        })
+        .collect::<Result<_, _>>()?;
+
+    println!("# bench history — {} snapshots\n", snaps.len());
+    for (i, (path, s)) in snaps.iter().enumerate() {
+        println!("  [{i}] {path} ({})", s.env_line);
+    }
+    let comparable = snaps
+        .iter()
+        .all(|(_, s)| s.comparable_key == snaps[0].1.comparable_key);
+    if !comparable {
+        println!("warning: snapshots come from different environments; drift numbers are indicative only");
+    }
+    println!();
+
+    // Bench names in first-appearance order across the whole history,
+    // so benches added mid-trajectory land after the long-lived ones.
+    let mut names: Vec<&str> = Vec::new();
+    for (_, s) in &snaps {
+        for (k, _) in &s.benches {
+            if !names.contains(&k.as_str()) {
+                names.push(k);
+            }
+        }
+    }
+
+    let name_w = names
+        .iter()
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(8)
+        .max("bench".len());
+    let mut header = format!("  {:<name_w$}", "bench");
+    for i in 0..snaps.len() {
+        header.push_str(&format!("  {:>9}", format!("[{i}] ms")));
+    }
+    header.push_str(&format!("  {:>8}", "drift"));
+    println!("{header}");
+
+    let mut drifters = 0usize;
+    for name in &names {
+        let series: Vec<Option<f64>> = snaps
+            .iter()
+            .map(|(_, s)| s.benches.iter().find(|(k, _)| k == name).map(|(_, v)| *v))
+            .collect();
+        let mut row = format!("  {name:<name_w$}");
+        for v in &series {
+            match v {
+                Some(ms) => row.push_str(&format!("  {ms:>9.4}")),
+                None => row.push_str(&format!("  {:>9}", "-")),
+            }
+        }
+        // Drift: first recorded value to last recorded value, so a
+        // bench absent from the newest snapshot still shows its life.
+        let present: Vec<f64> = series.iter().flatten().copied().collect();
+        let drift_pct = match (present.first(), present.last()) {
+            (Some(&a), Some(&b)) if a > 0.0 && present.len() >= 2 => Some(100.0 * (b - a) / a),
+            _ => None,
+        };
+        match drift_pct {
+            Some(d) => {
+                let flag = if d > threshold {
+                    drifters += 1;
+                    "  !! drift"
+                } else {
+                    ""
+                };
+                row.push_str(&format!("  {d:>+7.1}%{flag}"));
+            }
+            None => row.push_str(&format!("  {:>8}", "-")),
+        }
+        println!("{row}");
+    }
+
+    println!();
+    if drifters == 0 {
+        println!(
+            "no cumulative drift beyond {threshold}% across {} bench(es)",
+            names.len()
+        );
+    } else {
+        println!(
+            "{drifters} bench(es) drifted beyond {threshold}% over the trajectory (informational; pairwise gating unchanged)"
+        );
+    }
+    Ok(())
 }

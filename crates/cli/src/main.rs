@@ -49,8 +49,11 @@ COMMANDS:
     serve                   answer JSONL compile/dse requests in batch over
                             stdin/stdout (or TCP with --tcp), fanned over a
                             worker pool sharing one compile cache
-    bench diff <old> <new>  compare two exp_bench_snapshot JSON files and
-                            flag benches that regressed beyond --threshold
+    stats <snapshot.json>   render an imagen-metrics/1 snapshot (a serve
+                            \"cmd\":\"stats\" response also works) as text
+    bench diff <a> <b> [..] compare exp_bench_snapshot JSON files: two files
+                            gate regressions beyond --threshold; three or
+                            more print drift across the whole trajectory
     help                    print this text
 
 COMMON OPTIONS:
@@ -67,6 +70,12 @@ COMPILE OPTIONS:
     --emit           print the generated Verilog to stdout
     -o FILE          write the generated Verilog to FILE
     --timing         print compile-phase timings (non-deterministic output)
+
+PROFILE OPTIONS (compile, dse):
+    --profile        print a per-phase breakdown (span timings, simplex
+                     pivots, cache traffic) after the normal output
+    --trace-out FILE write the profile as Chrome trace_event JSON (load in
+                     chrome://tracing or Perfetto); implies --profile
 
 LINT / CERTIFY OPTIONS:
     --deny warnings  exit nonzero on warnings, not just errors
@@ -91,6 +100,8 @@ SIM / ENERGY OPTIONS:
 SERVE OPTIONS:
     --threads N      worker threads (0 = all cores)   [default: 0]
     --tcp ADDR       listen on ADDR (e.g. 127.0.0.1:7878) instead of stdin
+    --stats-every N  print a one-line stats summary to stderr every N
+                     completed requests (0 = never)   [default: 0]
 
 BENCH OPTIONS:
     --threshold PCT  slowdown (%) that counts as a regression [default: 10]
@@ -157,10 +168,17 @@ pub struct Options {
     pub prove: bool,
     pub certify: bool,
     /// Trailing positionals beyond `file` — only the `bench` command
-    /// accepts any (the two snapshot paths of `bench diff`).
+    /// accepts any (the snapshot paths of `bench diff`).
     pub extra: Vec<String>,
     /// `bench diff` regression threshold in percent.
     pub threshold: f64,
+    /// `--profile`: print a phase breakdown after compile/dse output.
+    pub profile: bool,
+    /// `--trace-out FILE`: write the profiled spans as Chrome
+    /// trace_event JSON (implies `--profile`).
+    pub trace_out: Option<String>,
+    /// `serve --stats-every N`: stderr stats line cadence (0 = never).
+    pub stats_every: u64,
 }
 
 impl Default for Options {
@@ -195,6 +213,9 @@ impl Default for Options {
             certify: false,
             extra: Vec::new(),
             threshold: 10.0,
+            profile: false,
+            trace_out: None,
+            stats_every: 0,
         }
     }
 }
@@ -311,6 +332,12 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             }
             "--prove" => opts.prove = true,
             "--certify" => opts.certify = true,
+            "--profile" => opts.profile = true,
+            "--trace-out" => {
+                opts.trace_out = Some(value(arg, &mut it)?.clone());
+                opts.profile = true;
+            }
+            "--stats-every" => opts.stats_every = num(arg, value(arg, &mut it)?)?,
             "--input-range" => {
                 let raw = value(arg, &mut it)?;
                 let (lo, hi) = raw
@@ -328,10 +355,11 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             _ => positional.push(arg.clone()),
         }
     }
-    // `bench` is the one command with trailing positionals (the two
-    // snapshot paths of `bench diff`); everything else takes at most a
-    // single source file.
-    let max_positional = if cmd == "bench" { 3 } else { 1 };
+    // `bench` is the one command with trailing positionals (the
+    // snapshot paths of `bench diff` — two for a pairwise gate, more
+    // for the history view); everything else takes at most a single
+    // source file.
+    let max_positional = if cmd == "bench" { usize::MAX } else { 1 };
     if positional.len() > max_positional {
         return Err(format!(
             "unexpected argument `{}`",
@@ -366,7 +394,7 @@ fn load_source(opts: &Options) -> Result<(String, String), String> {
 
 /// Loads and front-end-compiles the pipeline named by `opts`, rendering
 /// DSL errors with their source span.
-fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
+pub fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
     let (name, src) = load_source(opts)?;
     let path = opts.file.as_deref().unwrap_or("pipeline");
     let dag =
@@ -375,6 +403,11 @@ fn load_pipeline(opts: &Options) -> Result<(String, imagen_ir::Dag), String> {
 }
 
 fn dispatch(cmd: &str, opts: &Options) -> Result<(), CliError> {
+    // `--profile` wraps the whole compile/dse invocation (front end
+    // included) in a span collector and appends the phase breakdown.
+    if opts.profile && matches!(cmd, "compile" | "dse") {
+        return report::run_profiled(cmd, opts);
+    }
     match cmd {
         "help" => {
             print!("{USAGE}");
@@ -405,6 +438,7 @@ fn dispatch(cmd: &str, opts: &Options) -> Result<(), CliError> {
             Ok(report::run_energy(&dag, opts)?)
         }
         "serve" => Ok(serve::run(opts)?),
+        "stats" => report::run_stats(opts),
         "bench" => bench::run_bench(opts),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{USAGE}"

@@ -6,13 +6,16 @@
 //! the CLI integration tests pin `compile` and `dse` text against golden
 //! files.
 
+use crate::json::{self, Json};
 use crate::{CliError, Options};
 use imagen_analysis::certify_dag_styled;
 use imagen_core::Compiler;
 use imagen_dse::{explore, ExploreOptions, ExploreStrategy, MeasureMode};
 use imagen_ir::{Dag, StageId};
+use imagen_obs::Collector;
 use imagen_rtl::{build_netlist, interpret, report_resources, BitWidths};
 use imagen_sim::{execute, Image};
+use std::sync::Arc;
 
 /// Renders a DSL error with its source span:
 ///
@@ -149,6 +152,151 @@ pub fn run_compile(dag: &Dag, opts: &Options) -> Result<(), String> {
         std::fs::write(path, &out.verilog).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {verilog_lines} lines of Verilog to {path}");
     }
+    Ok(())
+}
+
+/// `imagen compile --profile` / `imagen dse --profile`: the same
+/// subcommand wrapped in a span collector covering the *whole*
+/// invocation (front end included), with a phase-breakdown trailer and
+/// an optional Chrome trace file. The trailer is non-deterministic by
+/// nature (wall-clock durations), like `--timing`.
+pub fn run_profiled(cmd: &str, opts: &Options) -> Result<(), CliError> {
+    let collector = Arc::new(Collector::new());
+    let pivots_before = imagen_ilp::stats::pivot_count();
+    let result = imagen_obs::with_collector(&collector, || -> Result<(), CliError> {
+        let (_, dag) = crate::load_pipeline(opts)?;
+        crate::validate_geometry(&opts.geometry())?;
+        match cmd {
+            "compile" => Ok(run_compile(&dag, opts)?),
+            _ => run_dse(&dag, opts),
+        }
+    });
+    let pivots = imagen_ilp::stats::pivot_count() - pivots_before;
+
+    let totals = collector.phase_totals();
+    println!("\n## Profile (non-deterministic)\n");
+    if totals.is_empty() {
+        println!("  no spans recorded");
+    } else {
+        let name_w = totals
+            .iter()
+            .map(|t| t.name.len())
+            .max()
+            .unwrap_or(5)
+            .max("phase".len());
+        println!("  {:<name_w$}  {:>6}  {:>12}", "phase", "calls", "total ms");
+        for t in &totals {
+            println!(
+                "  {:<name_w$}  {:>6}  {:>12.3}",
+                t.name,
+                t.count,
+                t.total_ns as f64 / 1e6
+            );
+        }
+    }
+    println!("  simplex pivots : {pivots}");
+    if let Some(path) = &opts.trace_out {
+        let trace = collector.chrome_trace_json(&format!("imagen {cmd}"));
+        std::fs::write(path, trace)
+            .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
+    result
+}
+
+/// `imagen stats <snapshot.json>`: render an `imagen-metrics/1` snapshot
+/// (as exported by the serve `"cmd":"stats"` response, whose `metrics`
+/// member is accepted directly) as text tables.
+pub fn run_stats(opts: &Options) -> Result<(), CliError> {
+    let path = opts
+        .file
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("missing <snapshot.json> argument".into()))?;
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let v = json::parse(&src).map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+    // Accept either a bare metrics snapshot or a serve stats response
+    // that embeds one under `metrics`.
+    let snap = match v.get("metrics") {
+        Some(m) => m.clone(),
+        None => v,
+    };
+    let schema = snap.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != imagen_obs::SNAPSHOT_SCHEMA {
+        return Err(CliError::Usage(format!(
+            "{path}: not an {} snapshot (schema: `{schema}`)",
+            imagen_obs::SNAPSHOT_SCHEMA
+        )));
+    }
+
+    let members = |key: &str| -> Vec<(String, Json)> {
+        match snap.get(key) {
+            Some(Json::Obj(m)) => m.clone(),
+            _ => Vec::new(),
+        }
+    };
+    let mut text = format!("# imagen stats — {path}\n");
+    let counters = members("counters");
+    let gauges = members("gauges");
+    if !counters.is_empty() || !gauges.is_empty() {
+        let name_w = counters
+            .iter()
+            .chain(&gauges)
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(4)
+            .max("name".len());
+        text.push_str("\n## Counters and gauges\n\n");
+        for (k, v) in counters.iter().chain(&gauges) {
+            text.push_str(&format!("  {k:<name_w$}  {}\n", v.to_line()));
+        }
+    }
+    let hists = members("histograms");
+    if !hists.is_empty() {
+        let name_w = hists
+            .iter()
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(4)
+            .max("histogram".len());
+        text.push_str(&format!(
+            "\n## Histograms\n\n  {:<name_w$}  {:>8}  {:>10}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+            "histogram", "count", "mean", "min", "p50", "p90", "p99", "max"
+        ));
+        for (k, h) in &hists {
+            let f = |key: &str| h.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let (count, sum) = (f("count"), f("sum"));
+            let mean = if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            };
+            text.push_str(&format!(
+                "  {k:<name_w$}  {count:>8}  {mean:>10.1}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                f("min"),
+                f("p50"),
+                f("p90"),
+                f("p99"),
+                f("max")
+            ));
+        }
+    }
+    // Derived: cache hit rate, when the snapshot carries cache traffic.
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64())
+            .unwrap_or(0)
+    };
+    let (hits, misses) = (counter("cache.hits"), counter("cache.misses"));
+    if hits + misses > 0 {
+        text.push_str(&format!(
+            "\ncache hit rate: {:.1}% ({hits} hit(s), {misses} miss(es))\n",
+            100.0 * hits as f64 / (hits + misses) as f64
+        ));
+    }
+    print!("{text}");
     Ok(())
 }
 
@@ -294,6 +442,21 @@ pub fn run_dse(dag: &Dag, opts: &Options) -> Result<(), CliError> {
                 .map(|i| i.to_string())
                 .collect::<Vec<_>>()
                 .join(", ")
+        ));
+    }
+
+    // --profile: the sweep's work counters (the span breakdown itself is
+    // printed by `run_profiled` after this returns).
+    if opts.profile {
+        let s = res.stats;
+        let hit_rate = if s.points_priced == 0 {
+            0.0
+        } else {
+            100.0 * s.cache_hits as f64 / s.points_priced as f64
+        };
+        text.push_str(&format!(
+            "\n## Sweep work\n\n  points priced  : {}\n  cache hits     : {} ({hit_rate:.1}%)\n  cache misses   : {}\n  simplex pivots : {}\n",
+            s.points_priced, s.cache_hits, s.cache_misses, s.simplex_pivots
         ));
     }
 

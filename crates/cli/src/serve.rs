@@ -51,6 +51,7 @@ use imagen_core::{CompileCache, Session};
 use imagen_dse::{explore, ExploreOptions, ExploreStrategy};
 use imagen_ir::StageId;
 use imagen_mem::{ImageGeometry, MemBackend, MemorySpec};
+use imagen_obs::{Collector, Counter, Gauge, Histogram, Metrics};
 use std::collections::HashMap;
 use std::io::{BufRead, Read, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -76,6 +77,57 @@ const MAX_LIVE_SESSIONS: usize = 64;
 /// geometry) seen — both bounded by [`MAX_LIVE_SESSIONS`].
 pub struct Hub {
     state: Mutex<HubState>,
+    /// The server's metrics registry. Registered cells live in
+    /// [`HubStats`] handles so the request hot path never takes the
+    /// registry mutex; the registry itself only serves `"cmd":"stats"`
+    /// snapshots and the periodic stderr line.
+    metrics: Metrics,
+    stats: HubStats,
+    /// `--stats-every N`: print a stats line to stderr every N
+    /// completed requests (0 = never).
+    stats_every: u64,
+}
+
+/// Pre-registered metric handles — one atomic op each on the hot path.
+struct HubStats {
+    req_total: Counter,
+    req_compile: Counter,
+    req_dse: Counter,
+    req_ping: Counter,
+    req_stats: Counter,
+    req_other: Counter,
+    errors: Counter,
+    admission_rejected: Counter,
+    inflight: Gauge,
+    queue_wait_us: Histogram,
+    handle_us: Histogram,
+    /// Mirrored from the current-generation [`CompileCache`] (see
+    /// [`CompileCache::with_observers`]): cumulative across generation
+    /// rollovers, readable without the hub state lock.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    rollovers: Counter,
+}
+
+impl HubStats {
+    fn register(metrics: &Metrics) -> HubStats {
+        HubStats {
+            req_total: metrics.counter("requests.total"),
+            req_compile: metrics.counter("requests.compile"),
+            req_dse: metrics.counter("requests.dse"),
+            req_ping: metrics.counter("requests.ping"),
+            req_stats: metrics.counter("requests.stats"),
+            req_other: metrics.counter("requests.other"),
+            errors: metrics.counter("errors"),
+            admission_rejected: metrics.counter("admission.rejected"),
+            inflight: metrics.gauge("inflight"),
+            queue_wait_us: metrics.histogram("queue_wait_us"),
+            handle_us: metrics.histogram("handle_us"),
+            cache_hits: metrics.counter("cache.hits"),
+            cache_misses: metrics.counter("cache.misses"),
+            rollovers: metrics.counter("generation.rollovers"),
+        }
+    }
 }
 
 struct HubState {
@@ -94,19 +146,73 @@ struct HubState {
 
 impl Hub {
     pub fn new() -> Hub {
+        let metrics = Metrics::new();
+        let stats = HubStats::register(&metrics);
         Hub {
             state: Mutex::new(HubState {
-                cache: Arc::new(CompileCache::new()),
+                cache: Arc::new(CompileCache::with_observers(
+                    stats.cache_hits.clone(),
+                    stats.cache_misses.clone(),
+                )),
                 sessions: HashMap::new(),
                 certs: HashMap::new(),
                 generation: 0,
             }),
+            metrics,
+            stats,
+            stats_every: 0,
         }
     }
 
-    /// `(hits, misses)` of the current-generation cache.
+    /// Sets the `--stats-every` cadence (0 = never).
+    pub fn with_stats_every(mut self, every: u64) -> Hub {
+        self.stats_every = every;
+        self
+    }
+
+    /// `(hits, misses)` of the compile cache, cumulative across
+    /// generation rollovers. Reads registry counters the cache mirrors
+    /// into — no hub state lock, so a stats probe never contends with
+    /// the compile hot path.
     pub fn cache_stats(&self) -> (usize, usize) {
-        self.state.lock().expect("hub state").cache.stats()
+        (
+            self.stats.cache_hits.get() as usize,
+            self.stats.cache_misses.get() as usize,
+        )
+    }
+
+    /// One-line operational summary for the periodic `--stats-every`
+    /// stderr heartbeat.
+    fn stats_line(&self) -> String {
+        let s = &self.stats;
+        let (hits, misses) = self.cache_stats();
+        let hit_rate = if hits + misses == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}%", 100.0 * hits as f64 / (hits + misses) as f64)
+        };
+        let h = s.handle_us.snapshot();
+        let q = s.queue_wait_us.snapshot();
+        format!(
+            "stats: req={} (compile={} dse={} ping={} stats={} other={}) \
+             errors={} rejected={} inflight={} \
+             queue_us[p50/p99]={}/{} handle_us[p50/p99]={}/{} \
+             cache={hits}/{misses} ({hit_rate}) rollovers={}",
+            s.req_total.get(),
+            s.req_compile.get(),
+            s.req_dse.get(),
+            s.req_ping.get(),
+            s.req_stats.get(),
+            s.req_other.get(),
+            s.errors.get(),
+            s.admission_rejected.get(),
+            s.inflight.get(),
+            q.p50,
+            q.p99,
+            h.p50,
+            h.p99,
+            s.rollovers.get(),
+        )
     }
 
     /// The memoized certificate for `key`, if this generation proved
@@ -153,8 +259,14 @@ impl Hub {
         if state.sessions.len() >= MAX_LIVE_SESSIONS {
             state.sessions.clear();
             state.certs.clear();
-            state.cache = Arc::new(CompileCache::new());
+            // The new generation's cache mirrors into the same registry
+            // counters, so cache_stats() stays cumulative.
+            state.cache = Arc::new(CompileCache::with_observers(
+                self.stats.cache_hits.clone(),
+                self.stats.cache_misses.clone(),
+            ));
             state.generation += 1;
+            self.stats.rollovers.add(1);
         }
         if state.generation != generation {
             // The generation rolled over while `built` was under
@@ -327,7 +439,10 @@ fn compile_response(id: Json, r: &Request, hub: &Hub) -> Json {
     }
     let (lint_warnings, lint_notes) = match lint_admission(&id, r, &spec) {
         Ok(counts) => counts,
-        Err(resp) => return resp,
+        Err(resp) => {
+            hub.stats.admission_rejected.add(1);
+            return resp;
+        }
     };
     let dag = match imagen_dsl::compile(&r.name, &r.source) {
         Ok(dag) => dag,
@@ -495,9 +610,109 @@ fn dse_response(id: Json, r: &Request, hub: &Hub) -> Json {
         .build()
 }
 
-/// Answers one request line.
-pub fn handle(line: &str, hub: &Hub) -> Json {
+/// The `"cmd":"stats"` response: the operational numbers a daemon
+/// operator wants first (request mix, errors, latency percentiles,
+/// cache hit rate), plus the full `imagen-metrics/1` snapshot under
+/// `metrics` — the exact object `imagen stats` renders. Snapshot reads
+/// race live writers by design; every cell is an independent atomic.
+fn stats_response(id: Json, hub: &Hub) -> Json {
+    let snap = hub.metrics.snapshot();
+    let counter = |name: &str| Json::Num(snap.counter(name) as f64);
+    let hist_obj = |name: &str| {
+        let h = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| *h)
+            .unwrap_or_default();
+        ObjBuilder::new()
+            .push("count", Json::Num(h.count as f64))
+            .push("mean_us", Json::Num(h.mean()))
+            .push("p50_us", Json::Num(h.p50 as f64))
+            .push("p90_us", Json::Num(h.p90 as f64))
+            .push("p99_us", Json::Num(h.p99 as f64))
+            .push("max_us", Json::Num(h.max as f64))
+            .build()
+    };
+    let inflight = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "inflight")
+        .map_or(0, |(_, v)| *v);
+    let (hits, misses) = hub.cache_stats();
+    let hit_rate = if hits + misses == 0 {
+        Json::Null
+    } else {
+        Json::Num(hits as f64 / (hits + misses) as f64)
+    };
+    let live_sessions = hub.state.lock().expect("hub state").sessions.len();
+    ObjBuilder::new()
+        .push("id", id)
+        .push("ok", Json::Bool(true))
+        .push(
+            "requests",
+            ObjBuilder::new()
+                .push("total", counter("requests.total"))
+                .push("compile", counter("requests.compile"))
+                .push("dse", counter("requests.dse"))
+                .push("ping", counter("requests.ping"))
+                .push("stats", counter("requests.stats"))
+                .push("other", counter("requests.other"))
+                .build(),
+        )
+        .push("errors", counter("errors"))
+        .push("admission_rejected", counter("admission.rejected"))
+        .push("inflight", Json::Num(inflight as f64))
+        .push("queue_wait", hist_obj("queue_wait_us"))
+        .push("handle_time", hist_obj("handle_us"))
+        .push(
+            "cache",
+            ObjBuilder::new()
+                .push("hits", Json::Num(hits as f64))
+                .push("misses", Json::Num(misses as f64))
+                .push("hit_rate", hit_rate)
+                .build(),
+        )
+        .push("generation_rollovers", counter("generation.rollovers"))
+        .push("live_sessions", Json::Num(live_sessions as f64))
+        .push(
+            "metrics",
+            json::parse(&snap.to_json()).unwrap_or(Json::Null),
+        )
+        .build()
+}
+
+/// Answers one request line (tests drive the server through this; the
+/// batch and TCP paths go through [`handle_at`] with an enqueue time).
+#[cfg(test)]
+fn handle(line: &str, hub: &Hub) -> Json {
+    handle_at(line, hub, None)
+}
+
+/// Answers one request line picked off a queue; `enqueued` (when the
+/// line entered the queue) feeds the queue-wait histogram.
+fn handle_at(line: &str, hub: &Hub, enqueued: Option<Instant>) -> Json {
     let t0 = Instant::now();
+    if let Some(at) = enqueued {
+        hub.stats
+            .queue_wait_us
+            .record(at.elapsed().as_micros() as u64);
+    }
+    hub.stats.inflight.add(1);
+    let resp = handle_inner(line, hub, t0);
+    if resp.get("ok") == Some(&Json::Bool(false)) {
+        hub.stats.errors.add(1);
+    }
+    hub.stats.inflight.sub(1);
+    hub.stats.handle_us.record(t0.elapsed().as_micros() as u64);
+    hub.stats.req_total.add(1);
+    if hub.stats_every > 0 && hub.stats.req_total.get().is_multiple_of(hub.stats_every) {
+        eprintln!("{}", hub.stats_line());
+    }
+    resp
+}
+
+fn handle_inner(line: &str, hub: &Hub, t0: Instant) -> Json {
     let req = match json::parse(line) {
         Ok(v) => v,
         Err(e) => return error_response(Json::Null, format!("bad request JSON: {e}"), None),
@@ -508,19 +723,48 @@ pub fn handle(line: &str, hub: &Hub) -> Json {
         Err(e) => return error_response(id, e, None),
     };
     let cmd = req.get("cmd").and_then(Json::as_str).unwrap_or("");
+    match cmd {
+        "compile" => &hub.stats.req_compile,
+        "dse" => &hub.stats.req_dse,
+        "ping" => &hub.stats.req_ping,
+        "stats" => &hub.stats.req_stats,
+        _ => &hub.stats.req_other,
+    }
+    .add(1);
     let mut resp = match cmd {
         "ping" => ObjBuilder::new()
             .push("id", id)
             .push("ok", Json::Bool(true))
             .push("pong", Json::Bool(true))
             .build(),
+        "stats" => stats_response(id, hub),
         "compile" | "dse" => match parse_request(&req) {
             Err(e) => error_response(id, e, None),
             Ok(r) => {
-                if cmd == "compile" {
-                    compile_response(id, &r, hub)
+                let run = || {
+                    if cmd == "compile" {
+                        compile_response(id.clone(), &r, hub)
+                    } else {
+                        dse_response(id.clone(), &r, hub)
+                    }
+                };
+                if timing {
+                    // `timing` folds into the span infrastructure: the
+                    // request runs under its own collector and the
+                    // response carries the per-phase breakdown.
+                    let collector = Arc::new(Collector::new());
+                    let mut resp = imagen_obs::with_collector(&collector, run);
+                    if let Json::Obj(members) = &mut resp {
+                        let phases: Vec<(String, Json)> = collector
+                            .phase_totals()
+                            .iter()
+                            .map(|t| (t.name.to_string(), Json::Num((t.total_ns / 1_000) as f64)))
+                            .collect();
+                        members.push(("phase_us".into(), Json::Obj(phases)));
+                    }
+                    resp
                 } else {
-                    dse_response(id, &r, hub)
+                    run()
                 }
             }
         },
@@ -555,6 +799,9 @@ pub fn run_batch(lines: &[String], threads: usize, hub: &Hub) -> Vec<String> {
     let workers = effective_threads(threads).min(lines.len().max(1));
     let slots: Vec<Mutex<Option<String>>> = lines.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // Whole batch "enqueues" at once: queue-wait measures how long a
+    // line waited for a free worker.
+    let enqueued = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -562,7 +809,7 @@ pub fn run_batch(lines: &[String], threads: usize, hub: &Hub) -> Vec<String> {
                 if i >= lines.len() {
                     break;
                 }
-                let resp = handle(&lines[i], hub).to_line();
+                let resp = handle_at(&lines[i], hub, Some(enqueued)).to_line();
                 *slots[i].lock().expect("slot") = Some(resp);
             });
         }
@@ -575,7 +822,7 @@ pub fn run_batch(lines: &[String], threads: usize, hub: &Hub) -> Vec<String> {
 
 /// `imagen serve` entry point.
 pub fn run(opts: &Options) -> Result<(), String> {
-    let hub = Arc::new(Hub::new());
+    let hub = Arc::new(Hub::new().with_stats_every(opts.stats_every));
     match &opts.tcp {
         None => {
             let mut input = String::new();
@@ -645,7 +892,7 @@ fn serve_connection(stream: std::net::TcpStream, hub: &Hub, threads: usize) {
     let mut writer = std::io::BufWriter::new(stream);
     let workers = effective_threads(threads);
     std::thread::scope(|scope| {
-        let (work_tx, work_rx) = std::sync::mpsc::channel::<(usize, String)>();
+        let (work_tx, work_rx) = std::sync::mpsc::channel::<(usize, String, Instant)>();
         let work_rx = Arc::new(Mutex::new(work_rx));
         let (done_tx, done_rx) = std::sync::mpsc::channel::<(usize, String)>();
         for _ in 0..workers {
@@ -653,8 +900,8 @@ fn serve_connection(stream: std::net::TcpStream, hub: &Hub, threads: usize) {
             let done_tx = done_tx.clone();
             scope.spawn(move || loop {
                 let item = work_rx.lock().expect("work queue").recv();
-                let Ok((i, line)) = item else { break };
-                let resp = handle(&line, hub).to_line();
+                let Ok((i, line, at)) = item else { break };
+                let resp = handle_at(&line, hub, Some(at)).to_line();
                 if done_tx.send((i, resp)).is_err() {
                     break;
                 }
@@ -689,7 +936,7 @@ fn serve_connection(stream: std::net::TcpStream, hub: &Hub, threads: usize) {
             if line.trim().is_empty() {
                 continue;
             }
-            if work_tx.send((n, line)).is_err() {
+            if work_tx.send((n, line, Instant::now())).is_err() {
                 break;
             }
             n += 1;
@@ -855,16 +1102,99 @@ mod tests {
             warm_us * 2 < cold_us.max(1),
             "warm recompile ({warm_us} us) not measurably faster than cold ({cold_us} us)"
         );
-        // And the deterministic payloads are identical.
+        // And the deterministic payloads are identical. `phase_us` is
+        // timing data too (and the warm path runs fewer phases).
         let strip = |v: &Json| match v {
             Json::Obj(m) => Json::Obj(
                 m.iter()
-                    .filter(|(k, _)| k != "elapsed_us")
+                    .filter(|(k, _)| k != "elapsed_us" && k != "phase_us")
                     .cloned()
                     .collect(),
             ),
             _ => unreachable!(),
         };
         assert_eq!(strip(&cold), strip(&warm));
+    }
+
+    #[test]
+    fn timing_responses_carry_phase_breakdown() {
+        let hub = Hub::new();
+        let resp = handle(&req(r#","timing":true"#), &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        let Some(Json::Obj(phases)) = resp.get("phase_us") else {
+            panic!("timing compile response must carry phase_us");
+        };
+        let names: Vec<&str> = phases.iter().map(|(k, _)| k.as_str()).collect();
+        for expect in [
+            "frontend.parse",
+            "frontend.lower",
+            "plan.skeleton",
+            "ilp.solve",
+            "netlist.build",
+            "emit",
+        ] {
+            assert!(
+                names.contains(&expect),
+                "missing phase {expect} in {names:?}"
+            );
+        }
+        // Untimed responses stay exactly as before: no timing members.
+        let resp = handle(&req(""), &hub);
+        assert!(resp.get("phase_us").is_none());
+        assert!(resp.get("elapsed_us").is_none());
+    }
+
+    #[test]
+    fn stats_cmd_reports_request_mix_and_latency() {
+        let hub = Hub::new();
+        // A mixed workload: cold compile, warm recompile, ping, a
+        // failure, and an unknown command.
+        assert_eq!(handle(&req(""), &hub).get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(handle(&req(""), &hub).get("ok"), Some(&Json::Bool(true)));
+        handle(r#"{"cmd":"ping"}"#, &hub);
+        handle(r#"{"cmd":"compile"}"#, &hub);
+        handle(r#"{"cmd":"frob"}"#, &hub);
+        let resp = handle(r#"{"id":"s","cmd":"stats"}"#, &hub);
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(resp.get("id").unwrap().as_str(), Some("s"));
+        let reqs = resp.get("requests").unwrap();
+        assert_eq!(reqs.get("total").unwrap().as_u64(), Some(5));
+        assert_eq!(reqs.get("compile").unwrap().as_u64(), Some(3));
+        assert_eq!(reqs.get("ping").unwrap().as_u64(), Some(1));
+        assert_eq!(reqs.get("stats").unwrap().as_u64(), Some(1));
+        assert_eq!(reqs.get("other").unwrap().as_u64(), Some(1));
+        assert_eq!(resp.get("errors").unwrap().as_u64(), Some(2));
+        // The stats request itself is in flight while it snapshots.
+        assert_eq!(resp.get("inflight").unwrap().as_u64(), Some(1));
+        let cache = resp.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("hit_rate"), Some(&Json::Num(0.5)));
+        let handle_time = resp.get("handle_time").unwrap();
+        assert_eq!(handle_time.get("count").unwrap().as_u64(), Some(5));
+        assert!(handle_time.get("p50_us").unwrap().as_u64().is_some());
+        assert!(handle_time.get("p99_us").unwrap().as_u64().is_some());
+        // The embedded registry snapshot round-trips the schema tag.
+        let metrics = resp.get("metrics").unwrap();
+        assert_eq!(
+            metrics.get("schema").unwrap().as_str(),
+            Some(imagen_obs::SNAPSHOT_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn batch_mode_feeds_queue_wait_histogram() {
+        let hub = Hub::new();
+        let lines: Vec<String> = (0..4)
+            .map(|i| format!(r#"{{"id":{i},"cmd":"ping"}}"#))
+            .collect();
+        run_batch(&lines, 2, &hub);
+        let snap = hub.metrics.snapshot();
+        let (_, q) = snap
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "queue_wait_us")
+            .expect("queue_wait_us registered");
+        assert_eq!(q.count, 4, "every batch line records a queue wait");
     }
 }

@@ -345,6 +345,16 @@ fn bench_diff_flags_regressions() {
     let out = imagen(&["bench", "diff", &old, &new_bad, "--threshold", "75"]);
     assert!(out.status.success(), "75% threshold should pass");
 
+    // Three or more snapshots switch to the (non-gating) history view:
+    // the cumulative +50% drift is flagged but the exit stays 0.
+    let out = imagen(&["bench", "diff", &old, &new_ok, &new_bad]);
+    let text = stdout_of(&out);
+    assert!(text.contains("# bench history — 3 snapshots"), "{text}");
+    assert!(text.contains("!! drift"), "{text}");
+    assert!(text.contains("pairwise gating unchanged"), "{text}");
+    // A bench added mid-trajectory shows "-" for snapshots without it.
+    assert!(text.contains("interpret_gated_traced"), "{text}");
+
     // Usage errors: wrong arity, wrong subcommand, wrong schema.
     assert_eq!(imagen(&["bench", "diff", &old]).status.code(), Some(2));
     assert_eq!(imagen(&["bench", &old, &new_ok]).status.code(), Some(2));

@@ -187,3 +187,117 @@ fn compile_responses_carry_a_proved_certificate() {
     assert!(resp.contains("\"refuted\":0"), "{resp}");
     assert!(resp.contains("\"obligations\":["), "{resp}");
 }
+
+/// A `"cmd":"stats"` probe after a concurrent mixed batch answers with
+/// the operational numbers (through the real binary, threaded).
+#[test]
+fn stats_cmd_answers_after_a_concurrent_batch() {
+    let mut lines = mixed_batch();
+    lines.push(r#"{"id":"s","cmd":"stats"}"#.to_string());
+    let responses = serve_stdin(&lines, "4");
+    let stats = responses.last().unwrap();
+    assert!(stats.contains("\"id\":\"s\""), "{stats}");
+    assert!(stats.contains("\"ok\":true"), "{stats}");
+    for key in [
+        "\"requests\":{",
+        "\"errors\":",
+        "\"admission_rejected\":",
+        "\"inflight\":",
+        "\"queue_wait\":{",
+        "\"handle_time\":{",
+        "\"p50_us\":",
+        "\"p99_us\":",
+        "\"cache\":{",
+        "\"hit_rate\":",
+        "\"generation_rollovers\":",
+        "\"metrics\":{\"schema\":\"imagen-metrics/1\"",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
+    // BLUR compiles twice in the batch (ids 0, 4, 8 share a pipeline):
+    // the shared cache must have seen at least one hit by stats time.
+    assert!(stats.contains("\"hits\":"), "{stats}");
+}
+
+/// The registry hammer: writer threads pound every cell kind while
+/// readers snapshot concurrently. Lives in this file so the TSan CI
+/// job (`-p imagen-cli --test serve`) instruments it; the assertions
+/// check the invariants that survive racing reads.
+#[test]
+fn metrics_registry_survives_concurrent_hammering() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let metrics = imagen_obs::Metrics::new();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let metrics = &metrics;
+            let stop = &stop;
+            scope.spawn(move || {
+                // Get-or-create races registration on purpose: all four
+                // threads must end up sharing the same cells.
+                let c = metrics.counter("hammer.count");
+                let g = metrics.gauge("hammer.gauge");
+                let h = metrics.histogram("hammer.hist");
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    c.add(1);
+                    g.add(1);
+                    h.record(i % 10_000);
+                    g.sub(1);
+                    i += 1;
+                }
+            });
+        }
+        let metrics = &metrics;
+        for _ in 0..50 {
+            let snap = metrics.snapshot();
+            // Quantiles computed from one frozen bucket read are
+            // ordered; min/max race individual records and are not.
+            if let Some((_, h)) = snap.histograms.iter().find(|(n, _)| n == "hammer.hist") {
+                if h.count > 0 {
+                    assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
+                }
+            }
+            let _ = snap.to_json();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let snap = metrics.snapshot();
+    assert!(snap.counter("hammer.count") > 0);
+    let gauge = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "hammer.gauge")
+        .map(|(_, v)| *v);
+    assert_eq!(gauge, Some(0), "every add() paired with a sub()");
+}
+
+/// Span tracing under a shared collector across threads, TSan-checked:
+/// concurrent guards record into one sink without a data race.
+#[test]
+fn span_collector_merges_threads_race_free() {
+    use std::sync::Arc;
+    let collector = Arc::new(imagen_obs::Collector::new());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let collector = Arc::clone(&collector);
+            scope.spawn(move || {
+                imagen_obs::with_collector(&collector, || {
+                    for _ in 0..100 {
+                        let _outer = imagen_obs::span("outer");
+                        let _inner = imagen_obs::span("inner");
+                    }
+                });
+            });
+        }
+    });
+    let totals = collector.phase_totals();
+    let count_of = |name: &str| {
+        totals
+            .iter()
+            .find(|t| t.name == name)
+            .map_or(0, |t| t.count)
+    };
+    assert_eq!(count_of("outer"), 400);
+    assert_eq!(count_of("inner"), 400);
+}

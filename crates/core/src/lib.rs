@@ -170,7 +170,10 @@ impl Compiler {
     /// [`CompileError`] from the front end or the optimizer.
     pub fn compile_source(&self, name: &str, src: &str) -> Result<CompileOutput, CompileError> {
         let t0 = Instant::now();
-        let dag = imagen_dsl::compile(name, src)?;
+        let dag = {
+            let _s = imagen_obs::span("frontend");
+            imagen_dsl::compile(name, src)?
+        };
         let frontend_us = t0.elapsed().as_micros();
         let mut out = self.compile_dag(&dag)?;
         out.timing.frontend_us = frontend_us;
@@ -184,13 +187,21 @@ impl Compiler {
     /// [`CompileError::Plan`] from the optimizer.
     pub fn compile_dag(&self, dag: &Dag) -> Result<CompileOutput, CompileError> {
         let t1 = Instant::now();
-        let plan = plan_design(dag, &self.geom, &self.spec, self.opts, self.style)?;
+        let plan = {
+            let _s = imagen_obs::span("plan");
+            plan_design(dag, &self.geom, &self.spec, self.opts, self.style)?
+        };
         let optimize_us = t1.elapsed().as_micros();
 
         let t2 = Instant::now();
-        let netlist =
-            imagen_rtl::build_netlist(&plan.dag, &plan.design, &imagen_rtl::BitWidths::default());
-        let verilog = imagen_rtl::emit_verilog(&netlist);
+        let netlist = {
+            let _s = imagen_obs::span("netlist.build");
+            imagen_rtl::build_netlist(&plan.dag, &plan.design, &imagen_rtl::BitWidths::default())
+        };
+        let verilog = {
+            let _s = imagen_obs::span("emit");
+            imagen_rtl::emit_verilog(&netlist)
+        };
         let codegen_us = t2.elapsed().as_micros();
 
         Ok(CompileOutput {

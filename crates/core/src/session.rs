@@ -21,6 +21,7 @@
 use crate::{CompileError, CompileOutput, CompileTiming};
 use imagen_ir::Dag;
 use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
+use imagen_obs::Counter;
 use imagen_schedule::{formulate_skeleton, plan_design_with, ConstraintSkeleton, Plan};
 use imagen_schedule::{ScheduleOptions, SizeObjective};
 use std::collections::HashMap;
@@ -64,12 +65,31 @@ pub struct CompileCache {
     entries: Mutex<HashMap<PointKey, CacheEntry>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Mirrors of `hits`/`misses` into externally owned metric cells
+    /// (detached no-op counters unless [`CompileCache::with_observers`]
+    /// wired real ones in). Lets a stats endpoint read cache traffic
+    /// lock-free from its registry — and cumulatively across cache
+    /// generations, since the registry cell outlives any one cache —
+    /// instead of taking whatever lock guards the current cache.
+    obs_hits: Counter,
+    obs_misses: Counter,
 }
 
 impl CompileCache {
     /// Creates an empty cache.
     pub fn new() -> CompileCache {
         CompileCache::default()
+    }
+
+    /// Creates an empty cache that additionally mirrors every hit and
+    /// miss into the given metric counters (typically registry cells of
+    /// an [`imagen_obs::Metrics`]).
+    pub fn with_observers(hits: Counter, misses: Counter) -> CompileCache {
+        CompileCache {
+            obs_hits: hits,
+            obs_misses: misses,
+            ..CompileCache::default()
+        }
     }
 
     /// Number of memoized design points.
@@ -98,8 +118,14 @@ impl CompileCache {
             .get(key)
             .cloned();
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs_hits.add(1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs_misses.add(1);
+            }
         };
         found
     }
@@ -169,10 +195,14 @@ impl Session {
 
     /// Creates a session backed by an existing (possibly shared) cache.
     pub fn with_cache(dag: &Dag, geom: ImageGeometry, cache: Arc<CompileCache>) -> Session {
+        let skeleton = {
+            let _s = imagen_obs::span("plan.skeleton");
+            formulate_skeleton(dag, geom.width)
+        };
         Session {
             dag: dag.clone(),
             dag_fingerprint: dag.fingerprint(),
-            skeleton: formulate_skeleton(dag, geom.width),
+            skeleton,
             geom,
             opts: ScheduleOptions::default(),
             cache,
@@ -303,11 +333,14 @@ impl Session {
         if let Some(n) = entry.netlist {
             return Ok(n); // pure hit: no cache write at all
         }
-        let built = Arc::new(imagen_rtl::build_netlist(
-            &entry.plan.dag,
-            &entry.plan.design,
-            &imagen_rtl::BitWidths::default(),
-        ));
+        let built = {
+            let _s = imagen_obs::span("netlist.build");
+            Arc::new(imagen_rtl::build_netlist(
+                &entry.plan.dag,
+                &entry.plan.design,
+                &imagen_rtl::BitWidths::default(),
+            ))
+        };
         // Merge under the lock: a racing compile() may have enriched the
         // entry (netlist + Verilog) since we read it — never clobber a
         // richer concurrent entry, only fill a missing netlist.
@@ -343,13 +376,19 @@ impl Session {
             let t = Instant::now();
             let netlist = match entry.netlist.clone() {
                 Some(n) => n,
-                None => Arc::new(imagen_rtl::build_netlist(
-                    &entry.plan.dag,
-                    &entry.plan.design,
-                    &imagen_rtl::BitWidths::default(),
-                )),
+                None => {
+                    let _s = imagen_obs::span("netlist.build");
+                    Arc::new(imagen_rtl::build_netlist(
+                        &entry.plan.dag,
+                        &entry.plan.design,
+                        &imagen_rtl::BitWidths::default(),
+                    ))
+                }
             };
-            let verilog = imagen_rtl::emit_verilog(&netlist);
+            let verilog = {
+                let _s = imagen_obs::span("emit");
+                imagen_rtl::emit_verilog(&netlist)
+            };
             entry.timing.codegen_us = t.elapsed().as_micros();
             entry.netlist = Some(netlist);
             entry.verilog = Some(Arc::new(verilog));

@@ -164,6 +164,23 @@ impl DsePoint {
     }
 }
 
+/// Work counters of one [`explore`] run — the numbers `imagen dse
+/// --profile` and the serve stats endpoint report per sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreStats {
+    /// Pricing requests issued (cache hits + misses): how many times the
+    /// sweep asked for a design point, counting revisits.
+    pub points_priced: u64,
+    /// Pricing requests served from the session's compile cache.
+    pub cache_hits: u64,
+    /// Pricing requests that ran the planner.
+    pub cache_misses: u64,
+    /// Simplex pivots performed process-wide during the sweep (a delta
+    /// of [`imagen_ilp::stats::pivot_count`]; with concurrent sweeps in
+    /// one process the delta covers all of them).
+    pub simplex_pivots: u64,
+}
+
 /// Result of a sweep: all points plus the ids of the buffered stages the
 /// choice vectors refer to.
 #[derive(Clone, Debug)]
@@ -173,6 +190,8 @@ pub struct DseResult {
     /// All evaluated points, in enumeration order (for
     /// [`ExploreStrategy::Exhaustive`]: all-DP first, all-DPLC last).
     pub points: Vec<DsePoint>,
+    /// Work counters of the run that produced this result.
+    pub stats: ExploreStats,
 }
 
 impl DseResult {
@@ -442,7 +461,9 @@ pub fn explore(
     backend: MemBackend,
     opts: ExploreOptions,
 ) -> Result<DseResult, CompileError> {
+    let _sweep = imagen_obs::span("dse.explore");
     let session = Session::new(dag, *geom);
+    let pivots_before = imagen_ilp::stats::pivot_count();
     let buffered: Vec<usize> = dag.buffered_stages().iter().map(|s| s.index()).collect();
     let n = buffered.len();
     // Configurations are u64 bitmasks throughout (choices_for, the greedy
@@ -465,9 +486,16 @@ pub fn explore(
         ExploreStrategy::Greedy => greedy_walk(&session, backend, &buffered, inputs)?.points,
     };
 
+    let (hits, misses) = session.cache().stats();
     Ok(DseResult {
         buffered_stages: buffered,
         points,
+        stats: ExploreStats {
+            points_priced: (hits + misses) as u64,
+            cache_hits: hits as u64,
+            cache_misses: misses as u64,
+            simplex_pivots: imagen_ilp::stats::pivot_count() - pivots_before,
+        },
     })
 }
 
@@ -1101,6 +1129,7 @@ mod tests {
         DseResult {
             buffered_stages: buffered,
             points,
+            stats: ExploreStats::default(),
         }
     }
 }

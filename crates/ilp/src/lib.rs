@@ -56,6 +56,7 @@ mod diff;
 mod model;
 mod rational;
 mod simplex;
+pub mod stats;
 
 pub use branch_bound::{SolveStats, DEFAULT_NODE_LIMIT};
 pub use diff::{DiffSystem, PositiveCycle};

@@ -100,6 +100,7 @@ enum RunOutcome {
 
 impl Tableau {
     fn pivot(&mut self, r: usize, c: usize) {
+        crate::stats::record_pivot();
         let piv = self.rows[r][c];
         debug_assert!(!piv.is_zero());
         let inv = piv.recip();

@@ -637,6 +637,7 @@ impl EvalProgram {
     /// line buffer (the same structural check the reference interpreter
     /// performs up front).
     pub fn compile(net: &Netlist) -> Result<EvalProgram, InterpError> {
+        let _s = imagen_obs::span("program.build");
         let geom = net.geometry;
         let (w, h) = (geom.width as i64, geom.height as i64);
         let frame = net.frame;

@@ -148,26 +148,38 @@ pub fn plan_design_with(
     let mut working = dag.clone();
 
     // Line coalescing rewrite (Sec. 6) where the spec enables it.
-    let factors: Vec<u32> = (0..working.num_stages())
-        .map(|i| spec.coalesce_factor(i, geom))
-        .collect();
-    if factors.iter().any(|&g| g > 1) {
-        apply_line_coalescing(&mut working, |p| CoalesceFactor::new(factors[p]));
+    {
+        let _s = imagen_obs::span("plan.coalesce");
+        let factors: Vec<u32> = (0..working.num_stages())
+            .map(|i| spec.coalesce_factor(i, geom))
+            .collect();
+        if factors.iter().any(|&g| g > 1) {
+            apply_line_coalescing(&mut working, |p| CoalesceFactor::new(factors[p]));
+        }
     }
 
     let params = SpecBufferParams { spec, geom };
-    let set = formulate_with(
-        &working,
-        geom.width,
-        skeleton,
-        &params,
-        FormulationOptions {
-            pruning: opts.pruning,
-        },
-    );
-    let schedule = solve_schedule(&working, geom.width, &set, opts)?;
+    let set = {
+        let _s = imagen_obs::span("plan.formulate");
+        formulate_with(
+            &working,
+            geom.width,
+            skeleton,
+            &params,
+            FormulationOptions {
+                pruning: opts.pruning,
+            },
+        )
+    };
+    let schedule = {
+        let _s = imagen_obs::span("ilp.solve");
+        solve_schedule(&working, geom.width, &set, opts)?
+    };
 
-    let design = realize_design(&working, geom, spec, &schedule, style)?;
+    let design = {
+        let _s = imagen_obs::span("plan.realize");
+        realize_design(&working, geom, spec, &schedule, style)?
+    };
     Ok(Plan {
         dag: working,
         schedule,
