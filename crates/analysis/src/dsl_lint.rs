@@ -7,7 +7,9 @@
 
 use crate::width::MAX_TAP_REACH;
 use crate::{codes, Diagnostic, Locus, Severity};
-use imagen_dsl::{AstExpr, Item, Pos, Program};
+use imagen_dsl::{AstExpr, AstRate, Item, Pos, Program};
+use imagen_ir::MAX_RATE_FACTOR;
+use imagen_mem::ImageGeometry;
 use std::collections::{HashMap, HashSet};
 
 fn src(pos: Pos) -> Locus {
@@ -17,8 +19,8 @@ fn src(pos: Pos) -> Locus {
     }
 }
 
-/// Runs every DSL lint over a parsed program.
-pub(crate) fn lint_program(program: &Program) -> Vec<Diagnostic> {
+/// Runs every DSL lint over a parsed program against `geom`'s frame.
+pub(crate) fn lint_program(program: &Program, geom: &ImageGeometry) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
     // Which names each stage taps, in item order.
@@ -121,6 +123,98 @@ pub(crate) fn lint_program(program: &Program) -> Vec<Diagnostic> {
         }
     }
 
+    // Multirate structure, mirroring the lowerer's cumulative-scale
+    // composition over the AST. Stages whose rate factors are out of
+    // range, whose upsample would rise above the base grid, or whose
+    // producers are undeclared are skipped here — lowering owns those
+    // rejections (`E0002`); the lints below cover shapes that *lower*
+    // fine but then trip the planner (indivisible extents) or that
+    // deserve a source position before the lowerer's flat error
+    // (producers at mismatched scales under one kernel).
+    let mut scales: HashMap<&str, (u64, u64)> = HashMap::new();
+    for item in &program.items {
+        match item {
+            Item::Input { name, .. } => {
+                scales.insert(name.as_str(), (1, 1));
+            }
+            Item::Stage {
+                name, body, rate, ..
+            } => {
+                // Distinct producers in first-tap order, with positions.
+                let mut prods: Vec<(String, Pos)> = Vec::new();
+                walk_taps(body, &mut |stage, _, _, pos| {
+                    if !prods.iter().any(|(s, _)| s == stage) {
+                        prods.push((stage.to_string(), pos));
+                    }
+                });
+                let known: Vec<(&str, (u64, u64), Pos)> = prods
+                    .iter()
+                    .filter_map(|(s, p)| scales.get(s.as_str()).map(|&sc| (s.as_str(), sc, *p)))
+                    .collect();
+                let Some(&(base_name, base, _)) = known.first() else {
+                    continue;
+                };
+                for &(s, sc, pos) in &known[1..] {
+                    if sc != base {
+                        diags.push(
+                            Diagnostic::new(
+                                codes::RATE_MISMATCH,
+                                Severity::Warning,
+                                format!(
+                                    "stage `{name}` taps `{s}` at cumulative scale \
+                                     ({}, {}) alongside `{base_name}` at ({}, {}); \
+                                     all producers of one stage must sit on the same grid",
+                                    sc.0, sc.1, base.0, base.1
+                                ),
+                            )
+                            .at(src(pos)),
+                        );
+                    }
+                }
+                let own = match *rate {
+                    AstRate::Unit => Some(base),
+                    AstRate::Down { fx, fy, .. } => {
+                        (fx > 0 && fy > 0 && fx as u64 <= MAX_RATE_FACTOR
+                            && fy as u64 <= MAX_RATE_FACTOR)
+                            .then(|| (base.0 * fx as u64, base.1 * fy as u64))
+                            .filter(|&(cx, cy)| cx <= MAX_RATE_FACTOR && cy <= MAX_RATE_FACTOR)
+                    }
+                    AstRate::Up { fx, fy, .. } => (fx > 0
+                        && fy > 0
+                        && base.0 % fx as u64 == 0
+                        && base.1 % fy as u64 == 0)
+                        .then(|| (base.0 / fx as u64, base.1 / fy as u64)),
+                };
+                let Some((cx, cy)) = own else { continue };
+                scales.insert(name.as_str(), (cx, cy));
+                // Report indivisible extents once, at the modifier that
+                // introduces the offending scale — inherited unit-rate
+                // stages downstream share the same root cause.
+                let divides =
+                    u64::from(geom.width) % cx == 0 && u64::from(geom.height) % cy == 0;
+                let inherited =
+                    u64::from(geom.width) % base.0 == 0 && u64::from(geom.height) % base.1 == 0;
+                if !divides && inherited {
+                    if let AstRate::Down { pos, .. } | AstRate::Up { pos, .. } = *rate {
+                        diags.push(
+                            Diagnostic::new(
+                                codes::RATE_INDIVISIBLE,
+                                Severity::Warning,
+                                format!(
+                                    "stage `{name}` runs at cumulative scale ({cx}, {cy}), \
+                                     which does not divide the {}x{} frame; the planner \
+                                     will reject this geometry",
+                                    geom.width, geom.height
+                                ),
+                            )
+                            .at(src(pos)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     // Constant-foldable subexpressions: maximal non-literal const subtrees.
     for item in &program.items {
         if let Item::Stage { name, body, .. } = item {
@@ -192,7 +286,12 @@ mod tests {
     use imagen_dsl::parse_program;
 
     fn lint(src: &str) -> Vec<Diagnostic> {
-        lint_program(&parse_program(src).unwrap())
+        let geom = ImageGeometry {
+            width: 64,
+            height: 48,
+            pixel_bits: 16,
+        };
+        lint_program(&parse_program(src).unwrap(), &geom)
     }
 
     #[test]
@@ -251,5 +350,96 @@ mod tests {
     fn bare_literals_are_not_fold_candidates() {
         let d = lint("input a; output o = im(x,y) a(x,y) + 7 end");
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn divisible_multirate_pipeline_is_quiet() {
+        // 64x48 divides by (2, 2): no rate diagnostics.
+        let d = lint(
+            "input a;\n\
+             h = downsample(2,2) im(x,y) a(x,y) end\n\
+             output o = upsample(2,2) im(x,y) h(x,y) end",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn indivisible_extent_flagged_at_the_modifier() {
+        // 48 % 5 != 0: the downsample introduces a scale the frame
+        // cannot tile.
+        let d = lint(
+            "input a;\n\
+             output o = downsample(5,5) im(x,y) a(x,y) end",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].code, codes::RATE_INDIVISIBLE);
+        assert!(d[0].message.contains("(5, 5)"), "{}", d[0].message);
+        assert!(matches!(d[0].locus, Locus::Source { line: 2, .. }));
+    }
+
+    #[test]
+    fn indivisible_extent_reported_once_not_per_downstream_stage() {
+        // The unit-rate consumer inherits the same indivisible scale but
+        // shares the root cause — one diagnostic, at the modifier.
+        let d = lint(
+            "input a;\n\
+             h = downsample(5,5) im(x,y) a(x,y) end\n\
+             output o = im(x,y) h(x,y) end",
+        );
+        let rate: Vec<_> = d
+            .iter()
+            .filter(|x| x.code == codes::RATE_INDIVISIBLE)
+            .collect();
+        assert_eq!(rate.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn rate_mismatched_taps_flagged_with_both_scales() {
+        // `o` taps full-rate `a` alongside half-rate `h`.
+        let d = lint(
+            "input a;\n\
+             h = downsample(2,2) im(x,y) a(x,y) end\n\
+             output o = im(x,y) a(x,y) + h(x,y) end",
+        );
+        let m: Vec<_> = d
+            .iter()
+            .filter(|x| x.code == codes::RATE_MISMATCH)
+            .collect();
+        assert_eq!(m.len(), 1, "{d:?}");
+        assert!(m[0].message.contains("(2, 2)"), "{}", m[0].message);
+        assert!(m[0].message.contains("(1, 1)"), "{}", m[0].message);
+        assert!(matches!(m[0].locus, Locus::Source { line: 3, .. }));
+    }
+
+    #[test]
+    fn hostile_rate_shapes_do_not_confuse_the_lint() {
+        // Shapes the lowerer rejects (upsampling above the base grid,
+        // runaway cumulative downsampling past MAX_RATE_FACTOR) and taps
+        // into undeclared names: the lint skips them without arithmetic
+        // overflow and without spurious rate diagnostics.
+        for src_text in [
+            "input a; output o = upsample(2,2) im(x,y) a(x,y) end",
+            "output o = downsample(2,2) im(x,y) ghost(x,y) end",
+        ] {
+            let d = lint(src_text);
+            assert!(
+                d.iter().all(|x| x.code != codes::RATE_INDIVISIBLE),
+                "{src_text}: {d:?}"
+            );
+        }
+        // A cumulative scale that would exceed MAX_RATE_FACTOR: the
+        // first (in-range, genuinely indivisible) modifier is reported;
+        // the runaway second stage is skipped, not overflowed.
+        let d = lint(
+            "input a;\n\
+             d1 = downsample(1048576,1) im(x,y) a(x,y) end\n\
+             output o = downsample(1048576,1) im(x,y) d1(x,y) end",
+        );
+        let rate: Vec<_> = d
+            .iter()
+            .filter(|x| x.code == codes::RATE_INDIVISIBLE)
+            .collect();
+        assert_eq!(rate.len(), 1, "{d:?}");
+        assert!(rate[0].message.contains("`d1`"), "{}", rate[0].message);
     }
 }

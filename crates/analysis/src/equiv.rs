@@ -683,17 +683,32 @@ fn tap_obligation(
         };
     };
 
-    // 3/4. Freshness and no-clobber, per distinct row offset. A read at
-    //    consumer cycle `t = S_c + y*W + x` fetches producer row
-    //    `r = min(y+dy, h-1)`, written at cycle `S_p + r*W + x` and
-    //    committed at its *end* (reads strictly see earlier cycles):
-    //      fresh    <=>  S_c - S_p >= W*min(dy, h-1) + 1      (worst y=0)
+    // 3/4. Freshness and no-clobber, per distinct row offset, measured
+    //    in the producer's row period `P_p = pcy*W` (plain `W` for
+    //    rate-1). A load at consumer edge-active cycle
+    //    `t = S_c + y*W + xp*pcx` fetches producer row
+    //    `r = min(y/pcy + dy, ph-1)`, written at `S_p + r*P_p + xp*pcx`
+    //    and committed at its *end* (reads strictly see earlier cycles):
+    //      fresh    <=>  S_c - S_p >= P_p*min(dy, ph-1) + 1   (worst y=0)
     //    The rotating buffer reuses row r's slot for row r+R; the
-    //    overwrite lands at `S_p + (r+R)*W + x`, and a same-cycle read
-    //    still sees the old value (read phase precedes write phase):
-    //      intact   <=>  S_c - S_p <= (dy+R)*W   when dy+R <= h-1
-    //    (rows clamped to h-1 are never overwritten: row h-1+R is never
-    //    written).
+    //    overwrite lands at `S_p + (r+R)*P_p + xp*pcx`, and a same-cycle
+    //    read still sees the old value (read phase precedes write
+    //    phase). An upsample reader (consumer row period `P_c < P_p`)
+    //    re-reads row r for `P_p - P_c` base cycles past the rate-1
+    //    model's last access, so the slack shrinks by that tail:
+    //      intact   <=>  S_c - S_p <= (dy+R)*P_p - max(0, P_p - P_c)
+    //                    when dy+R <= ph-1
+    //    (rows clamped to ph-1 are never overwritten: row ph-1+R is
+    //    never written).
+    let (pcx_scale, pcy_scale) = {
+        let s = &net.stages[edge.producer];
+        (s.scale_x, s.scale_y)
+    };
+    let _ = pcx_scale; // columns cancel exactly in both inequalities
+    let ccy_scale = net.stages[consumer.index()].scale_y;
+    let pp = pcy_scale * fw;
+    let ph = fh / pcy_scale.max(1);
+    let extra = pp.saturating_sub(ccy_scale * fw);
     let storage = net
         .buffer_of_stage(edge.producer)
         .map(|(_, b)| b.storage_rows as u64);
@@ -705,7 +720,7 @@ fn tap_obligation(
     };
     let lead = sc as i128 - sp as i128;
     for &dy in &dys {
-        let need = fw as i128 * dy.min(fh - 1) as i128 + 1;
+        let need = pp as i128 * dy.min(ph - 1) as i128 + 1;
         if lead < need {
             return Obligation {
                 kind,
@@ -720,8 +735,8 @@ fn tap_obligation(
             };
         }
         if let Some(rows) = storage {
-            if dy + rows < fh {
-                let limit = (dy + rows) as i128 * fw as i128;
+            if dy + rows < ph {
+                let limit = (dy + rows) as i128 * pp as i128 - extra as i128;
                 if lead > limit {
                     return Obligation {
                         kind,
@@ -745,7 +760,7 @@ fn tap_obligation(
         detail: format!(
             "{} taps delivered: coverage, SRA shape, freshness (lead {lead} >= {}), rotation",
             taps.len(),
-            fw * dys.last().map(|&d| d.min(fh - 1)).unwrap_or(0) + 1
+            pp * dys.last().map(|&d| d.min(ph - 1)).unwrap_or(0) + 1
         ),
     }
 }
@@ -781,6 +796,12 @@ fn gate_obligation(
         let Some((sc, end)) = net.enable_window(e.consumer) else {
             continue;
         };
+        // Multirate edges only load on their edge-active cadence (once
+        // per consumer-active row, at every producer-grid column); other
+        // cycles carry no load and cannot be starved by the gate.
+        let ccy = net.stages[e.consumer].scale_y;
+        let pcx = net.stages[e.producer].scale_x;
+        let pw = fw / pcx.max(1);
         // Uncovered cycles of [sc, end): before the gate opens and
         // after it closes.
         let gaps = [
@@ -789,8 +810,13 @@ fn gate_obligation(
         ];
         for (lo, hi) in gaps {
             for t in lo..hi {
-                let x = (t - sc) % fw;
-                let fetched = (x as i64) <= (fw as i64 - 1 + dmax as i64) || (x == 0 && dmin < 0);
+                let k = t - sc;
+                let (y, x) = (k / fw, k % fw);
+                if y % ccy != 0 || x % pcx != 0 {
+                    continue;
+                }
+                let x = x / pcx;
+                let fetched = (x as i64) <= (pw as i64 - 1 + dmax as i64) || (x == 0 && dmin < 0);
                 if fetched {
                     let cname = net
                         .stages

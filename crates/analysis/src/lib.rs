@@ -260,7 +260,7 @@ pub fn analyze(name: &str, src: &str, opts: &AnalysisOptions) -> AnalysisReport 
         }
     };
 
-    report.diagnostics.extend(dsl_lint::lint_program(&program));
+    report.diagnostics.extend(dsl_lint::lint_program(&program, &opts.geom));
 
     let dag = match imagen_dsl::lower(name, &program) {
         Ok(dag) => dag,
@@ -315,7 +315,7 @@ pub fn front_lints(name: &str, src: &str, opts: &AnalysisOptions) -> AnalysisRep
             return report;
         }
     };
-    report.diagnostics.extend(dsl_lint::lint_program(&program));
+    report.diagnostics.extend(dsl_lint::lint_program(&program, &opts.geom));
     let dag = match imagen_dsl::lower(name, &program) {
         Ok(dag) => dag,
         Err(e) => {
@@ -384,6 +384,12 @@ pub mod codes {
     pub const TAP_REACH: &str = "W0104";
     /// A non-trivial subexpression always evaluates to the same value.
     pub const CONST_FOLD: &str = "W0105";
+    /// A rate modifier's cumulative scale does not divide the frame
+    /// extents, so the planner will reject the geometry.
+    pub const RATE_INDIVISIBLE: &str = "W0106";
+    /// One kernel taps producers sitting at different cumulative scales;
+    /// the lowerer rejects this shape.
+    pub const RATE_MISMATCH: &str = "W0107";
 
     /// A kernel node's value interval can exceed the accumulator range.
     pub const ACC_OVERFLOW: &str = "W0201";

@@ -14,7 +14,7 @@ use crate::{codes, Diagnostic, Locus, Severity};
 use imagen_mem::{ImageGeometry, MemorySpec};
 use imagen_schedule::checker::{check_accesses, BufferLayout, ResolvedEntity};
 use imagen_schedule::{
-    buffer_entities, formulate, schedule_satisfies, size_buffers, FormulationOptions, Plan,
+    formulate, resolve_entities, schedule_satisfies, size_buffers, FormulationOptions, Plan,
     SpecBufferParams,
 };
 use std::collections::HashMap;
@@ -151,19 +151,15 @@ pub fn lint_plan(plan: &Plan, geom: &ImageGeometry, spec: &MemorySpec) -> Vec<Di
     }
 
     // E0406 / E0407 — replay the exact port-discipline checker per
-    // buffer, absolute then physical.
+    // buffer, absolute then physical. Entities are resolved rate-aware:
+    // every accessor of a multirate producer's buffer carries its cadence
+    // (`row_div`/`col_div`/`row_active`) so the replay samples only the
+    // base-clock cycles on which that accessor actually touches SRAM.
+    let scales = dag.stage_scales();
     for p in dag.buffered_stages() {
         let stage_name = dag.stage(p).name().to_string();
         let ports = spec.ports_for(p.index());
-        let entities: Vec<ResolvedEntity> = buffer_entities(dag, p)
-            .iter()
-            .map(|e| ResolvedEntity {
-                start: starts[e.stage.index()],
-                row_offset: e.row_offset,
-                height: e.height,
-                is_writer: e.is_writer,
-            })
-            .collect();
+        let entities: Vec<ResolvedEntity> = resolve_entities(dag, p, &scales, starts);
         if let Err(v) = check_accesses(
             geom.width,
             geom.height,
@@ -326,6 +322,87 @@ mod tests {
         plan.design.start_cycles[1] += 7;
         let d = lint_plan(&plan, &geom, &spec);
         assert!(d.iter().any(|x| x.code == codes::START_DRIFT), "{d:?}");
+    }
+
+    /// A blur → downsample(2,2) → upsample(2,2) pyramid on a frame both
+    /// extents of which the scale divides — the multirate analogue of
+    /// [`fixture`].
+    fn multirate_fixture() -> (Plan, ImageGeometry, MemorySpec) {
+        let mut dag = Dag::new("pyr");
+        let raw = dag.add_input("raw");
+        let blur = dag
+            .add_stage(
+                "blur",
+                &[raw],
+                Expr::sum((0..9).map(|i| Expr::tap(0, i % 3 - 1, i / 3 - 1))),
+            )
+            .unwrap();
+        let coarse = dag
+            .add_stage_rated(
+                "coarse",
+                &[blur],
+                Expr::tap(0, 0, 0),
+                imagen_ir::Rate::Down { fx: 2, fy: 2 },
+            )
+            .unwrap();
+        let recon = dag
+            .add_stage_rated(
+                "recon",
+                &[coarse],
+                Expr::tap(0, 0, 0),
+                imagen_ir::Rate::Up { fx: 2, fy: 2 },
+            )
+            .unwrap();
+        dag.mark_output(recon);
+        let geom = ImageGeometry {
+            width: 32,
+            height: 24,
+            pixel_bits: 16,
+        };
+        let spec = MemorySpec::new(MemBackend::Asic { block_bits: 2048 }, 2);
+        let plan = plan_design(
+            &dag,
+            &geom,
+            &spec,
+            ScheduleOptions::default(),
+            DesignStyle::Ours,
+        )
+        .unwrap();
+        (plan, geom, spec)
+    }
+
+    #[test]
+    fn multirate_solver_plans_are_clean() {
+        // The rate-aware re-derivation accepts the solver's own multirate
+        // plan: no E04xx (or any other) diagnostics.
+        let (plan, geom, spec) = multirate_fixture();
+        let d = lint_plan(&plan, &geom, &spec);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn multirate_shrunk_buffer_is_undersized() {
+        // Corrupting a buffer's row count in the multirate plan must trip
+        // the rate-aware sizing re-derivation, not slip past it.
+        let (mut plan, geom, spec) = multirate_fixture();
+        let p = plan
+            .schedule
+            .buffer_rows
+            .iter()
+            .position(|&r| r > 1)
+            .unwrap_or_else(|| {
+                plan.schedule
+                    .buffer_rows
+                    .iter()
+                    .position(|&r| r > 0)
+                    .unwrap()
+            });
+        plan.schedule.buffer_rows[p] -= 1;
+        let d = lint_plan(&plan, &geom, &spec);
+        assert!(
+            d.iter().any(|x| x.code == codes::BUFFER_UNDERSIZED),
+            "{d:?}"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use imagen_mem::{
     BlockRole, BufferPlan, Design, DesignStyle, ImageGeometry, MemBackend, PeModel, PhysBlock,
     CLOCK_MHZ,
 };
-use imagen_schedule::{asap_schedule, dependency_gap, DiffGe, Plan, PlanError, Schedule};
+use imagen_schedule::{asap_schedule, dependency_gap, row_periods, DiffGe, Plan, PlanError, Schedule};
 
 /// Generates a SODA-style FIFO design.
 ///
@@ -37,13 +37,15 @@ pub fn generate_soda(
     geom: &ImageGeometry,
     backend: MemBackend,
 ) -> Result<Plan, PlanError> {
-    // ASAP dependency schedule.
+    // ASAP dependency schedule (multirate-aware: each producer's row
+    // period in the common base clock scales the gap).
+    let periods = row_periods(dag, geom.width);
     let deps: Vec<DiffGe> = dag
         .edges()
         .map(|(_, e)| DiffGe {
             a: e.consumer(),
             b: e.producer(),
-            k: dependency_gap(e.window(), geom.width),
+            k: dependency_gap(e.window(), periods[e.producer().index()]),
         })
         .collect();
     let starts = asap_schedule(dag.num_stages(), &deps, &[]).map_err(PlanError::Schedule)?;

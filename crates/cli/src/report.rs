@@ -75,12 +75,24 @@ pub fn run_compile(dag: &Dag, opts: &Options) -> Result<(), String> {
     text.push_str(&format!("style    : {}\n", design.style.label()));
 
     text.push_str("\n## Schedule (ILP start cycles)\n\n");
+    // The rate column appears only on multirate pipelines, so unit-rate
+    // `compile` output stays byte-identical to its golden pins.
+    let multirate = plan.dag.is_multirate();
     for (id, stage) in plan.dag.stages() {
-        text.push_str(&format!(
-            "  {:<12} @ {}\n",
-            stage.name(),
-            plan.schedule.start(id)
-        ));
+        if multirate {
+            text.push_str(&format!(
+                "  {:<12} @ {:<8} rate {}\n",
+                stage.name(),
+                plan.schedule.start(id),
+                stage.rate()
+            ));
+        } else {
+            text.push_str(&format!(
+                "  {:<12} @ {}\n",
+                stage.name(),
+                plan.schedule.start(id)
+            ));
+        }
     }
 
     text.push_str("\n## Line buffers\n\n");

@@ -68,7 +68,31 @@ fn every_example_compiles_through_the_binary() {
         let text = stdout_of(&out);
         assert!(text.contains("## Verilog"), "{rel}:\n{text}");
     }
-    assert!(count >= 8, "expected the full corpus, found {count} files");
+    assert!(count >= 10, "expected the full corpus, found {count} files");
+}
+
+/// The multirate pyramid examples are corpus members in good standing:
+/// they lint clean under `--deny warnings`, and their lowered DAGs
+/// survive a print → reparse round trip with identical fingerprints
+/// (rate modifiers included).
+#[test]
+fn pyramid_examples_round_trip_and_lint_clean() {
+    for stem in ["gaussian_pyramid", "laplacian_pyramid"] {
+        let rel = format!("examples/{stem}.imagen");
+        let out = imagen(&["lint", &rel, "--deny", "warnings"]);
+        stdout_of(&out);
+
+        let src = std::fs::read_to_string(repo_root().join(&rel)).unwrap();
+        let dag = imagen_dsl::compile(stem, &src).unwrap();
+        assert!(dag.is_multirate(), "{stem} should be multirate");
+        let printed = imagen_dsl::to_dsl(&dag);
+        let again = imagen_dsl::compile(stem, &printed).unwrap();
+        assert_eq!(
+            dag.fingerprint(),
+            again.fingerprint(),
+            "{stem}: print -> reparse fingerprint drift\n{printed}"
+        );
+    }
 }
 
 /// The compiled DAG of each on-disk example is the *identical* pipeline

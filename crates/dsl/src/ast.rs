@@ -9,6 +9,44 @@ pub struct Program {
     pub items: Vec<Item>,
 }
 
+/// Rate modifier written on a stage definition.
+///
+/// `down = downsample(2, 2) im(x, y) ... end` halves the stage's
+/// iteration domain along each axis relative to its producers;
+/// `upsample` doubles it back. Factors are kept as raw `i64` literals
+/// here — range validation happens in the parser (span-carrying) and
+/// again in `imagen-ir` during lowering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AstRate {
+    /// No modifier: the stage runs at its producers' rate.
+    Unit,
+    /// `downsample(fx, fy)` — one output pixel per `fx`×`fy` producer block.
+    Down {
+        /// Horizontal factor.
+        fx: i64,
+        /// Vertical factor.
+        fy: i64,
+        /// Source position of the modifier keyword.
+        pos: Pos,
+    },
+    /// `upsample(fx, fy)` — `fx`×`fy` output pixels per producer pixel.
+    Up {
+        /// Horizontal factor.
+        fx: i64,
+        /// Vertical factor.
+        fy: i64,
+        /// Source position of the modifier keyword.
+        pos: Pos,
+    },
+}
+
+impl AstRate {
+    /// True when no modifier was written.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, AstRate::Unit)
+    }
+}
+
 /// One top-level item.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Item {
@@ -31,6 +69,8 @@ pub enum Item {
         y_var: String,
         /// The stage body.
         body: AstExpr,
+        /// Rate modifier (`downsample`/`upsample`), if any.
+        rate: AstRate,
         /// Source position of the name.
         pos: Pos,
     },

@@ -42,7 +42,7 @@ mod parser;
 mod print;
 mod token;
 
-pub use ast::{AstExpr, Item, Program};
+pub use ast::{AstExpr, AstRate, Item, Program};
 pub use lower::{lower, LowerError};
 pub use parser::{parse_program, ParseError, MAX_EXPR_CHAIN, MAX_EXPR_DEPTH};
 pub use print::{expr_to_dsl, to_dsl};

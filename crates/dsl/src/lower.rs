@@ -1,8 +1,8 @@
 //! Lowering from the DSL AST to the `imagen-ir` DAG.
 
-use crate::ast::{AstExpr, Item, Program};
+use crate::ast::{AstExpr, AstRate, Item, Program};
 use crate::token::Pos;
-use imagen_ir::{BinOp, CmpOp, Dag, Expr, IrError, StageId};
+use imagen_ir::{BinOp, CmpOp, Dag, Expr, IrError, Rate, StageId};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -90,6 +90,7 @@ pub fn lower(name: &str, program: &Program) -> Result<Dag, LowerError> {
                 name,
                 output,
                 body,
+                rate,
                 pos,
                 ..
             } => {
@@ -124,7 +125,7 @@ pub fn lower(name: &str, program: &Program) -> Result<Dag, LowerError> {
                     return Err(e);
                 }
                 let kernel = lower_expr(body, &slot_of);
-                let id = dag.add_stage(name.clone(), &producers, kernel)?;
+                let id = dag.add_stage_rated(name.clone(), &producers, kernel, lower_rate(rate))?;
                 if *output {
                     dag.mark_output(id);
                 }
@@ -134,6 +135,19 @@ pub fn lower(name: &str, program: &Program) -> Result<Dag, LowerError> {
     }
     dag.validate()?;
     Ok(dag)
+}
+
+/// Maps the surface rate modifier to the IR [`Rate`]. The parser caps
+/// factors at `MAX_RATE_FACTOR`, which fits `u32`; a programmatically
+/// built AST with larger factors saturates to `u32::MAX`, which the IR
+/// constructor then rejects as out of range (error, never truncation).
+fn lower_rate(rate: &AstRate) -> Rate {
+    let f = |v: i64| u32::try_from(v).unwrap_or(u32::MAX);
+    match *rate {
+        AstRate::Unit => Rate::Unit,
+        AstRate::Down { fx, fy, .. } => Rate::Down { fx: f(fx), fy: f(fy) },
+        AstRate::Up { fx, fy, .. } => Rate::Up { fx: f(fx), fy: f(fy) },
+    }
 }
 
 fn lower_expr(e: &AstExpr, slot_of: &HashMap<&str, usize>) -> Expr {

@@ -5,7 +5,8 @@
 //! ```text
 //! program := item*
 //! item    := "input" IDENT ";"
-//!          | "output"? IDENT "=" "im" "(" IDENT "," IDENT ")" expr "end" ";"?
+//!          | "output"? IDENT "=" rate? "im" "(" IDENT "," IDENT ")" expr "end" ";"?
+//! rate    := ("downsample" | "upsample") "(" NUMBER "," NUMBER ")"
 //! expr    := cmp
 //! cmp     := add (("<"|"<="|">"|">="|"=="|"!=") add)?
 //! add     := mul (("+"|"-") mul)*
@@ -19,8 +20,9 @@
 //! stage's coordinate variables (e.g. `K0(x-1, y+1)`), otherwise a
 //! built-in call (`abs`, `min`, `max`, `clamp`, `select`).
 
-use crate::ast::{AstExpr, Item, Program};
+use crate::ast::{AstExpr, AstRate, Item, Program};
 use crate::token::{lex, LexError, Pos, Spanned, Token};
+use imagen_ir::MAX_RATE_FACTOR;
 use std::fmt;
 
 /// Parse error with position information.
@@ -73,6 +75,16 @@ pub enum ParseError {
         /// Where.
         pos: Pos,
     },
+    /// A `downsample`/`upsample` factor outside `1..=MAX_RATE_FACTOR`.
+    /// Zero would collapse the iteration domain; factors above 2^20
+    /// cannot arise from any realistic image geometry and would only
+    /// serve to overflow downstream cycle arithmetic.
+    RateOutOfRange {
+        /// The factor as written.
+        value: i64,
+        /// Where.
+        pos: Pos,
+    },
     /// Expression nesting beyond [`MAX_EXPR_DEPTH`] or a stage body
     /// chaining more than [`MAX_EXPR_CHAIN`] binary operators. The
     /// recursive-descent parser (and everything downstream that walks
@@ -110,6 +122,7 @@ impl ParseError {
             | ParseError::UnknownFunction { pos, .. }
             | ParseError::BadArity { pos, .. }
             | ParseError::OffsetOutOfRange { pos, .. }
+            | ParseError::RateOutOfRange { pos, .. }
             | ParseError::TooDeep { pos } => *pos,
         }
     }
@@ -145,6 +158,10 @@ impl fmt::Display for ParseError {
                 "tap offset `{value}` is outside the supported range ({}..={}) at {pos}",
                 i32::MIN,
                 i32::MAX
+            ),
+            ParseError::RateOutOfRange { value, pos } => write!(
+                f,
+                "rate factor `{value}` is outside the supported range (1..={MAX_RATE_FACTOR}) at {pos}"
             ),
             ParseError::TooDeep { pos } => write!(
                 f,
@@ -262,6 +279,7 @@ impl Parser {
                 };
                 let (name, pos) = self.ident("stage name")?;
                 self.expect(&Token::Assign, "`=`")?;
+                let rate = self.rate_modifier()?;
                 self.expect(&Token::Im, "`im`")?;
                 self.expect(&Token::LParen, "`(`")?;
                 let (xv, _) = self.ident("coordinate variable")?;
@@ -282,10 +300,51 @@ impl Parser {
                     x_var: xv,
                     y_var: yv,
                     body,
+                    rate,
                     pos,
                 })
             }
             _ => Err(self.unexpected("`input`, `output`, or a stage definition")),
+        }
+    }
+
+    /// Parses an optional `downsample(fx, fy)` / `upsample(fx, fy)`
+    /// modifier between `=` and `im`. The modifier words are contextual
+    /// (only recognized in this position), so stages and producers may
+    /// still be *named* `downsample` or `upsample`.
+    fn rate_modifier(&mut self) -> Result<AstRate, ParseError> {
+        let down = match self.peek() {
+            Token::Ident(s) if s == "downsample" => true,
+            Token::Ident(s) if s == "upsample" => false,
+            _ => return Ok(AstRate::Unit),
+        };
+        let pos = self.pos();
+        self.bump();
+        self.expect(&Token::LParen, "`(`")?;
+        let fx = self.rate_factor()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let fy = self.rate_factor()?;
+        self.expect(&Token::RParen, "`)`")?;
+        Ok(if down {
+            AstRate::Down { fx, fy, pos }
+        } else {
+            AstRate::Up { fx, fy, pos }
+        })
+    }
+
+    /// Parses one rate factor, rejecting values outside `1..=MAX_RATE_FACTOR`
+    /// with the literal's own span.
+    fn rate_factor(&mut self) -> Result<i64, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Token::Number(n) => {
+                self.bump();
+                if n < 1 || n as u64 > MAX_RATE_FACTOR {
+                    return Err(ParseError::RateOutOfRange { value: n, pos });
+                }
+                Ok(n)
+            }
+            _ => Err(self.unexpected("a rate factor (positive integer)")),
         }
     }
 
@@ -701,6 +760,82 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ParseError::Lex(_)));
         assert_eq!(err.pos().col, 38);
+    }
+
+    #[test]
+    fn rate_modifiers_parse() {
+        let p = parse_program(
+            "input K0;
+             D = downsample(2, 2) im(x,y) K0(x,y) + K0(x+1,y+1) end
+             output U = upsample(2,2) im(x,y) D(x,y) end",
+        )
+        .unwrap();
+        match &p.items[1] {
+            Item::Stage { rate, .. } => {
+                assert!(matches!(rate, crate::ast::AstRate::Down { fx: 2, fy: 2, .. }));
+            }
+            _ => panic!("expected stage"),
+        }
+        match &p.items[2] {
+            Item::Stage { rate, .. } => {
+                assert!(matches!(rate, crate::ast::AstRate::Up { fx: 2, fy: 2, .. }));
+            }
+            _ => panic!("expected stage"),
+        }
+        // No modifier → Unit.
+        let p = parse_program("input A; output B = im(x,y) A(x,y) end").unwrap();
+        match &p.items[1] {
+            Item::Stage { rate, .. } => assert!(rate.is_unit()),
+            _ => panic!("expected stage"),
+        }
+    }
+
+    #[test]
+    fn rate_modifier_words_stay_contextual() {
+        // `downsample`/`upsample` are not keywords: stages may use the
+        // names, and taps into them still parse.
+        let p = parse_program(
+            "input downsample;
+             output upsample = im(x,y) downsample(x-1,y+1) end",
+        )
+        .unwrap();
+        assert_eq!(p.items.len(), 2);
+        // And a rate modifier composes with such names.
+        parse_program(
+            "input downsample;
+             output upsample = downsample(2,2) im(x,y) downsample(x,y) end",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn hostile_rate_factors_error_with_spans() {
+        let err =
+            parse_program("input A;\noutput B = downsample(0, 2) im(x,y) A(x,y) end").unwrap_err();
+        match err {
+            ParseError::RateOutOfRange { value: 0, pos } => {
+                assert_eq!(pos.line, 2);
+                assert_eq!(pos.col, 23);
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        let src = format!(
+            "input A; output B = upsample(2, {}) im(x,y) A(x,y) end",
+            MAX_RATE_FACTOR + 1
+        );
+        assert!(matches!(
+            parse_program(&src).unwrap_err(),
+            ParseError::RateOutOfRange { .. }
+        ));
+        // Exactly MAX_RATE_FACTOR parses (range is inclusive).
+        let src = format!(
+            "input A; output B = downsample({}, 1) im(x,y) A(x,y) end",
+            MAX_RATE_FACTOR
+        );
+        parse_program(&src).unwrap();
+        // Negative and non-numeric factors are unexpected-token errors.
+        assert!(parse_program("input A; output B = downsample(-1, 2) im(x,y) A(x,y) end").is_err());
+        assert!(parse_program("input A; output B = downsample(x, 2) im(x,y) A(x,y) end").is_err());
     }
 
     #[test]

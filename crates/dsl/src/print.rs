@@ -4,7 +4,7 @@
 //! structure (windows, slots, kernels), which the test suite exercises as
 //! a round-trip property.
 
-use imagen_ir::{BinOp, Dag, Expr, StageKind};
+use imagen_ir::{BinOp, Dag, Expr, Rate, StageKind};
 use std::fmt::Write as _;
 
 /// Renders `dag` as DSL source text.
@@ -24,7 +24,19 @@ pub fn to_dsl(dag: &Dag) -> String {
                     .collect();
                 let mut body = String::new();
                 render(kernel, &names, &mut body);
-                let _ = writeln!(out, "{}{} = im(x,y) {} end", prefix, stage.name(), body);
+                let rate = match stage.rate() {
+                    Rate::Unit => String::new(),
+                    Rate::Down { fx, fy } => format!("downsample({fx},{fy}) "),
+                    Rate::Up { fx, fy } => format!("upsample({fx},{fy}) "),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}{} = {}im(x,y) {} end",
+                    prefix,
+                    stage.name(),
+                    rate,
+                    body
+                );
                 let _ = id;
             }
         }
@@ -166,6 +178,19 @@ mod tests {
         // Normalized taps render with the normalized offsets; the program
         // must still re-parse cleanly.
         parse_program(&printed).unwrap();
+    }
+
+    #[test]
+    fn rate_modifiers_round_trip() {
+        let src = "input K0;
+            D1 = downsample(2,2) im(x,y) (K0(x,y) + K0(x+1,y+1)) >> 1 end
+            output U1 = upsample(2,2) im(x,y) D1(x,y) end";
+        let dag1 = compile("pyr", src).unwrap();
+        let printed = to_dsl(&dag1);
+        assert!(printed.contains("downsample(2,2) im(x,y)"));
+        assert!(printed.contains("upsample(2,2) im(x,y)"));
+        let dag2 = compile("pyr", &printed).unwrap();
+        assert_eq!(dag1.fingerprint(), dag2.fingerprint());
     }
 
     #[test]

@@ -38,6 +38,8 @@ const LEXEMES: &[&str] = &[
     "output",
     "im",
     "end",
+    "downsample",
+    "upsample",
     "abs",
     "min",
     "max",
@@ -133,6 +135,53 @@ proptest! {
         );
         assert_total(&src)?;
     }
+
+    /// Rate-modifier programs around every multirate guard: factors of
+    /// 0, 1, powers of two, values at/over `MAX_RATE_FACTOR` (2^20) and
+    /// near `i64::MAX`; down/up chains whose cumulative scale may
+    /// overflow the bound or rise above the base grid; and a unit-rate
+    /// stage tapping two producers whose scales may disagree. Compile
+    /// must return `Ok` or a positioned `Err`, never unwind.
+    #[test]
+    fn rate_modifier_programs_never_panic(
+        i1 in 0usize..9,
+        i2 in 0usize..9,
+        kind1 in 0u8..2,
+        kind2 in 0u8..2,
+        mismatch in 0u8..2,
+    ) {
+        // Factors clustered on every multirate guard boundary: zero, the
+        // unit rate, small legal values, 2^20 ± 1, and absurd magnitudes.
+        const FACTORS: [i64; 9] = [
+            0,
+            1,
+            2,
+            3,
+            1_048_575,
+            1_048_576,
+            1_048_577,
+            4_294_967_296,
+            9_223_372_036_854_775_807,
+        ];
+        let (f1, f2) = (FACTORS[i1], FACTORS[i2]);
+        let word = |k: u8| if k == 0 { "downsample" } else { "upsample" };
+        let tail = if mismatch == 1 {
+            // Taps `a` (base grid) next to `c` (whatever grid the chain
+            // landed on): rate-mismatch rejection path.
+            "output o = im(x,y) a(x,y) + c(x,y) end"
+        } else {
+            "output o = im(x,y) c(x,y) + c(x+1,y) end"
+        };
+        let src = format!(
+            "input a;
+             b = {}({f1}, {f2}) im(x,y) a(x,y) end
+             c = {}({f2}, {f1}) im(x,y) b(x,y) + b(x+1,y+1) end
+             {tail}",
+            word(kind1),
+            word(kind2),
+        );
+        assert_total(&src)?;
+    }
 }
 
 /// Deterministic regressions for shapes the fuzzers found or the audit
@@ -156,6 +205,18 @@ fn audit_corpus_is_total() {
         "input a; input a; output b = im(x,y) a(x,y) end", // duplicate
         "input a; output b = im(x,y) a(x,y) / 0 end", // constant zero divide
         "input a; output b = im(x,y) -9223372036854775807 * a(x,y) end", // negated max
+        "input a; output b = downsample(0,2) im(x,y) a(x,y) end", // zero factor
+        "input a; output b = downsample(1048577,1) im(x,y) a(x,y) end", // > MAX_RATE_FACTOR
+        "input a; output b = downsample(9223372036854775808,1) im(x,y) a(x,y) end", // > i64::MAX
+        "input a; output b = upsample(2,2) im(x,y) a(x,y) end", // above the base grid
+        "input a; output b = downsample(-2,2) im(x,y) a(x,y) end", // negative factor
+        "input a; output b = downsample(2) im(x,y) a(x,y) end", // arity
+        "input a; output b = downsample(2,2) im(x,y) a(x,y)", // rated, missing `end`
+        "input a; b = downsample(1048576,1) im(x,y) a(x,y) end
+         output c = downsample(1048576,1) im(x,y) b(x,y) end", // cumulative scale blowout
+        "input downsample; output b = im(x,y) downsample(x,y) end", // contextual word as name
+        "input a; upsample = downsample(2,2) im(x,y) a(x,y) end
+         output o = upsample(2,2) im(x,y) upsample(x,y) end", // contextual word as stage
     ];
     for src in cases {
         match imagen_dsl::compile("corpus", src) {

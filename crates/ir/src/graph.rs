@@ -61,6 +61,82 @@ impl EdgeId {
     }
 }
 
+/// Per-stage resampling rate, relative to the stage's producers.
+///
+/// A `Down { fx, fy }` stage emits one output pixel per `fx × fy` block
+/// of its producers' grid; an `Up { fx, fy }` stage emits `fx × fy`
+/// output pixels per producer pixel (nearest-neighbour expansion of the
+/// tap coordinates — the kernel still sees arbitrary stencil offsets in
+/// the *producer* grid). `Unit` is the classic fixed-rate stage; every
+/// pre-multirate pipeline is all-`Unit` by construction.
+///
+/// Rates compose down the DAG into a per-stage *cumulative scale*
+/// (see [`Dag::stage_scales`]): the factor between the base (input)
+/// grid and the stage's own grid on each axis. All producers of a stage
+/// must sit at the same cumulative scale ([`IrError::RateMismatch`]
+/// otherwise), and upsampling must never rise above the base grid
+/// ([`IrError::UpsampleAboveBase`]) — the accelerator streams at most
+/// one pixel per cycle per stage.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Rate {
+    /// Same grid as the producers (the implicit pre-multirate rate).
+    Unit,
+    /// Emit one pixel per `fx × fy` producer block (decimation).
+    Down {
+        /// Horizontal factor (`>= 1`).
+        fx: u32,
+        /// Vertical factor (`>= 1`).
+        fy: u32,
+    },
+    /// Emit `fx × fy` pixels per producer pixel (expansion).
+    Up {
+        /// Horizontal factor (`>= 1`).
+        fx: u32,
+        /// Vertical factor (`>= 1`).
+        fy: u32,
+    },
+}
+
+impl Rate {
+    /// Whether this is the unit rate.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Rate::Unit)
+    }
+
+    /// `(fx, fy)` factors; `(1, 1)` for the unit rate.
+    pub fn factors(&self) -> (u32, u32) {
+        match *self {
+            Rate::Unit => (1, 1),
+            Rate::Down { fx, fy } | Rate::Up { fx, fy } => (fx, fy),
+        }
+    }
+
+    /// Canonical form: factor-1 `Down`/`Up` collapse to `Unit`, so the
+    /// same hardware has one spelling (and one fingerprint).
+    pub fn normalized(self) -> Rate {
+        match self {
+            Rate::Down { fx: 1, fy: 1 } | Rate::Up { fx: 1, fy: 1 } => Rate::Unit,
+            r => r,
+        }
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rate::Unit => write!(f, "1:1"),
+            Rate::Down { fx, fy } => write!(f, "down({fx},{fy})"),
+            Rate::Up { fx, fy } => write!(f, "up({fx},{fy})"),
+        }
+    }
+}
+
+/// Largest accepted rate factor (and cumulative scale) on one axis,
+/// `2^20` — the same plausibility bound as [`MAX_WINDOW_SPAN`]. Factors
+/// of `0` or beyond this are rejected with [`IrError::RateOutOfRange`]
+/// before any scale arithmetic can wrap.
+pub const MAX_RATE_FACTOR: u64 = 1 << 20;
+
 /// What a stage does.
 #[derive(Clone, PartialEq, Debug)]
 pub enum StageKind {
@@ -99,6 +175,9 @@ pub struct Stage {
     /// stored taps are `(dx - sx, dy + sy)` of the authored ones.
     pub(crate) norm_shift: (i32, i32),
     pub(crate) sync_group: Option<u32>,
+    /// Resampling rate relative to the producers (always canonical,
+    /// see [`Rate::normalized`]).
+    pub(crate) rate: Rate,
 }
 
 impl Stage {
@@ -149,6 +228,11 @@ impl Stage {
     /// are constrained to start at the same cycle).
     pub fn sync_group(&self) -> Option<u32> {
         self.sync_group
+    }
+
+    /// Resampling rate relative to this stage's producers.
+    pub fn rate(&self) -> Rate {
+        self.rate
     }
 }
 
@@ -308,6 +392,26 @@ pub enum IrError {
         /// The offending span (columns or rows).
         span: u64,
     },
+    /// A rate factor (or the cumulative scale it produces) is `0` or
+    /// exceeds [`MAX_RATE_FACTOR`] on some axis.
+    RateOutOfRange {
+        /// Offending stage name.
+        stage: String,
+        /// The offending factor or cumulative scale.
+        factor: u64,
+    },
+    /// The producers of a stage sit at different cumulative scales, so
+    /// the stage's taps would mix grids of different resolution.
+    RateMismatch {
+        /// Offending stage name.
+        stage: String,
+    },
+    /// An `up(..)` stage would rise above the base (input) grid, which
+    /// needs more than one pixel per cycle.
+    UpsampleAboveBase {
+        /// Offending stage name.
+        stage: String,
+    },
 }
 
 /// Largest accepted stencil span (columns or rows) of a single stage,
@@ -351,6 +455,24 @@ impl fmt::Display for IrError {
                 write!(
                     f,
                     "stage `{stage}` spans {span} rows/columns, above the supported {MAX_WINDOW_SPAN}"
+                )
+            }
+            IrError::RateOutOfRange { stage, factor } => {
+                write!(
+                    f,
+                    "stage `{stage}` has rate factor {factor}, outside the supported 1..={MAX_RATE_FACTOR}"
+                )
+            }
+            IrError::RateMismatch { stage } => {
+                write!(
+                    f,
+                    "stage `{stage}` taps producers at different cumulative rates"
+                )
+            }
+            IrError::UpsampleAboveBase { stage } => {
+                write!(
+                    f,
+                    "stage `{stage}` upsamples above the base input grid (more than one pixel per cycle)"
                 )
             }
         }
@@ -424,6 +546,7 @@ impl Dag {
             origin: Origin::User,
             norm_shift: (0, 0),
             sync_group: None,
+            rate: Rate::Unit,
         });
         StageId(self.stages.len() - 1)
     }
@@ -447,6 +570,23 @@ impl Dag {
         self.add_stage_full(name, producers, kernel, Origin::User, &[])
     }
 
+    /// Adds a compute stage with an explicit resampling [`Rate`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Dag::add_stage`] raises, plus
+    /// [`IrError::RateOutOfRange`], [`IrError::RateMismatch`] and
+    /// [`IrError::UpsampleAboveBase`].
+    pub fn add_stage_rated(
+        &mut self,
+        name: impl Into<String>,
+        producers: &[StageId],
+        kernel: Expr,
+        rate: Rate,
+    ) -> Result<StageId, IrError> {
+        self.add_stage_rated_full(name, producers, kernel, rate, Origin::User, &[])
+    }
+
     /// Adds a compute stage with explicit per-slot window overrides.
     ///
     /// `window_overrides` pairs `(slot, window)` force an edge's window to
@@ -466,10 +606,72 @@ impl Dag {
         origin: Origin,
         window_overrides: &[(usize, Window)],
     ) -> Result<StageId, IrError> {
+        self.add_stage_rated_full(name, producers, kernel, Rate::Unit, origin, window_overrides)
+    }
+
+    /// The full constructor: explicit rate, origin and window overrides.
+    ///
+    /// # Errors
+    ///
+    /// See [`Dag::add_stage`] and [`Dag::add_stage_rated`].
+    pub fn add_stage_rated_full(
+        &mut self,
+        name: impl Into<String>,
+        producers: &[StageId],
+        kernel: Expr,
+        rate: Rate,
+        origin: Origin,
+        window_overrides: &[(usize, Window)],
+    ) -> Result<StageId, IrError> {
         let name = name.into();
+        let rate = rate.normalized();
+        // Rate factors are bounded before any scale arithmetic.
+        {
+            let (fx, fy) = rate.factors();
+            for f in [fx as u64, fy as u64] {
+                if f == 0 || f > MAX_RATE_FACTOR {
+                    return Err(IrError::RateOutOfRange {
+                        stage: name,
+                        factor: f,
+                    });
+                }
+            }
+        }
         for p in producers {
             if p.0 >= self.stages.len() {
                 return Err(IrError::UnknownProducer { stage: name });
+            }
+        }
+
+        // Rate composition: all producers must sit at one cumulative
+        // scale, and this stage's own scale must stay within
+        // `1..=MAX_RATE_FACTOR` on both axes (an `up` below 1 would need
+        // more than one pixel per cycle; a runaway `down` chain is as
+        // implausible as an oversized window).
+        if !producers.is_empty() {
+            let scales = self.stage_scales();
+            let base = scales[producers[0].0];
+            if producers.iter().any(|p| scales[p.0] != base) {
+                return Err(IrError::RateMismatch { stage: name });
+            }
+            let (fx, fy) = rate.factors();
+            let scale = match rate {
+                Rate::Unit => base,
+                Rate::Down { .. } => (base.0 * fx as u64, base.1 * fy as u64),
+                Rate::Up { .. } => {
+                    if base.0 % fx as u64 != 0 || base.1 % fy as u64 != 0 {
+                        return Err(IrError::UpsampleAboveBase { stage: name });
+                    }
+                    (base.0 / fx as u64, base.1 / fy as u64)
+                }
+            };
+            for s in [scale.0, scale.1] {
+                if s > MAX_RATE_FACTOR {
+                    return Err(IrError::RateOutOfRange {
+                        stage: name,
+                        factor: s,
+                    });
+                }
             }
         }
 
@@ -565,8 +767,37 @@ impl Dag {
             origin,
             norm_shift: (sx, sy),
             sync_group: None,
+            rate,
         });
         Ok(id)
+    }
+
+    /// Per-stage cumulative scale `(sx, sy)`: the factor between the
+    /// base (input) grid and the stage's own grid on each axis. Input
+    /// stages are `(1, 1)`; a `down(2,2)` stage below them is `(2, 2)`
+    /// (its frame is a quarter of the base frame). Scale consistency is
+    /// validated at construction, so this never fails.
+    pub fn stage_scales(&self) -> Vec<(u64, u64)> {
+        let mut scales = vec![(1u64, 1u64); self.stages.len()];
+        for (i, s) in self.stages.iter().enumerate() {
+            let base = s
+                .producers
+                .first()
+                .map(|p| scales[p.0])
+                .unwrap_or((1, 1));
+            let (fx, fy) = s.rate.factors();
+            scales[i] = match s.rate {
+                Rate::Unit => base,
+                Rate::Down { .. } => (base.0 * fx as u64, base.1 * fy as u64),
+                Rate::Up { .. } => (base.0 / fx as u64, base.1 / fy as u64),
+            };
+        }
+        scales
+    }
+
+    /// Whether any stage has a non-unit rate.
+    pub fn is_multirate(&self) -> bool {
+        self.stages.iter().any(|s| !s.rate.is_unit())
     }
 
     /// Marks a stage as a pipeline output.
@@ -781,6 +1012,13 @@ impl Dag {
             }
             s.is_output.hash(&mut h);
             s.sync_group.hash(&mut h);
+            // Unit-rate stages hash exactly as before rates existed, so
+            // every pre-multirate pipeline keeps its fingerprint.
+            match s.rate {
+                Rate::Unit => {}
+                Rate::Down { fx, fy } => (2u8, fx, fy).hash(&mut h),
+                Rate::Up { fx, fy } => (3u8, fx, fy).hash(&mut h),
+            }
         }
         self.edges.len().hash(&mut h);
         for e in &self.edges {
@@ -1193,6 +1431,102 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, IrError::WindowTooLarge { .. }));
+    }
+
+    #[test]
+    fn rates_compose_and_validate() {
+        let mut dag = Dag::new("pyr");
+        let k0 = dag.add_input("K0");
+        let d1 = dag
+            .add_stage_rated("D1", &[k0], box3(0), Rate::Down { fx: 2, fy: 2 })
+            .unwrap();
+        let d2 = dag
+            .add_stage_rated("D2", &[d1], box3(0), Rate::Down { fx: 2, fy: 2 })
+            .unwrap();
+        let u1 = dag
+            .add_stage_rated("U1", &[d2], Expr::tap(0, 0, 0), Rate::Up { fx: 2, fy: 2 })
+            .unwrap();
+        dag.mark_output(u1);
+        let scales = dag.stage_scales();
+        assert_eq!(scales[k0.index()], (1, 1));
+        assert_eq!(scales[d1.index()], (2, 2));
+        assert_eq!(scales[d2.index()], (4, 4));
+        assert_eq!(scales[u1.index()], (2, 2));
+        assert!(dag.is_multirate());
+        assert_eq!(dag.stage(d1).rate(), Rate::Down { fx: 2, fy: 2 });
+
+        // Upsampling above the base grid is rejected.
+        let err = dag
+            .add_stage_rated("bad", &[k0], Expr::tap(0, 0, 0), Rate::Up { fx: 2, fy: 2 })
+            .unwrap_err();
+        assert!(matches!(err, IrError::UpsampleAboveBase { .. }));
+
+        // Producers at different scales cannot be mixed.
+        let err = dag
+            .add_stage_rated(
+                "mix",
+                &[k0, d1],
+                Expr::bin(BinOp::Add, Expr::tap(0, 0, 0), Expr::tap(1, 0, 0)),
+                Rate::Unit,
+            )
+            .unwrap_err();
+        assert!(matches!(err, IrError::RateMismatch { .. }));
+    }
+
+    #[test]
+    fn hostile_rate_factors_rejected() {
+        let mut dag = Dag::new("hostile");
+        let k0 = dag.add_input("K0");
+        for rate in [
+            Rate::Down { fx: 0, fy: 2 },
+            Rate::Up { fx: 2, fy: 0 },
+            Rate::Down {
+                fx: (MAX_RATE_FACTOR + 1) as u32,
+                fy: 1,
+            },
+        ] {
+            let err = dag
+                .add_stage_rated("R", &[k0], Expr::tap(0, 0, 0), rate)
+                .unwrap_err();
+            assert!(matches!(err, IrError::RateOutOfRange { .. }), "{rate:?}");
+        }
+        // A down-chain whose cumulative scale overflows the bound errors
+        // instead of wrapping.
+        let big = Rate::Down {
+            fx: 1 << 12,
+            fy: 1,
+        };
+        let a = dag.add_stage_rated("A", &[k0], Expr::tap(0, 0, 0), big).unwrap();
+        let err = dag
+            .add_stage_rated("B", &[a], Expr::tap(0, 0, 0), big)
+            .unwrap_err();
+        assert!(matches!(err, IrError::RateOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unit_rate_fingerprint_untouched_and_rates_hash() {
+        // Factor-1 modifiers normalize to `Unit` and fingerprint like a
+        // plain stage; real factors change the fingerprint.
+        let build = |rate: Rate| {
+            let mut dag = Dag::new("fp");
+            let k0 = dag.add_input("K0");
+            let k1 = dag.add_stage_rated("K1", &[k0], box3(0), rate).unwrap();
+            dag.mark_output(k1);
+            dag
+        };
+        let plain = build(Rate::Unit);
+        assert_eq!(
+            plain.fingerprint(),
+            build(Rate::Down { fx: 1, fy: 1 }).fingerprint()
+        );
+        assert_ne!(
+            plain.fingerprint(),
+            build(Rate::Down { fx: 2, fy: 2 }).fingerprint()
+        );
+        assert_ne!(
+            build(Rate::Down { fx: 2, fy: 2 }).fingerprint(),
+            build(Rate::Down { fx: 2, fy: 1 }).fingerprint()
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod linearize;
 pub use coalesce::{apply_line_coalescing, CoalesceFactor, CoalescedEdge};
 pub use expr::{BinOp, CmpOp, Expr, OpCensus, TapExtent};
 pub use graph::{
-    Dag, DagStats, Edge, EdgeId, IrError, Origin, Reachability, ReadPort, Stage, StageId,
-    StageKind, Window, MAX_WINDOW_SPAN,
+    Dag, DagStats, Edge, EdgeId, IrError, Origin, Rate, Reachability, ReadPort, Stage, StageId,
+    StageKind, Window, MAX_RATE_FACTOR, MAX_WINDOW_SPAN,
 };
 pub use linearize::{linearize, Linearized};

@@ -329,12 +329,22 @@ fn run(
         return Err(InterpError::GeometryMismatch);
     }
 
+    // Per-stage cumulative rate scales (1,1 for rate-1 stages).
+    let scales: Vec<(i64, i64)> = net
+        .stages
+        .iter()
+        .map(|s| (s.scale_x as i64, s.scale_y as i64))
+        .collect();
+
     // Per-stage rotating buffers (from the netlist's line-buffer roster).
+    // A multirate producer's buffer holds its own grid: w / scale_x words
+    // per row.
     let mut buffers: Vec<Option<BufState>> = (0..net.stages.len()).map(|_| None).collect();
     for buf in &net.buffers {
+        let (sx, _) = scales[buf.stage];
         buffers[buf.stage] = Some(BufState {
             rows: buf.storage_rows,
-            data: vec![0; buf.storage_rows as usize * w as usize],
+            data: vec![0; buf.storage_rows as usize * (w / sx) as usize],
         });
     }
     // Every windowed producer must own a buffer for the load path to read.
@@ -429,7 +439,10 @@ fn run(
         .stages
         .iter()
         .filter(|s| s.is_output)
-        .map(|s| (s.index, Image::new(geom.width, geom.height)))
+        .map(|s| {
+            let (sx, sy) = scales[s.index];
+            (s.index, Image::new((w / sx) as u32, (h / sy) as u32))
+        })
         .collect();
     let mut computed: Vec<i64> = vec![0; net.stages.len()];
     let mut sram_reads = 0u64;
@@ -448,11 +461,22 @@ fn run(
             let k = t - start;
             let y = k.div_euclid(w);
             let x = k.rem_euclid(w);
+            let (ccx, ccy) = scales[s.index];
 
             for (eidx, e) in net.edges.iter().enumerate() {
                 if e.consumer != s.index {
                     continue;
                 }
+                let (pcx, pcy) = scales[e.producer];
+                // Edge-active cadence: once per consumer-active row, at
+                // every producer-grid column.
+                if y % ccy != 0 || x % pcx != 0 {
+                    continue;
+                }
+                let pw = w / pcx;
+                let ph = h / pcy;
+                let xp = x / pcx;
+                let r0 = y / pcy;
                 let bufidx = buf_of_stage[e.producer].expect("checked above");
                 let gated_off = gates[bufidx].is_some_and(|g| !g.enabled_at(t as u64));
                 let sra = &mut sras[eidx];
@@ -474,7 +498,7 @@ fn run(
                 for j in 0..sra.height {
                     // Clamp-to-edge on the bottom rows: rows past the
                     // frame hold their last written value.
-                    let row = (y + sra.lag as i64 + j as i64).min(h - 1);
+                    let row = (r0 + sra.lag as i64 + j as i64).min(ph - 1);
                     let cell = (j * sra.width + sra.width - 1) as usize;
                     let v = if gated_off {
                         // A gated-off read port supplies no data: a plan
@@ -483,7 +507,7 @@ fn run(
                         // preservation is checked, not assumed.
                         0
                     } else {
-                        let slot = (row.rem_euclid(pb.rows as i64) * w + x) as usize;
+                        let slot = (row.rem_euclid(pb.rows as i64) * pw + xp) as usize;
                         sram_reads += 1;
                         pb.data[slot]
                     };
@@ -493,14 +517,14 @@ fn run(
                             ts.consumed[bufidx] = true;
                             if !nb.fifo {
                                 if let Some(block) =
-                                    nb.block_of(row as u64, x as u32, geom.pixel_bits)
+                                    nb.block_of(row as u64, xp as u32, geom.pixel_bits)
                                 {
                                     // Reads merge on identical (block,
                                     // row, column) within one cycle —
                                     // the cycle simulator's convention.
                                     // Candidates are collected here and
                                     // deduplicated once at end of cycle.
-                                    ts.cycle_reads[bufidx].push((block, row, x));
+                                    ts.cycle_reads[bufidx].push((block, row, xp));
                                 }
                             }
                         }
@@ -515,16 +539,25 @@ fn run(
                 }
             }
 
+            // Compute fires on the stage's own cadence only.
+            if y % ccy != 0 || x % ccx != 0 {
+                continue;
+            }
             computed[s.index] = match input_of[s.index] {
                 Some(idx) => trunc(inputs[idx].get(x as u32, y as u32), pixel),
                 None => {
                     let kernel = kernels[s.index].expect("compute stage has a kernel");
                     let slots = &slot_edge[s.index];
+                    let edges = &net.edges;
                     let wide = eval_acc(kernel, acc, &mut |slot, dx, dy| {
-                        let sra = &sras[slots[slot]];
+                        let eidx = slots[slot];
+                        let sra = &sras[eidx];
+                        let (pcx, _) = scales[edges[eidx].producer];
+                        // Newest SRA column holds producer column x/pcx.
+                        let newest = x / pcx;
                         let j = (dy as u32).saturating_sub(sra.lag);
-                        let col = (x + dx as i64).max(0);
-                        let c = (sra.width as i64 - 1 - (x - col)).max(0) as u32;
+                        let col = (newest + dx as i64).max(0);
+                        let c = (sra.width as i64 - 1 - (newest - col)).max(0) as u32;
                         sra.data[(j * sra.width + c) as usize]
                     });
                     // The stage output register truncates the wide result
@@ -554,17 +587,23 @@ fn run(
             let k = t - start;
             let y = k.div_euclid(w);
             let x = k.rem_euclid(w);
+            let (cx, cy) = scales[s.index];
+            // A stage only produces on its own cadence.
+            if y % cy != 0 || x % cx != 0 {
+                continue;
+            }
+            let (yc, xc) = (y / cy, x / cx);
             let value = computed[s.index];
 
             if let Some(sb) = buffers[s.index].as_mut() {
-                let slot = (y.rem_euclid(sb.rows as i64) * w + x) as usize;
+                let slot = (yc.rem_euclid(sb.rows as i64) * (w / cx) + xc) as usize;
                 sb.data[slot] = value;
                 sram_writes += 1;
                 if let (Some(tr), Some(ts)) = (trace.as_deref_mut(), scratch.as_mut()) {
                     let bufidx = buf_of_stage[s.index].expect("writer owns a buffer");
                     let nb = &net.buffers[bufidx];
                     if !nb.fifo {
-                        if let Some(block) = nb.block_of(y as u64, x as u32, geom.pixel_bits) {
+                        if let Some(block) = nb.block_of(yc as u64, xc as u32, geom.pixel_bits) {
                             tr.buffers[bufidx].block_writes[block] += 1;
                             bump(&mut ts.cycle_counts[bufidx], &mut ts.touched[bufidx], block);
                         }
@@ -574,7 +613,7 @@ fn run(
 
             if s.is_output {
                 if let Some((_, img)) = outputs.iter_mut().find(|(i, _)| *i == s.index) {
-                    img.set(x as u32, y as u32, value);
+                    img.set(xc as u32, yc as u32, value);
                 }
             }
         }
@@ -635,13 +674,16 @@ fn run(
         // FIFO chains: one push and one pop per segment per live cycle —
         // the cycle simulator's synthetic SODA accounting (Sec. 3.1), so
         // the two counting paths stay comparable on FIFO designs too.
-        for b in tr.buffers.iter_mut() {
+        // Multirate producers push one stage-grid frame, not a base frame.
+        for (i, b) in tr.buffers.iter_mut().enumerate() {
             if b.fifo {
+                let s = net.buffers[i].stage;
+                let live = net.frame / (net.stages[s].scale_x * net.stages[s].scale_y);
                 for r in b.block_reads.iter_mut() {
-                    *r = net.frame;
+                    *r = live;
                 }
                 for wr in b.block_writes.iter_mut() {
-                    *wr = net.frame;
+                    *wr = live;
                 }
                 for p in b.block_peaks.iter_mut() {
                     *p = 2;

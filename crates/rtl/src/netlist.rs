@@ -233,6 +233,19 @@ pub struct NetStage {
     pub is_output: bool,
     /// ILP start cycle.
     pub start_cycle: u64,
+    /// Cumulative horizontal rate scale (`1` for rate-1 stages): the
+    /// stage computes only on base cycles with `x % scale_x == 0`.
+    pub scale_x: u64,
+    /// Cumulative vertical rate scale (`1` for rate-1 stages): the stage
+    /// computes only on base rows with `y % scale_y == 0`.
+    pub scale_y: u64,
+}
+
+impl NetStage {
+    /// Whether the stage runs at a non-unit cumulative rate.
+    pub fn is_multirate(&self) -> bool {
+        self.scale_x != 1 || self.scale_y != 1
+    }
 }
 
 /// One producer→consumer stencil edge mirrored into the netlist.
@@ -750,6 +763,7 @@ pub fn build_netlist(dag: &Dag, design: &Design, widths: &BitWidths) -> Netlist 
     let frame = geom.pixels();
 
     // Stage roster with stream assignments.
+    let scales = dag.stage_scales();
     let mut stages: Vec<NetStage> = Vec::with_capacity(dag.num_stages());
     let mut in_idx = 0usize;
     for (id, stage) in dag.stages() {
@@ -760,6 +774,7 @@ pub fn build_netlist(dag: &Dag, design: &Design, widths: &BitWidths) -> Netlist 
         } else {
             None
         };
+        let (scale_x, scale_y) = scales[id.index()];
         stages.push(NetStage {
             index: id.index(),
             name: stage.name().to_string(),
@@ -768,6 +783,8 @@ pub fn build_netlist(dag: &Dag, design: &Design, widths: &BitWidths) -> Netlist 
             module: None,
             is_output: stage.is_output(),
             start_cycle: *design.start_cycles.get(id.index()).unwrap_or(&0),
+            scale_x,
+            scale_y,
         });
     }
 
@@ -815,7 +832,9 @@ pub fn build_netlist(dag: &Dag, design: &Design, widths: &BitWidths) -> Netlist 
             .stage(StageId::from_index(plan.stage))
             .name()
             .to_string();
-        let depth = macro_depth(plan.rows_per_block, geom.width);
+        // Buffer rows hold the producer's own grid: W / scale_x words.
+        let buf_width = (u64::from(geom.width) / scales[plan.stage].0.max(1)) as u32;
+        let depth = macro_depth(plan.rows_per_block, buf_width);
         let buf = NetBuffer {
             stage: plan.stage,
             module: modules.len(),

@@ -33,10 +33,25 @@
 //!   the load stream), and per-block SRAM read/write/peak counters come
 //!   from an event sweep over spans where every participant's row,
 //!   bank segment and gate state are constant;
+//! * **multirate strided stepping** — pipelines with `downsample`/
+//!   `upsample` stages keep the frame-at-a-time streaming order but run
+//!   each stage over its *own* grid (`W/cx × H/cy`), stepping taps
+//!   through the producer's grid with the cumulative-scale stride
+//!   (`row = min(⌊y_b/pcy⌋ + lag + j, ph-1)`, `col = max(⌊x_b/pcx⌋ +
+//!   dx, 0)`), which is exactly the value the rate-scheduled SRA holds
+//!   at the stage's compute-enable cycles. The streaming-margin proof
+//!   generalizes with rows re-measured in producer row periods. This
+//!   path evaluates the same tape scalarly; the vectorized tile path
+//!   and its closed forms are reserved for the (common) rate-1 case
+//!   and are byte-for-byte unchanged by the multirate extension.
 //! * **pathology fallback** — a netlist whose schedule violates the
 //!   streaming margins (never produced by the planner, but representable)
 //!   keeps a copy of itself and routes execution through the reference
-//!   interpreter, trading speed for unconditional exactness.
+//!   interpreter, trading speed for unconditional exactness. Multirate
+//!   netlists also keep the copy: their *traced* runs route through the
+//!   rate-aware reference interpreter (the activity passes assume the
+//!   one-pixel-per-cycle raster), while plain runs use the strided
+//!   scalar path above.
 //!
 //! The program is *semantics-preserving by construction and pinned by
 //! test*: [`crate::interpret`] routes through it, and the differential
@@ -509,6 +524,89 @@ fn eval_tile(tape: &Tape, regs: &mut [i64], vrows: &[&[i64]], sh: u32, x0: usize
     }
 }
 
+/// Evaluates a tape for one pixel, fetching taps through `fetch(vrow,
+/// dx)`. Mirrors [`eval_tile`]'s per-op truncation placement exactly
+/// (demanded-exact registers truncate; `Cmp`/`Select`/`Clamp` pass
+/// already-truncated values through). The multirate executor uses this
+/// path: its taps step through the producer grid at a non-unit stride,
+/// which the lane-shifted tile loader cannot express.
+fn eval_scalar(
+    tape: &Tape,
+    regs: &mut [i64],
+    sh: u32,
+    fetch: &mut impl FnMut(u32, i32) -> i64,
+) -> i64 {
+    for (i, op) in tape.ops.iter().enumerate() {
+        let sh = if tape.exact[i] { sh } else { 0 };
+        let v = match *op {
+            TapeOp::Const(c) => (c << sh) >> sh,
+            TapeOp::Load { vrow, dx } => (fetch(vrow, dx) << sh) >> sh,
+            TapeOp::Neg(a) => (regs[a as usize].wrapping_neg() << sh) >> sh,
+            TapeOp::Abs(a) => (regs[a as usize].wrapping_abs() << sh) >> sh,
+            TapeOp::Bin(op, a, b) => {
+                let (a, b) = (regs[a as usize], regs[b as usize]);
+                let v = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Min => a.min(b),
+                    BinOp::Max => a.max(b),
+                    BinOp::Shl => a.wrapping_shl(b as u32) * i64::from((b as u64) < 64),
+                    BinOp::Shr => a.wrapping_shr((b as u64).min(63) as u32),
+                    BinOp::Div => {
+                        if b == 0 {
+                            0
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                };
+                (v << sh) >> sh
+            }
+            TapeOp::Add3(a, b, c) => {
+                let v = regs[a as usize]
+                    .wrapping_add(regs[b as usize])
+                    .wrapping_add(regs[c as usize]);
+                (v << sh) >> sh
+            }
+            TapeOp::Add4(a, b, c, d) => {
+                let v = regs[a as usize]
+                    .wrapping_add(regs[b as usize])
+                    .wrapping_add(regs[c as usize].wrapping_add(regs[d as usize]));
+                (v << sh) >> sh
+            }
+            TapeOp::Cmp(op, a, b) => {
+                let (a, b) = (regs[a as usize], regs[b as usize]);
+                i64::from(match op {
+                    CmpOp::Lt => a < b,
+                    CmpOp::Le => a <= b,
+                    CmpOp::Gt => a > b,
+                    CmpOp::Ge => a >= b,
+                    CmpOp::Eq => a == b,
+                    CmpOp::Ne => a != b,
+                })
+            }
+            TapeOp::Select(c, t, o) => {
+                if regs[c as usize] != 0 {
+                    regs[t as usize]
+                } else {
+                    regs[o as usize]
+                }
+            }
+            TapeOp::Clamp(v, lo, hi) => {
+                let (v, lo, hi) = (regs[v as usize], regs[lo as usize], regs[hi as usize]);
+                if lo > hi {
+                    lo
+                } else {
+                    v.clamp(lo, hi)
+                }
+            }
+        };
+        regs[i] = v;
+    }
+    regs[tape.root as usize]
+}
+
 /// Compiled window-load path of one consumer edge.
 #[derive(Clone, Debug)]
 struct EdgeProg {
@@ -605,8 +703,16 @@ pub struct EvalProgram {
     sram_reads: u64,
     sram_writes: u64,
     gated_off_cycles: u64,
-    /// Reference netlist for schedules that violate the streaming
-    /// margins; execution falls back to the cycle-accurate interpreter.
+    /// Cumulative rate scale per netlist stage (`(1, 1)` for rate-1).
+    scale_of: Vec<(u64, u64)>,
+    /// Whether any stage runs at a non-unit cumulative rate.
+    multirate: bool,
+    /// Whether the schedule satisfies the streaming margins.
+    streamable: bool,
+    /// Reference netlist kept when the streaming executor cannot cover
+    /// every path: schedules that violate the streaming margins (all
+    /// execution falls back to the cycle-accurate interpreter) and
+    /// multirate pipelines (only *traced* runs fall back).
     fallback: Option<Box<Netlist>>,
 }
 
@@ -697,9 +803,16 @@ impl EvalProgram {
         // load of it (write lead — also covers clamp-to-edge reads of
         // the last row, whose loads happen strictly later), and (b) the
         // rotating buffer does not reuse a slot until the load has
-        // happened (read-first ties allowed). Every planner schedule
-        // satisfies both; a hand-built netlist that does not falls back
-        // to the reference interpreter.
+        // happened (read-first ties allowed). Both margins are measured
+        // in the producer's row period `P_p = pcy·W` (which is `W` for
+        // rate-1, reducing to the original formulas exactly); upsample
+        // readers re-read a producer row for `P_p - P_c` base cycles
+        // past the rate-1 model's last access, hence the extra reuse
+        // slack term. Every planner schedule satisfies both; a
+        // hand-built netlist that does not falls back to the reference
+        // interpreter.
+        let scale_of: Vec<(u64, u64)> = net.stages.iter().map(|s| (s.scale_x, s.scale_y)).collect();
+        let multirate = scale_of.iter().any(|&s| s != (1, 1));
         let mut streamable = true;
         for e in &net.edges {
             let sc = net.stages[e.consumer].start_cycle as i64;
@@ -708,8 +821,10 @@ impl EvalProgram {
             let height = e.window.height as i64;
             let rows = net.buffers[bufidx_of_stage[e.producer].expect("checked above")].storage_rows
                 as i64;
-            let write_lead = sc - sp - (lag + height - 1) * w;
-            let reuse = (lag + rows) * w - (sc - sp);
+            let pp = scale_of[e.producer].1 as i64 * w;
+            let pc = scale_of[e.consumer].1 as i64 * w;
+            let write_lead = sc - sp - (lag + height - 1) * pp;
+            let reuse = (lag + rows) * pp - (sc - sp) - (pp - pc).max(0);
             if write_lead < 1 || reuse < 0 {
                 streamable = false;
             }
@@ -740,12 +855,30 @@ impl EvalProgram {
                 slot_local[e.slot] = edges.len() - first_edge;
                 let gate = gates[bufidx];
                 // Closed-form SRAM read total: `height` words per
-                // non-gated active cycle of this edge.
+                // non-gated *edge-active* cycle of this edge. An edge is
+                // active once per consumer-active row (`y % ccy == 0`)
+                // at every producer-grid column (`x % pcx == 0`); for a
+                // rate-1 edge every active cycle qualifies and the sum
+                // collapses to the plain clipped-interval length.
+                let ccy = scale_of[si].1;
+                let pcx = scale_of[e.producer].0;
                 let (astart, aend) = (s.start_cycle, s.start_cycle + frame);
-                let enabled = match gate {
-                    Some((gs, ge)) => ge.min(aend).saturating_sub(gs.max(astart)),
-                    None => frame,
+                let (gs, ge) = match gate {
+                    Some((gs, ge)) => (gs.max(astart), ge.min(aend)),
+                    None => (astart, aend),
                 };
+                let mut enabled = 0u64;
+                let mut y = 0u64;
+                while y < geom.height as u64 {
+                    let base = astart + y * geom.width as u64;
+                    let lo = gs.max(base);
+                    let hi = ge.min(base + geom.width as u64);
+                    if hi > lo {
+                        let (a, b) = (lo - base, hi - base);
+                        enabled += b.div_ceil(pcx) - a.div_ceil(pcx);
+                    }
+                    y += ccy;
+                }
                 sram_reads += height as u64 * enabled;
                 edges.push(EdgeProg {
                     edge: eidx,
@@ -796,7 +929,17 @@ impl EvalProgram {
             });
         }
 
-        let sram_writes = frame * net.buffers.len() as u64;
+        // One write per buffered stage per *write-cadence* cycle: a
+        // stage at cumulative scale `(cx, cy)` commits `frame/(cx·cy)`
+        // words (the full frame for rate-1 stages).
+        let sram_writes = net
+            .buffers
+            .iter()
+            .map(|b| {
+                let (sx, sy) = scale_of[b.stage];
+                frame / (sx * sy)
+            })
+            .sum();
         let gated_off_cycles: u64 = gates
             .iter()
             .flatten()
@@ -876,7 +1019,10 @@ impl EvalProgram {
             sram_reads,
             sram_writes,
             gated_off_cycles,
-            fallback: (!streamable).then(|| Box::new(net.clone())),
+            scale_of,
+            multirate,
+            streamable,
+            fallback: (!streamable || multirate).then(|| Box::new(net.clone())),
         })
     }
 
@@ -886,10 +1032,14 @@ impl EvalProgram {
     ///
     /// [`InterpError`] on input count/geometry mismatch.
     pub fn run(&self, inputs: &[Image]) -> Result<InterpReport, InterpError> {
-        if let Some(net) = &self.fallback {
+        if !self.streamable {
+            let net = self.fallback.as_ref().expect("fallback netlist kept");
             return crate::interp::interpret_legacy(net, inputs);
         }
         self.check_inputs(inputs)?;
+        if self.multirate {
+            return Ok(self.exec_multirate(inputs));
+        }
         let mut tr = TraceAcc::empty();
         Ok(self.exec::<false>(inputs, &mut tr))
     }
@@ -904,7 +1054,8 @@ impl EvalProgram {
         &self,
         inputs: &[Image],
     ) -> Result<(InterpReport, ActivityTrace), InterpError> {
-        if let Some(net) = &self.fallback {
+        if !self.streamable || self.multirate {
+            let net = self.fallback.as_ref().expect("fallback netlist kept");
             return crate::interp::interpret_with_trace_legacy(net, inputs);
         }
         self.check_inputs(inputs)?;
@@ -1032,6 +1183,98 @@ impl EvalProgram {
                 (
                     stage,
                     Image::from_raster(self.width_px, self.height_px, dense),
+                )
+            })
+            .collect();
+
+        InterpReport {
+            cycles: self.end,
+            latency: self.done_cycle,
+            output_images,
+            sram_reads: self.sram_reads,
+            sram_writes: self.sram_writes,
+            gated_off_cycles: self.gated_off_cycles,
+        }
+    }
+
+    /// The multirate strided executor: frame-at-a-time streaming in
+    /// start-cycle order, each stage evaluated over its own `W/cx ×
+    /// H/cy` grid with taps stepping through the producer's grid at the
+    /// cumulative-scale stride. Under the (generalized) streaming
+    /// margins the dense producer image at `[min(⌊y_b/pcy⌋ + lag + j,
+    /// ph-1)][max(⌊x_b/pcx⌋ + dx, 0)]` is exactly the word the
+    /// rate-scheduled SRA holds at the stage's compute-enable cycle;
+    /// gate windows are applied per load at the base cycle the load
+    /// would occur (`S_c + y_b·W + col·pcx`). Report totals come from
+    /// the rate-aware compile-time closed forms.
+    fn exec_multirate(&self, inputs: &[Image]) -> InterpReport {
+        let pixel = self.pixel;
+        let (w, h) = (self.w as u64, self.h as u64);
+        let sh = 64 - self.acc.min(64);
+
+        // Dense per-stage images in each stage's own grid, unpadded
+        // row-major (the scalar path needs no tile alignment).
+        let mut images: Vec<Vec<i64>> = vec![Vec::new(); self.n_net_stages];
+        let mut dims: Vec<(u64, u64)> = vec![(0, 0); self.n_net_stages];
+        let mut regs = vec![0i64; self.max_regs];
+
+        for st in &self.stages {
+            let (ccx, ccy) = self.scale_of[st.stage];
+            let (cw, ch) = (w / ccx, h / ccy);
+            dims[st.stage] = (cw, ch);
+            let mut out = vec![0i64; (cw * ch) as usize];
+            match st.input {
+                Some(k) => {
+                    // Input stages are always rate-1: full-frame copy.
+                    let mut it = inputs[k].raster();
+                    for v in out.iter_mut() {
+                        *v = trunc(it.next().unwrap_or(0), pixel);
+                    }
+                }
+                None => {
+                    let edges = &self.edges[st.edges.clone()];
+                    for yc in 0..ch {
+                        let yb = yc * ccy;
+                        for xc in 0..cw {
+                            let xb = xc * ccx;
+                            let root =
+                                eval_scalar(&st.tape, &mut regs, sh, &mut |vrow, dx| {
+                                    let vrow = vrow as usize;
+                                    let ep = edges
+                                        .iter()
+                                        .find(|e| {
+                                            vrow >= e.vrow_base && vrow < e.vrow_base + e.height
+                                        })
+                                        .expect("tap vrow maps to an edge window");
+                                    let j = (vrow - ep.vrow_base) as u64;
+                                    let (pcx, pcy) = self.scale_of[ep.prod_stage];
+                                    let (pw, ph) = (w / pcx, h / pcy);
+                                    let row = (yb / pcy + ep.lag as u64 + j).min(ph - 1);
+                                    let col = ((xb / pcx) as i64 + dx as i64).max(0) as u64;
+                                    if let Some((gs, ge)) = ep.gate {
+                                        let t = st.start + yb * w + col * pcx;
+                                        if t < gs || t >= ge {
+                                            return 0;
+                                        }
+                                    }
+                                    images[ep.prod_stage][(row * pw + col) as usize]
+                                });
+                            out[(yc * cw + xc) as usize] = trunc(root, pixel);
+                        }
+                    }
+                }
+            }
+            images[st.stage] = out;
+        }
+
+        let output_images = self
+            .outputs
+            .iter()
+            .map(|&stage| {
+                let (cw, ch) = dims[stage];
+                (
+                    stage,
+                    Image::from_raster(cw as u32, ch as u32, images[stage].clone()),
                 )
             })
             .collect();

@@ -110,11 +110,24 @@ pub fn generate_testbench(net: &Netlist, vectors: &TestVectors) -> Result<String
             found: vectors.outputs.len(),
         });
     }
-    for data in vectors.inputs.iter().chain(&vectors.outputs) {
+    for data in &vectors.inputs {
         if data.len() != frame as usize {
             return Err(RtlError::VectorShape {
                 what: "frame",
                 expected: frame as usize,
+                found: data.len(),
+            });
+        }
+    }
+    // A multirate output stage produces its own grid: `frame/(cx·cy)`
+    // pixels (the full frame for rate-1 stages).
+    for ((_, stage, _), data) in outputs.iter().zip(&vectors.outputs) {
+        let st = &net.stages[*stage];
+        let want = (frame / (st.scale_x * st.scale_y)) as usize;
+        if data.len() != want {
+            return Err(RtlError::VectorShape {
+                what: "frame",
+                expected: want,
                 found: data.len(),
             });
         }
@@ -162,12 +175,13 @@ pub fn generate_testbench(net: &Netlist, vectors: &TestVectors) -> Result<String
             p = pixel
         );
     }
-    for (i, _, _) in &outputs {
+    for (i, stage, _) in &outputs {
+        let st = &net.stages[*stage];
         let _ = writeln!(
             v,
             "    reg signed [{w}:0] exp_mem_{i} [0:{n}];",
             w = pixel - 1,
-            n = frame - 1
+            n = frame / (st.scale_x * st.scale_y) - 1
         );
         let _ = writeln!(v, "    wire signed [{}:0] stream_out_{i};", pixel - 1);
     }
@@ -207,19 +221,35 @@ pub fn generate_testbench(net: &Netlist, vectors: &TestVectors) -> Result<String
     // (one extra cycle of pipeline latency through the stage register).
     let _ = writeln!(v, "    always @(posedge clk) begin");
     let _ = writeln!(v, "        if (!rst) cycle <= cycle + 64'd1;");
-    for (i, _, s) in &outputs {
+    for (i, stage, s) in &outputs {
+        let st = &net.stages[*stage];
+        // A multirate output only updates on its compute cadence; sample
+        // those base cycles and index the stage-grid raster. Rate-1
+        // stages emit the seed's every-cycle check verbatim.
+        let (guard, idx) = if st.is_multirate() {
+            let (cx, cy) = (st.scale_x, st.scale_y);
+            let w = u64::from(net.geometry.width);
+            (
+                format!(
+                    "cycle >= 64'd{s} && cycle < 64'd{e} && (((cycle - 64'd{s}) / {w}) % {cy}) == 0 && (((cycle - 64'd{s}) % {w}) % {cx}) == 0",
+                    e = s + frame
+                ),
+                format!(
+                    "((((cycle - 64'd{s}) / {w}) / {cy}) * {pw} + (((cycle - 64'd{s}) % {w}) / {cx}))",
+                    pw = w / cx
+                ),
+            )
+        } else {
+            (
+                format!("cycle >= 64'd{s} && cycle < 64'd{e}", e = s + frame),
+                format!("cycle - 64'd{s}"),
+            )
+        };
+        let _ = writeln!(v, "        if ({guard}) begin");
+        let _ = writeln!(v, "            if (stream_out_{i} !== exp_mem_{i}[{idx}]) begin");
         let _ = writeln!(
             v,
-            "        if (cycle >= 64'd{s} && cycle < 64'd{e}) begin",
-            e = s + frame
-        );
-        let _ = writeln!(
-            v,
-            "            if (stream_out_{i} !== exp_mem_{i}[cycle - 64'd{s}]) begin"
-        );
-        let _ = writeln!(
-            v,
-            "                errors = errors + 1;\n                $display(\"MISMATCH out{i} k=%0d got=%0d want=%0d\", cycle - 64'd{s}, stream_out_{i}, exp_mem_{i}[cycle - 64'd{s}]);"
+            "                errors = errors + 1;\n                $display(\"MISMATCH out{i} k=%0d got=%0d want=%0d\", {idx}, stream_out_{i}, exp_mem_{i}[{idx}]);"
         );
         let _ = writeln!(v, "            end");
         let _ = writeln!(v, "        end");

@@ -15,7 +15,7 @@
 //!   selects, inverted clamps) on random seeds.
 
 use imagen_algos::{noise_bits, Algorithm};
-use imagen_ir::{BinOp, CmpOp, Dag, Expr};
+use imagen_ir::{BinOp, CmpOp, Dag, Expr, Rate};
 use imagen_mem::{DesignStyle, ImageGeometry, MemBackend, MemorySpec};
 use imagen_power::gate_clocks;
 use imagen_rtl::{
@@ -151,6 +151,103 @@ fn program_matches_legacy_on_corpus() {
             let gated = gate_clocks(&net);
             differential(&format!("{alg:?} {wname} gated"), &gated, &inputs);
         }
+    }
+}
+
+/// 1-2-1 / 2-4-2 / 1-2-1 smoothing kernel over `slot`, `>> 4`.
+fn gauss3(slot: usize) -> Expr {
+    let t = |dx: i32, dy: i32| Expr::tap(slot, dx, dy);
+    let sum = [
+        (-1, -1, 1),
+        (0, -1, 2),
+        (1, -1, 1),
+        (-1, 0, 2),
+        (0, 0, 4),
+        (1, 0, 2),
+        (-1, 1, 1),
+        (0, 1, 2),
+        (1, 1, 1),
+    ]
+    .into_iter()
+    .map(|(dx, dy, k)| {
+        if k == 1 {
+            t(dx, dy)
+        } else {
+            Expr::bin(BinOp::Mul, Expr::Const(k), t(dx, dy))
+        }
+    })
+    .reduce(|a, b| Expr::bin(BinOp::Add, a, b))
+    .unwrap();
+    Expr::bin(BinOp::Shr, sum, Expr::Const(4))
+}
+
+/// A pyramid pipeline — blur, decimate 2×2, half-rate blur, replicate
+/// back up, and a unit-rate band stage subtracting the reconstruction
+/// from the full-rate input — through the strided multirate program
+/// path vs the legacy interpreter, both width regimes, ungated and
+/// gated. This is the one corpus entry whose program takes the
+/// `exec_multirate` scalar path instead of the tile loop.
+#[test]
+fn program_matches_legacy_on_pyramid() {
+    let geom = ImageGeometry {
+        width: 48,
+        height: 32,
+        pixel_bits: 16,
+    };
+    let spec = MemorySpec::new(MemBackend::asic_default(), 2);
+    let mut dag = Dag::new("pyramid");
+    let raw = dag.add_input("raw");
+    let g0 = dag.add_stage("g0", &[raw], gauss3(0)).unwrap();
+    let l1 = dag
+        .add_stage_rated("l1", &[g0], Expr::tap(0, 0, 0), Rate::Down { fx: 2, fy: 2 })
+        .unwrap();
+    let g1 = dag
+        .add_stage(
+            "g1",
+            &[l1],
+            Expr::bin(
+                BinOp::Shr,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::tap(0, -1, 0),
+                        Expr::bin(BinOp::Mul, Expr::Const(2), Expr::tap(0, 0, 0)),
+                    ),
+                    Expr::tap(0, 1, 0),
+                ),
+                Expr::Const(2),
+            ),
+        )
+        .unwrap();
+    let up1 = dag
+        .add_stage_rated("up1", &[g1], Expr::tap(0, 0, 0), Rate::Up { fx: 2, fy: 2 })
+        .unwrap();
+    let band = dag
+        .add_stage(
+            "band",
+            &[raw, up1],
+            Expr::bin(BinOp::Sub, Expr::tap(0, 0, 0), Expr::tap(1, 0, 0)),
+        )
+        .unwrap();
+    dag.mark_output(band);
+
+    let plan = plan_design(
+        &dag,
+        &geom,
+        &spec,
+        ScheduleOptions::default(),
+        DesignStyle::Ours,
+    )
+    .unwrap();
+    let inputs = noise_inputs(&plan.dag, &geom, 0x9E7A, 4);
+    for (wname, widths) in [
+        ("16/32", BitWidths::default()),
+        ("64/64", BitWidths::wide()),
+    ] {
+        let net = build_netlist(&plan.dag, &plan.design, &widths);
+        differential(&format!("pyramid {wname} ungated"), &net, &inputs);
+        differential(&format!("pyramid {wname} gated"), &gate_clocks(&net), &inputs);
     }
 }
 

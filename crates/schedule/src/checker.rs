@@ -16,6 +16,12 @@
 use std::fmt;
 
 /// A resolved access stream: start cycle plus row pattern.
+///
+/// Multirate streams carry their cadence explicitly. All fields being 1
+/// reproduces the seed's fixed-rate behavior exactly. The *base clock*
+/// spans `W·H` cycles for every stage; `row_div` converts a base raster
+/// row into a buffer (producer-grid) row, and `row_active`/`col_div`
+/// gate which base cycles actually touch the memory.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ResolvedEntity {
     /// Start cycle of the governing stage.
@@ -26,6 +32,30 @@ pub struct ResolvedEntity {
     pub height: u32,
     /// Whether this stream writes (the producer).
     pub is_writer: bool,
+    /// Base rows per buffer row (the buffer producer's cumulative `pcy`);
+    /// the accessed base row maps to buffer row `⌊y / row_div⌋`.
+    pub row_div: u32,
+    /// Base columns per buffer column (`pcx`); the stream only touches
+    /// memory on base columns with `x % col_div == 0`.
+    pub col_div: u32,
+    /// The stream only touches memory on base rows with
+    /// `y % row_active == 0` (the writer's own `pcy`, a reader's `ccy`).
+    pub row_active: u32,
+}
+
+impl ResolvedEntity {
+    /// A fixed-rate (seed-identical) stream.
+    pub fn unit_rate(start: i64, row_offset: u32, height: u32, is_writer: bool) -> ResolvedEntity {
+        ResolvedEntity {
+            start,
+            row_offset,
+            height,
+            is_writer,
+            row_div: 1,
+            col_div: 1,
+            row_active: 1,
+        }
+    }
 }
 
 /// Physical layout of a buffer for aliasing checks.
@@ -98,7 +128,19 @@ pub fn check_accesses(
     // tail range covering deactivations and bottom-edge clamping.
     let h = height as i64;
     let w = width as i64;
-    let steady_period = layout.map(|l| l.phys_rows as i64).unwrap_or(1);
+    // The steady-state period in base rows: the physical rotation repeats
+    // every `phys_rows` *buffer* rows, and the cadence pattern repeats
+    // every lcm of the entities' row strides — for multirate buffers the
+    // period becomes the lcm of the stage rates. (Saturation on hostile
+    // rates simply pushes the scan into exhaustive mode below.)
+    let cadence = entities.iter().fold(1i64, |acc, e| {
+        let stride = lcm(e.row_active as i64, e.row_div as i64);
+        lcm(acc, stride)
+    });
+    let steady_period = layout
+        .map(|l| l.phys_rows as i64)
+        .unwrap_or(1)
+        .saturating_mul(cadence);
     let min_start = entities.iter().map(|e| e.start).min().unwrap_or(0);
     let max_start = entities.iter().map(|e| e.start).max().unwrap_or(0);
     let span_rows = (max_start - min_start) / w + 1;
@@ -140,7 +182,9 @@ fn check_accesses_at(
         }
         if let Some(l) = layout {
             if l.blocks_per_row > 1 {
-                let seg_px = (l.block_bits / pixel_bits as u64) as i64;
+                // Segment crossings happen at buffer columns; a buffer
+                // column spans `col_div` base columns.
+                let seg_px = (l.block_bits / pixel_bits as u64) as i64 * e.col_div as i64;
                 let mut x = seg_px;
                 while x < w {
                     for &k in ks {
@@ -169,16 +213,26 @@ fn check_accesses_at(
             let k = t - e.start;
             let y = k.div_euclid(w);
             let x = k.rem_euclid(w);
+            // Cadence gating: multirate streams only touch memory on
+            // their active sub-grid.
+            if y % e.row_active as i64 != 0 || x % e.col_div as i64 != 0 {
+                continue;
+            }
+            // Buffer-grid coordinates: base row/column divided down to
+            // the producer's grid (identity for rate-1 streams).
+            let ph = height as i64 / e.row_div as i64;
+            let r0 = y / e.row_div as i64;
+            let xp = x / e.col_div as i64;
             // Clamped unique rows accessed this cycle.
-            let lo = (y + e.row_offset as i64).min(height as i64 - 1);
-            let hi = (y + e.row_offset as i64 + e.height as i64 - 1).min(height as i64 - 1);
+            let lo = (r0 + e.row_offset as i64).min(ph - 1);
+            let hi = (r0 + e.row_offset as i64 + e.height as i64 - 1).min(ph - 1);
             for row in lo..=hi {
                 let key = match layout {
                     None => row as u64,
                     Some(l) => {
                         let phys = (row as u64) % l.phys_rows as u64;
                         if l.blocks_per_row > 1 {
-                            let seg = (x as u64 * pixel_bits as u64) / l.block_bits;
+                            let seg = (xp as u64 * pixel_bits as u64) / l.block_bits;
                             phys * l.blocks_per_row as u64 + seg
                         } else {
                             phys / l.rows_per_block as u64
@@ -188,9 +242,9 @@ fn check_accesses_at(
                 let dup = !e.is_writer
                     && accesses
                         .iter()
-                        .any(|&(k2, r2, x2, w2)| !w2 && k2 == key && r2 == row && x2 == x);
+                        .any(|&(k2, r2, x2, w2)| !w2 && k2 == key && r2 == row && x2 == xp);
                 if !dup {
-                    accesses.push((key, row, x, e.is_writer));
+                    accesses.push((key, row, xp, e.is_writer));
                 }
             }
         }
@@ -213,6 +267,21 @@ fn check_accesses_at(
         }
     }
     Ok(())
+}
+
+fn lcm(a: i64, b: i64) -> i64 {
+    let g = gcd(a, b);
+    (a / g).saturating_mul(b)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
 }
 
 /// Finds the minimal physical row count (≥ `logical_rows`) for which the
@@ -266,21 +335,11 @@ mod tests {
     const PX: u32 = 16;
 
     fn writer() -> ResolvedEntity {
-        ResolvedEntity {
-            start: 0,
-            row_offset: 0,
-            height: 1,
-            is_writer: true,
-        }
+        ResolvedEntity::unit_rate(0, 0, 1, true)
     }
 
     fn reader(start: i64, h: u32) -> ResolvedEntity {
-        ResolvedEntity {
-            start,
-            row_offset: 0,
-            height: h,
-            is_writer: false,
-        }
+        ResolvedEntity::unit_rate(start, 0, h, false)
     }
 
     #[test]
@@ -348,18 +407,8 @@ mod tests {
         // A 3-row window expressed as two ports (2+1) on g=2 blocks: the
         // two ports alone never exceed 2 accesses on any block.
         let ents = [
-            ResolvedEntity {
-                start: 3 * W as i64,
-                row_offset: 0,
-                height: 2,
-                is_writer: false,
-            },
-            ResolvedEntity {
-                start: 3 * W as i64,
-                row_offset: 2,
-                height: 1,
-                is_writer: false,
-            },
+            ResolvedEntity::unit_rate(3 * W as i64, 0, 2, false),
+            ResolvedEntity::unit_rate(3 * W as i64, 2, 1, false),
         ];
         let layout = BufferLayout {
             phys_rows: 4,
@@ -407,11 +456,13 @@ mod tests {
         for round in 0..60 {
             let n_ent = 2 + (round % 3);
             let entities: Vec<ResolvedEntity> = (0..n_ent)
-                .map(|i| ResolvedEntity {
-                    start: (next() % 6) as i64 * w as i64 + (next() % 3) as i64,
-                    row_offset: (next() % 3) as u32,
-                    height: 1 + (next() % 3) as u32,
-                    is_writer: i == 0,
+                .map(|i| {
+                    ResolvedEntity::unit_rate(
+                        (next() % 6) as i64 * w as i64 + (next() % 3) as i64,
+                        (next() % 3) as u32,
+                        1 + (next() % 3) as u32,
+                        i == 0,
+                    )
                 })
                 .collect();
             let ports = 1 + (next() % 2) as u32;

@@ -25,6 +25,21 @@
 //! height; see DESIGN.md §2 on the subscript) and, unlike the ceiling
 //! derivation in the paper, is exact rather than merely sufficient — no
 //! optimality is lost.
+//!
+//! # Multirate stages and the common base clock
+//!
+//! With per-stage rates, every stage still spans the same `W·H` base
+//! cycles; a stage at cumulative scale `(cx, cy)` merely computes on the
+//! cadence sub-grid `y_b % cy == 0 ∧ x_b % cx == 0`. The producer `p` of a
+//! buffer (scale `(pcx, pcy)`) emits one buffer row per **row period**
+//! `P_p = pcy·W` base cycles, and — the key identity — *every* accessor of
+//! that buffer advances through producer rows as `⌊(t − S) / P_p⌋ + off`:
+//! the writer by construction, and each reader because its SRA base row is
+//! `r0 = ⌊y_b / pcy⌋ = ⌊(t − S_c) / P_p⌋`. So the entire formulation above
+//! holds verbatim with `W` replaced by the buffer's row period `P_p`, the
+//! constraints stay linear [`DiffGe`]s, and the simplex is untouched.
+//! Rate-1 pipelines have `P_p = W` everywhere and produce bit-identical
+//! constraint systems.
 
 use crate::entity::{buffer_entities, AccessEntity};
 use imagen_ilp::DiffSystem;
@@ -117,10 +132,26 @@ pub trait BufferParams {
     fn coalesce(&self, p: StageId) -> u32;
 }
 
-/// Data-dependency constant for an edge window (Equ. 1b): the consumer
-/// must start `newest_row * W + 1` cycles after the producer.
-pub fn dependency_gap(window: &imagen_ir::Window, width: u32) -> i64 {
-    window.newest_row() as i64 * width as i64 + 1
+/// Data-dependency constant for an edge window (Equ. 1b, generalized):
+/// the consumer must start `newest_row · P + 1` base cycles after the
+/// producer, where `row_period` is the producer's row period `pcy·W`
+/// (just `W` for rate-1 stages). Consumer pixel `(0,0)` needs producer
+/// pixel `(0, newest_row)`, produced at `S_p + newest_row·P`; every later
+/// consumer pixel's demand cancels exactly against its own base-clock
+/// delay (down-readers because `ccy·W = fy·P`, up-readers because
+/// `⌊y/fy⌋·P ≤ (y/fy)·P = ccy·y·W`), so this single constant is exact
+/// for the whole frame.
+pub fn dependency_gap(window: &imagen_ir::Window, row_period: i64) -> i64 {
+    window.newest_row() as i64 * row_period + 1
+}
+
+/// Per-stage buffer row periods in base cycles: `pcy · W` for a stage at
+/// cumulative scale `(pcx, pcy)`. Index by `StageId::index`.
+pub fn row_periods(dag: &Dag, width: u32) -> Vec<i64> {
+    dag.stage_scales()
+        .iter()
+        .map(|&(_, cy)| cy as i64 * width as i64)
+        .collect()
 }
 
 /// The memory-spec-independent part of a formulation: data dependencies
@@ -147,13 +178,14 @@ pub struct ConstraintSkeleton {
 pub fn formulate_skeleton(dag: &Dag, width: u32) -> ConstraintSkeleton {
     let mut hard: Vec<DiffGe> = Vec::new();
     let mut dependencies = 0usize;
+    let periods = row_periods(dag, width);
 
     // --- Data dependencies (Equ. 1b) --------------------------------
     for (_, e) in dag.edges() {
         hard.push(DiffGe {
             a: e.consumer(),
             b: e.producer(),
-            k: dependency_gap(e.window(), width),
+            k: dependency_gap(e.window(), periods[e.producer().index()]),
         });
         dependencies += 1;
     }
@@ -212,7 +244,7 @@ pub fn formulate_with(
     params: &impl BufferParams,
     opts: FormulationOptions,
 ) -> ConstraintSet {
-    let w = width as i64;
+    let periods = row_periods(dag, width);
     let mut hard = skeleton.hard.clone();
     let bounds = &skeleton.bounds;
     let mut stats = FormulationStats {
@@ -226,6 +258,10 @@ pub fn formulate_with(
         let ports = params.ports(p);
         let g = params.coalesce(p);
         let entities = buffer_entities(dag, p);
+        // All accessors of this buffer walk producer rows with the same
+        // period (module docs), so the seed's width becomes the buffer's
+        // row period.
+        let w = periods[p.index()];
 
         if g > 1 {
             // Coalesced buffer: deterministic pairwise constraints (see

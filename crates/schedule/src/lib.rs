@@ -28,12 +28,15 @@ mod plan;
 mod solve;
 
 pub use constraints::{
-    dependency_gap, formulate, formulate_skeleton, formulate_with, schedule_satisfies,
-    BufferParams, ConstraintSet, ConstraintSkeleton, DiffBounds, DiffGe, FormulationOptions,
-    FormulationStats, OrGroup,
+    dependency_gap, formulate, formulate_skeleton, formulate_with, row_periods,
+    schedule_satisfies, BufferParams, ConstraintSet, ConstraintSkeleton, DiffBounds, DiffGe,
+    FormulationOptions, FormulationStats, OrGroup,
 };
 pub use entity::{buffer_entities, AccessEntity};
-pub use plan::{plan_design, plan_design_with, realize_design, Plan, PlanError, SpecBufferParams};
+pub use plan::{
+    plan_design, plan_design_with, realize_design, resolve_entities, Plan, PlanError,
+    SpecBufferParams,
+};
 pub use solve::{
     asap_schedule, size_buffers, solve_schedule, Schedule, ScheduleError, ScheduleOptions,
     SizeObjective, SolveReport,

@@ -41,6 +41,21 @@ pub enum PlanError {
         /// The stubborn violation.
         violation: PortViolation,
     },
+    /// A stage's cumulative rate does not divide the frame extents: a
+    /// `downsample(2,2)` chain on a 15-pixel-wide frame has no integral
+    /// iteration domain. Multirate planning requires exact divisibility.
+    IndivisibleExtent {
+        /// The offending stage.
+        stage: StageId,
+        /// Cumulative horizontal factor.
+        fx: u64,
+        /// Cumulative vertical factor.
+        fy: u64,
+        /// Frame width.
+        width: u32,
+        /// Frame height.
+        height: u32,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -56,6 +71,17 @@ impl fmt::Display for PlanError {
                 f,
                 "cannot repair aliasing on buffer of stage {}: {violation}",
                 buffer.index()
+            ),
+            PlanError::IndivisibleExtent {
+                stage,
+                fx,
+                fy,
+                width,
+                height,
+            } => write!(
+                f,
+                "stage {} at cumulative rate ({fx},{fy}) does not divide the {width}x{height} frame",
+                stage.index()
             ),
         }
     }
@@ -147,6 +173,22 @@ pub fn plan_design_with(
 ) -> Result<Plan, PlanError> {
     let mut working = dag.clone();
 
+    // Multirate planning needs every stage's iteration domain to be
+    // integral: the cumulative scale must divide the frame extents.
+    let scales = dag.stage_scales();
+    for (id, _) in dag.stages() {
+        let (fx, fy) = scales[id.index()];
+        if geom.width as u64 % fx != 0 || geom.height as u64 % fy != 0 {
+            return Err(PlanError::IndivisibleExtent {
+                stage: id,
+                fx,
+                fy,
+                width: geom.width,
+                height: geom.height,
+            });
+        }
+    }
+
     // Line coalescing rewrite (Sec. 6) where the spec enables it.
     {
         let _s = imagen_obs::span("plan.coalesce");
@@ -187,6 +229,39 @@ pub fn plan_design_with(
     })
 }
 
+/// Resolves stage `p`'s buffer access streams against a schedule,
+/// attaching each stream's multirate cadence (all 1 for rate-1 stages):
+/// every accessor maps base rows to producer rows by `pcy` and touches
+/// memory at the producer's column cadence `pcx`; the writer is
+/// row-active at its own `pcy`, a reader at its consumer's `ccy`.
+///
+/// Public so out-of-crate checkers (the static analyzer, the cycle
+/// simulator) replay exactly the streams the planner certified.
+pub fn resolve_entities(
+    dag: &Dag,
+    p: StageId,
+    scales: &[(u64, u64)],
+    starts: &[i64],
+) -> Vec<ResolvedEntity> {
+    let (pcx, pcy) = scales[p.index()];
+    buffer_entities(dag, p)
+        .iter()
+        .map(|e| ResolvedEntity {
+            start: starts[e.stage.index()],
+            row_offset: e.row_offset,
+            height: e.height,
+            is_writer: e.is_writer,
+            row_div: pcy as u32,
+            col_div: pcx as u32,
+            row_active: if e.is_writer {
+                pcy as u32
+            } else {
+                scales[e.stage.index()].1 as u32
+            },
+        })
+        .collect()
+}
+
 /// Turns a schedule into an allocated, priced design: per-buffer physical
 /// planning, aliasing slack, analytic access statistics, PE costs.
 pub fn realize_design(
@@ -197,27 +272,29 @@ pub fn realize_design(
     style: DesignStyle,
 ) -> Result<Design, PlanError> {
     let block_bits = spec.backend().block_bits();
-    let row_bits = geom.row_bits();
     let frame = geom.pixels();
+    let scales = dag.stage_scales();
 
     let mut buffers = Vec::new();
     for p in dag.buffered_stages() {
         let ports = spec.ports_for(p.index());
         let g = spec.coalesce_factor(p.index(), geom).max(1);
+        let (pcx, pcy) = scales[p.index()];
+        // The buffer stores producer-grid rows: `W/pcx` pixels each, and
+        // `H/pcy` of them per frame. Rate-1 buffers keep the full frame
+        // geometry.
+        let buf_geom = ImageGeometry {
+            width: (geom.width as u64 / pcx) as u32,
+            height: (geom.height as u64 / pcy) as u32,
+            pixel_bits: geom.pixel_bits,
+        };
+        let row_bits = buf_geom.row_bits();
         let blocks_per_row = if row_bits > block_bits {
             row_bits.div_ceil(block_bits) as u32
         } else {
             1
         };
-        let entities: Vec<ResolvedEntity> = buffer_entities(dag, p)
-            .iter()
-            .map(|e| ResolvedEntity {
-                start: schedule.starts[e.stage.index()],
-                row_offset: e.row_offset,
-                height: e.height,
-                is_writer: e.is_writer,
-            })
-            .collect();
+        let entities: Vec<ResolvedEntity> = resolve_entities(dag, p, &scales, &schedule.starts);
 
         // Absolute-row discipline: must hold by construction.
         if let Err(violation) = check_accesses(
@@ -256,28 +333,33 @@ pub fn realize_design(
             phys_rows,
             logical_rows,
             if blocks_per_row > 1 { 1 } else { g },
-            geom,
+            &buf_geom,
             spec.backend(),
             ports,
             0,
             false,
         );
 
-        // Analytic access statistics: per active cycle the writer makes 1
-        // access and each reader entity `height` accesses; spread over the
-        // buffer's blocks (uniform across blocks of equal configuration,
-        // which keeps the total — what the power model integrates — exact).
-        let reads_per_cycle: f64 = buffer_entities(dag, p)
+        // Analytic access statistics: per *active* cycle the writer makes
+        // 1 access and each reader entity `height` accesses; multirate
+        // streams are active only on their cadence sub-grid, so each
+        // stream's per-base-cycle rate is scaled by its activity fraction.
+        // Spread over the buffer's blocks (uniform across blocks of equal
+        // configuration, which keeps the total — what the power model
+        // integrates — exact).
+        let per_cycle: f64 = entities
             .iter()
-            .filter(|e| !e.is_writer)
-            .map(|e| e.height as f64)
+            .map(|e| {
+                let accesses = if e.is_writer { 1.0 } else { e.height as f64 };
+                accesses / (e.row_active as f64 * e.col_div as f64)
+            })
             .sum();
-        let per_cycle = 1.0 + reads_per_cycle;
+        let write_fraction = 1.0 / (pcy as f64 * pcx as f64);
         let nblocks = plan.blocks.len().max(1) as f64;
         for blk in &mut plan.blocks {
             blk.avg_accesses_per_cycle = per_cycle / nblocks;
-            // One producer write per cycle, spread over the rotation.
-            blk.avg_writes_per_cycle = 1.0 / nblocks;
+            // One producer write per active cycle, spread over the rotation.
+            blk.avg_writes_per_cycle = write_fraction / nblocks;
             blk.peak_accesses = blk.peak_accesses.max(ports.min(per_cycle.ceil() as u32));
         }
         let _ = frame;

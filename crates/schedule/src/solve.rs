@@ -15,7 +15,7 @@
 //! alternative choices with incumbent-based pruning (the paper's
 //! "sub-optimization problems", Sec. 5.4).
 
-use crate::constraints::{to_diff_system, ConstraintSet, DiffGe, FormulationStats};
+use crate::constraints::{row_periods, to_diff_system, ConstraintSet, DiffGe, FormulationStats};
 use imagen_ilp::{LinExpr, Model, Sense, SolveError};
 use imagen_ir::{Dag, StageId};
 use std::fmt;
@@ -146,7 +146,7 @@ pub fn solve_schedule(
     opts: ScheduleOptions,
 ) -> Result<Schedule, ScheduleError> {
     let n = dag.num_stages();
-    let w = width as i64;
+    let periods = row_periods(dag, width);
 
     if set.groups.iter().any(|g| g.alternatives.is_empty()) {
         return Err(ScheduleError::Infeasible);
@@ -174,7 +174,7 @@ pub fn solve_schedule(
             if subproblems > opts.max_subproblems {
                 return Err(ScheduleError::TooManySubproblems(opts.max_subproblems));
             }
-            match solve_leaf(dag, w, &set.hard, &chosen, opts.objective, &mut report) {
+            match solve_leaf(dag, &periods, &set.hard, &chosen, opts.objective, &mut report) {
                 Ok((obj, starts)) => {
                     if best.as_ref().is_none_or(|(b, _)| obj < *b) {
                         best = Some((obj, starts));
@@ -242,9 +242,15 @@ fn advance(
 }
 
 /// Builds and solves one ILP leaf; returns (objective, starts).
+///
+/// `periods` are the per-stage buffer row periods (`pcy·W`). The
+/// `TotalDelay` objective weights each buffer's delay by `L / P_p`
+/// (`L` = lcm of the periods), so that the weighted delay counts *rows*
+/// in a common unit — for rate-1 pipelines every weight is 1 and the
+/// model is identical to the seed's.
 fn solve_leaf(
     dag: &Dag,
-    w: i64,
+    periods: &[i64],
     hard: &[DiffGe],
     chosen: &[DiffGe],
     objective: SizeObjective,
@@ -266,25 +272,40 @@ fn solve_leaf(
     // Retire variables and the objective.
     let mut obj = LinExpr::zero();
     let buffered = dag.buffered_stages();
+    // Common delay unit for mixed-period buffers (lcm of the buffered
+    // periods; 1-buffer lcm = that period). Rate-1: L = W, weights = 1.
+    let lcm_period = buffered
+        .iter()
+        .map(|p| periods[p.index()])
+        .fold(1i64, |acc, p| {
+            let g = gcd(acc, p);
+            (acc / g).saturating_mul(p)
+        });
     let mut rvars = Vec::new();
     for &p in &buffered {
+        let pw = periods[p.index()];
         let t = m.add_int_var(format!("T_{}", p.index()));
         for (_, e) in dag.consumer_edges(p) {
             let lag = e.window().lag as i64;
-            // T_p >= S_c - lag * W.
-            m.add_diff_ge(t, svars[e.consumer().index()], -lag * w, "retire");
+            // T_p >= S_c - lag * P_p + max(0, P_p - P_c). The extra term
+            // covers upsample readers (P_c < P_p): they re-read a producer
+            // row for P_p - P_c base cycles past the rate-1 model's last
+            // access, so the row retires that much later.
+            let extra = (pw - periods[e.consumer().index()]).max(0);
+            m.add_diff_ge(t, svars[e.consumer().index()], -lag * pw + extra, "retire");
         }
         // Buffers hold at least one row.
-        m.add_diff_ge(t, svars[p.index()], w, "minrow");
+        m.add_diff_ge(t, svars[p.index()], pw, "minrow");
         match objective {
             SizeObjective::TotalDelay => {
-                obj = obj + LinExpr::from(t) - LinExpr::from(svars[p.index()]);
+                let weight = lcm_period / pw;
+                obj = obj + (LinExpr::from(t) - LinExpr::from(svars[p.index()])) * weight;
             }
             SizeObjective::TotalRows => {
                 let r = m.add_int_var(format!("R_{}", p.index()));
-                // W * R_p + S_p - T_p >= 0.
+                // P_p * R_p + S_p - T_p >= 0.
                 let expr =
-                    LinExpr::from(r) * w + LinExpr::from(svars[p.index()]) - LinExpr::from(t);
+                    LinExpr::from(r) * pw + LinExpr::from(svars[p.index()]) - LinExpr::from(t);
                 m.add_constraint(expr, imagen_ilp::Cmp::Ge, 0, "rows");
                 obj = obj + LinExpr::from(r);
                 rvars.push(r);
@@ -305,14 +326,23 @@ fn solve_leaf(
 }
 
 /// Sizes every line buffer from a concrete schedule (Equ. 2, per-edge lag
-/// aware): `rows_p = max_e ⌈(S_c - S_p - lag_e·W) / W⌉`.
+/// aware, in the producer's row period): `rows_p = max_e ⌈(S_c - S_p -
+/// lag_e·P_p + max(0, P_p - P_c)) / P_p⌉` with `P_p = pcy·W` (just `W`
+/// for rate-1 stages). The `max(0, P_p - P_c)` term is the upsample-reader
+/// correction: a consumer with a shorter row period re-reads each producer
+/// row until `P_p - P_c` base cycles after the rate-1 model's last access,
+/// so the row must survive that much longer before the writer recycles it.
 pub fn size_buffers(dag: &Dag, width: u32, starts: &[i64]) -> (Vec<u32>, u64) {
-    let w = width as i64;
+    let periods = row_periods(dag, width);
     let mut rows = vec![0u32; dag.num_stages()];
     for p in dag.buffered_stages() {
+        let w = periods[p.index()];
         let mut q = 1i64;
         for (_, e) in dag.consumer_edges(p) {
-            let d = starts[e.consumer().index()] - starts[p.index()] - e.window().lag as i64 * w;
+            let extra = (w - periods[e.consumer().index()]).max(0);
+            let d = starts[e.consumer().index()] - starts[p.index()]
+                - e.window().lag as i64 * w
+                + extra;
             debug_assert!(d >= 1, "dependency constraints guarantee d >= 1");
             q = q.max((d + w - 1).div_euclid(w));
         }
@@ -320,6 +350,16 @@ pub fn size_buffers(dag: &Dag, width: u32, starts: &[i64]) -> (Vec<u32>, u64) {
     }
     let total = rows.iter().map(|&r| r as u64).sum();
     (rows, total)
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
 }
 
 /// ASAP (as-soon-as-possible) schedule from the hard constraints plus a

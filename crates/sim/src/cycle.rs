@@ -19,6 +19,16 @@
 //! decorative. The simulator also produces the per-block access counts
 //! that drive the power model.
 
+//!
+//! Multirate stages run on the common base clock: every stage is active
+//! for one `W x H` base-cycle frame, but a stage at cumulative scale
+//! `(cx, cy)` computes only on cycles where `y % cy == 0 && x % cx == 0`,
+//! producing pixel `(x/cx, y/cy)` of its own `W/cx x H/cy` grid. Line
+//! buffers hold *producer-grid* rows (width `W/pcx`), and each reader's
+//! shift-register array loads on its edge-active cadence
+//! (`y % ccy == 0 && x % pcx == 0`) so that by construction the newest
+//! SRA column at a compute cycle is producer column `x/pcx`.
+
 use crate::golden::{execute, GoldenError, GoldenRun};
 use crate::image::Image;
 use imagen_ir::{Dag, StageId, StageKind};
@@ -179,9 +189,18 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
     let frame = w * h;
     let starts: Vec<i64> = design.start_cycles.iter().map(|&s| s as i64).collect();
 
+    // Cumulative per-stage scales; a stage's own grid is `w/cx x h/cy`
+    // and its line buffer stores producer-grid rows of width `w/cx`.
+    let scales: Vec<(i64, i64)> = dag
+        .stage_scales()
+        .iter()
+        .map(|&(cx, cy)| (cx as i64, cy as i64))
+        .collect();
+
     // Per-stage buffer state.
     let mut buffers: Vec<BufferState> = Vec::with_capacity(dag.num_stages());
     for (id, _) in dag.stages() {
+        let (cx, _) = scales[id.index()];
         let plan_idx = design.buffers.iter().position(|b| b.stage == id.index());
         let (phys_rows, nblocks, fifo) = match plan_idx {
             Some(i) => {
@@ -197,7 +216,7 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
         buffers.push(BufferState {
             plan: plan_idx,
             phys_rows,
-            data: vec![0; (phys_rows as i64 * w) as usize],
+            data: vec![0; (phys_rows as i64 * (w / cx)) as usize],
             cycle_counts: Vec::new(),
             cycle_reads: Vec::new(),
             totals: vec![0; nblocks],
@@ -234,7 +253,10 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
     let mut outputs: Vec<(StageId, Image)> = dag
         .stages()
         .filter(|(_, s)| s.is_output())
-        .map(|(id, _)| (id, Image::new(geom.width, geom.height)))
+        .map(|(id, _)| {
+            let (cx, cy) = scales[id.index()];
+            (id, Image::new((w / cx) as u32, (h / cy) as u32))
+        })
         .collect();
     let mut next_input = vec![0usize; dag.num_stages()];
     {
@@ -283,14 +305,29 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
             let k = t - s;
             let y = k.div_euclid(w);
             let x = k.rem_euclid(w);
+            let (ccx, ccy) = scales[sid.index()];
 
             // 1. Load one column into each incoming SRA (reads the
             //    producer's rotating buffer) and account the accesses.
+            //    Edge-active cadence: once per consumer-active row
+            //    (`y % ccy == 0`), at every producer-grid column
+            //    (`x % pcx == 0`).
             for (eidx, e) in &edge_list {
                 if e.consumer() != sid {
                     continue;
                 }
                 let p = e.producer().index();
+                let (pcx, pcy) = scales[p];
+                if y % ccy != 0 || x % pcx != 0 {
+                    continue;
+                }
+                let pw = w / pcx;
+                let ph = h / pcy;
+                let xp = x / pcx;
+                // Producer row the newest taps anchor to: floor(y/pcy)
+                // (= fy*yc for downsample, floor(yc/fy) for upsample).
+                let r0 = y / pcy;
+                let pper = pcy * w; // producer row period in base cycles
                 let sra = &mut sras[*eidx];
                 // Shift left one column.
                 for r in 0..sra.height as usize {
@@ -301,17 +338,17 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
                 }
                 let pb = &mut buffers[p];
                 for j in 0..sra.height {
-                    let row = (y + sra.lag as i64 + j as i64).min(h - 1);
+                    let row = (r0 + sra.lag as i64 + j as i64).min(ph - 1);
                     // Residency (R1/R2). FIFO designs are dataflow-correct
                     // by construction; the rotating model still holds the
                     // right values because fifo rows >= reuse distance.
-                    let produced = starts[p] + row * w + x;
+                    let produced = starts[p] + row * pper + xp * pcx;
                     // A slot is recycled only when the producer writes row
                     // `row + phys_rows`; rows near the bottom of the frame
                     // are never overwritten (the producer stops), so
                     // clamped tail reads stay valid indefinitely.
-                    let overwritten = if row + (pb.phys_rows as i64) < h {
-                        produced + pb.phys_rows as i64 * w
+                    let overwritten = if row + (pb.phys_rows as i64) < ph {
+                        produced + pb.phys_rows as i64 * pper
                     } else {
                         i64::MAX
                     };
@@ -326,21 +363,21 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
                             not_yet_produced: produced >= t,
                         });
                     }
-                    let slot = (row.rem_euclid(pb.phys_rows as i64) * w + x) as usize;
+                    let slot = (row.rem_euclid(pb.phys_rows as i64) * pw + xp) as usize;
                     let v = pb.data[slot];
                     sra.data[(j * sra.width + sra.width - 1) as usize] = v;
                     // Access accounting (reads merge on identical address).
                     if !pb.fifo {
                         if let Some(pi) = pb.plan {
                             if let Some(block) =
-                                design.buffers[pi].block_of(row as u64, x as u32, &geom)
+                                design.buffers[pi].block_of(row as u64, xp as u32, &geom)
                             {
                                 let dup = pb
                                     .cycle_reads
                                     .iter()
-                                    .any(|&(bk, r2, x2)| bk == block && r2 == row && x2 == x);
+                                    .any(|&(bk, r2, x2)| bk == block && r2 == row && x2 == xp);
                                 if !dup {
-                                    pb.cycle_reads.push((block, row, x));
+                                    pb.cycle_reads.push((block, row, xp));
                                     bump(&mut pb.cycle_counts, block);
                                 }
                             }
@@ -349,16 +386,24 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
                 }
             }
 
-            // 2. Compute the stage's output pixel from its SRAs.
+            // 2. Compute the stage's output pixel from its SRAs, on the
+            //    stage's own cadence.
+            if y % ccy != 0 || x % ccx != 0 {
+                continue;
+            }
             computed[sid.index()] = match stage.kind() {
                 StageKind::Input => inputs[next_input[sid.index()]].get(x as u32, y as u32),
                 StageKind::Compute { kernel } => {
                     let slots = &slot_edge[sid.index()];
+                    let producers = stage.producers();
                     kernel.eval(&mut |slot, dx, dy| {
                         let sra = &sras[slots[slot]];
+                        let (pcx, _) = scales[producers[slot].index()];
+                        // Newest SRA column holds producer column x/pcx.
+                        let newest = x / pcx;
                         let j = (dy as u32).saturating_sub(sra.lag);
-                        let col = (x + dx as i64).max(0);
-                        let c = (sra.width as i64 - 1 - (x - col)).max(0) as u32;
+                        let col = (newest + dx as i64).max(0);
+                        let c = (sra.width as i64 - 1 - (newest - col)).max(0) as u32;
                         sra.data[(j * sra.width + c) as usize]
                     })
                     // Kernel taps index the SRA: row j = dy - lag, column
@@ -377,16 +422,23 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
             let k = t - s;
             let y = k.div_euclid(w);
             let x = k.rem_euclid(w);
+            let (cx, cy) = scales[sid.index()];
+            // A stage only produces on its own cadence.
+            if y % cy != 0 || x % cx != 0 {
+                continue;
+            }
+            let (yc, xc) = (y / cy, x / cx);
             let value = computed[sid.index()];
 
             // 3. Write to the stage's rotating buffer (if it has one).
             let sb = &mut buffers[sid.index()];
             if sb.phys_rows > 0 {
-                let slot = (y.rem_euclid(sb.phys_rows as i64) * w + x) as usize;
+                let slot = (yc.rem_euclid(sb.phys_rows as i64) * (w / cx) + xc) as usize;
                 sb.data[slot] = value;
                 if !sb.fifo {
                     if let Some(pi) = sb.plan {
-                        if let Some(block) = design.buffers[pi].block_of(y as u64, x as u32, &geom)
+                        if let Some(block) =
+                            design.buffers[pi].block_of(yc as u64, xc as u32, &geom)
                         {
                             bump(&mut sb.cycle_counts, block);
                             sb.totals_w[block] += 1;
@@ -398,7 +450,7 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
             // 4. Output stages stream to the output image.
             if stage.is_output() {
                 if let Some((_, img)) = outputs.iter_mut().find(|(id, _)| *id == sid) {
-                    img.set(x as u32, y as u32, value);
+                    img.set(xc as u32, yc as u32, value);
                 }
             }
         }
@@ -439,7 +491,9 @@ pub fn simulate(dag: &Dag, design: &Design, inputs: &[Image]) -> Result<SimRepor
         if !b.fifo {
             continue;
         }
-        let live = frame; // each segment is busy for one frame's worth of cycles
+        let (cx, cy) = scales[sid.index()];
+        // Each segment is busy for one stage-grid frame's worth of pushes.
+        let live = frame / (cx * cy);
         for tot in b.totals.iter_mut() {
             *tot = 2 * live as u64;
         }
@@ -636,6 +690,25 @@ mod tests {
             "port={:?} res={:?}",
             r.port_violations,
             r.residency_violations
+        );
+    }
+
+    const PYRAMID: &str = "input A;
+        G = im(x,y) (A(x-1,y-1)+2*A(x,y-1)+A(x+1,y-1)
+                    +2*A(x-1,y)+4*A(x,y)+2*A(x+1,y)
+                    +A(x-1,y+1)+2*A(x,y+1)+A(x+1,y+1)) / 16 end
+        D = downsample(2,2) im(x,y) G(x,y) end
+        output U = upsample(2,2) im(x,y) D(x,y) end";
+
+    #[test]
+    fn multirate_pyramid_clean() {
+        let r = plan_and_sim(PYRAMID, 2, false);
+        assert!(
+            r.is_clean(),
+            "port={:?} res={:?} golden={}",
+            r.port_violations,
+            r.residency_violations,
+            r.outputs_match_golden
         );
     }
 

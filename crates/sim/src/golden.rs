@@ -5,11 +5,18 @@
 //! Semantics: stages evaluate in topological order; a compute stage's
 //! output pixel `(x, y)` is its kernel over producer pixels
 //! `(x + dx, y + dy)` (normalized offsets) with clamp-to-edge sampling.
-//! All stage images share the frame dimensions (the paper's
+//! Rate-1 stage images share the frame dimensions (the paper's
 //! assume-padding simplification, Sec. 5 footnote 2).
+//!
+//! Multirate stages scale their own grid: a stage at cumulative scale
+//! `(cx, cy)` produces a `W/cx x H/cy` image. Taps always index the
+//! *producer's* grid — a `downsample(fx,fy)` stage reads
+//! `P(fx*x + dx, fy*y + dy)` and an `upsample(fx,fy)` stage reads
+//! `P(floor(x/fx) + dx, floor(y/fy) + dy)`, clamped to the producer's
+//! edges.
 
 use crate::image::Image;
-use imagen_ir::{Dag, StageId, StageKind};
+use imagen_ir::{Dag, Rate, StageId, StageKind};
 use std::fmt;
 
 /// Golden execution failure.
@@ -27,6 +34,11 @@ pub enum GoldenError {
         /// Index of the offending input.
         input: usize,
     },
+    /// A stage's cumulative rate does not divide the frame extents.
+    IndivisibleExtent {
+        /// Index of the offending stage.
+        stage: usize,
+    },
 }
 
 impl fmt::Display for GoldenError {
@@ -38,6 +50,12 @@ impl fmt::Display for GoldenError {
             ),
             GoldenError::InputSize { input } => {
                 write!(f, "input image {input} has mismatched dimensions")
+            }
+            GoldenError::IndivisibleExtent { stage } => {
+                write!(
+                    f,
+                    "cumulative rate of stage {stage} does not divide the frame extents"
+                )
             }
         }
     }
@@ -96,22 +114,41 @@ pub fn execute(dag: &Dag, inputs: &[Image]) -> Result<GoldenRun, GoldenError> {
         }
     }
 
+    let scales = dag.stage_scales();
     let mut images: Vec<Image> = Vec::with_capacity(dag.num_stages());
     let mut next_input = 0usize;
-    for (_, stage) in dag.stages() {
+    for (id, stage) in dag.stages() {
         match stage.kind() {
             StageKind::Input => {
                 images.push(inputs[next_input].clone());
                 next_input += 1;
             }
             StageKind::Compute { kernel } => {
+                let (cx, cy) = scales[id.index()];
+                if u64::from(w) % cx != 0 || u64::from(h) % cy != 0 {
+                    return Err(GoldenError::IndivisibleExtent { stage: id.index() });
+                }
+                let sw = (u64::from(w) / cx) as u32;
+                let sh = (u64::from(h) / cy) as u32;
                 let producers = stage.producers();
-                let mut out = Image::new(w, h);
-                for y in 0..h {
-                    for x in 0..w {
+                let mut out = Image::new(sw, sh);
+                for y in 0..sh {
+                    for x in 0..sw {
+                        // Anchor in the producer grid; taps offset from it.
+                        let (bx, by) = match stage.rate() {
+                            Rate::Unit => (i64::from(x), i64::from(y)),
+                            Rate::Down { fx, fy } => (
+                                i64::from(fx) * i64::from(x),
+                                i64::from(fy) * i64::from(y),
+                            ),
+                            Rate::Up { fx, fy } => (
+                                i64::from(x) / i64::from(fx),
+                                i64::from(y) / i64::from(fy),
+                            ),
+                        };
                         let v = kernel.eval(&mut |slot, dx, dy| {
                             images[producers[slot].index()]
-                                .get_clamped(x as i64 + dx as i64, y as i64 + dy as i64)
+                                .get_clamped(bx + dx as i64, by + dy as i64)
                         });
                         out.set(x, y, v);
                     }
@@ -204,6 +241,58 @@ mod tests {
                 assert_eq!(out.get(x, y), (a + 1) + 2 * a);
             }
         }
+    }
+
+    #[test]
+    fn downsample_reads_producer_grid() {
+        let dag = compile(
+            "ds",
+            "input A; output B = downsample(2,2) im(x,y) A(x,y) end",
+        )
+        .unwrap();
+        let input = ramp(8, 6);
+        let run = execute(&dag, std::slice::from_ref(&input)).unwrap();
+        let (_, out) = run.outputs(&dag).next().unwrap();
+        assert_eq!((out.width(), out.height()), (4, 3));
+        for y in 0..3 {
+            for x in 0..4 {
+                assert_eq!(out.get(x, y), input.get(2 * x, 2 * y));
+            }
+        }
+    }
+
+    #[test]
+    fn upsample_replicates_producer_pixels() {
+        let dag = compile(
+            "us",
+            "input A;
+             D = downsample(2,2) im(x,y) A(x,y) end
+             output U = upsample(2,2) im(x,y) D(x,y) end",
+        )
+        .unwrap();
+        let input = ramp(8, 8);
+        let run = execute(&dag, std::slice::from_ref(&input)).unwrap();
+        let (_, out) = run.outputs(&dag).next().unwrap();
+        assert_eq!((out.width(), out.height()), (8, 8));
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(out.get(x, y), input.get(x / 2 * 2, y / 2 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn indivisible_extent_is_an_error() {
+        let dag = compile(
+            "ds",
+            "input A; output B = downsample(2,2) im(x,y) A(x,y) end",
+        )
+        .unwrap();
+        let input = ramp(7, 6);
+        assert!(matches!(
+            execute(&dag, std::slice::from_ref(&input)),
+            Err(GoldenError::IndivisibleExtent { stage: 1 })
+        ));
     }
 
     #[test]
